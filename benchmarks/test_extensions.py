@@ -1,0 +1,72 @@
+"""Extension benches: the §V limitations quantified (DESIGN.md §4).
+
+Not figures from the paper's evaluation — these implement the
+discussion section's open questions: annotation-noise sensitivity,
+few-shot cross-lingual mitigation, multi-frame fusion, voting vs
+error correlation, and cost accounting.
+"""
+
+from conftest import publish
+from repro.experiments.extensions import (
+    run_correlation_ablation,
+    run_cost_accounting,
+    run_few_shot_languages,
+    run_label_noise,
+    run_multi_frame,
+)
+
+
+def test_ext_label_noise(suite, benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_label_noise, args=(suite,), rounds=1, iterations=1
+    )
+    publish(result, results_dir)
+    clean = result.rows[0]["f1"]
+    noisy = result.rows[-1]["f1"]
+    assert noisy <= clean + 0.02  # label noise never helps
+
+
+def test_ext_few_shot_languages(suite, benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_few_shot_languages, args=(suite,), rounds=1, iterations=1
+    )
+    publish(result, results_dir)
+    zh = result.row_by("language", "zh")
+    en = result.row_by("language", "en")
+    # Few-shot partially closes the gap without beating English.
+    assert zh["few_shot_recall"] > zh["zero_shot_recall"] + 0.05
+    assert zh["few_shot_recall"] < en["zero_shot_recall"] + 0.03
+
+
+def test_ext_multi_frame(suite, benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_multi_frame, args=(suite,), rounds=1, iterations=1
+    )
+    publish(result, results_dir)
+    for row in result.rows:
+        single, union = row["single_frame"], row["four_frame_union"]
+        if single == single and union == union:
+            assert union >= single - 1e-9
+
+
+def test_ext_correlation_ablation(suite, benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_correlation_ablation, args=(suite,), rounds=1, iterations=1
+    )
+    publish(result, results_dir)
+    shared = result.row_by(
+        "error_structure", "shared perception (paper-like)"
+    )
+    independent = result.row_by("error_structure", "independent perception")
+    # Independent errors let the vote recover at least as much.
+    assert (
+        independent["vote_accuracy"] >= shared["vote_accuracy"] - 0.02
+    )
+
+
+def test_ext_cost_accounting(suite, benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_cost_accounting, args=(suite,), rounds=1, iterations=1
+    )
+    publish(result, results_dir)
+    assert len(result.rows) == 3

@@ -1,0 +1,24 @@
+"""Fig. 2: data-augmentation ablation.
+
+Paper reference: rotations (90/180/270°) and 30%-area crops do not
+improve the average (96.4% / 96% F1 vs 96.3% baseline) and make
+streetlight and apartment detection *worse*, because rotated poles and
+buildings are poses that never occur in street-level imagery.
+"""
+
+from conftest import publish
+
+
+def test_fig2_augmentation(suite, benchmark, results_dir):
+    result = benchmark.pedantic(suite.run_fig2, rounds=1, iterations=1)
+    publish(result, results_dir)
+
+    average = result.row_by("label", "Average")
+    # Shape: augmentation buys no meaningful average improvement.
+    assert average["rotations"] < average["baseline"] + 0.03
+    assert average["rot_plus_crop"] < average["baseline"] + 0.03
+
+    # Direction-bound classes do not benefit from rotation.
+    for label in ("Streetlight", "Apartment"):
+        row = result.row_by("label", label)
+        assert row["rotations"] <= row["baseline"] + 0.02, label

@@ -1,0 +1,22 @@
+"""Fig. 3: detector robustness to Gaussian noise (SNR sweep).
+
+Paper reference: accuracy above 0.90 at SNR 25–30 dB; performance
+drops sharply at severe noise (≈0.60 at SNR 5 dB).
+"""
+
+from conftest import publish
+
+
+def test_fig3_snr(suite, benchmark, results_dir):
+    result = benchmark.pedantic(suite.run_fig3, rounds=1, iterations=1)
+    publish(result, results_dir)
+
+    f1_by_snr = {row["snr_db"]: row["f1"] for row in result.rows}
+    # Shape: robust at mild noise, collapsing at severe noise.
+    assert f1_by_snr[30] > 0.90
+    assert f1_by_snr[25] > 0.88
+    assert f1_by_snr[5] < 0.55
+    # Monotone (allowing small sampling wobble between adjacent levels).
+    levels = sorted(f1_by_snr)
+    for low, high in zip(levels, levels[1:]):
+        assert f1_by_snr[high] >= f1_by_snr[low] - 0.06

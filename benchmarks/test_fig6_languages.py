@@ -1,0 +1,26 @@
+"""Fig. 6 + §IV-C3: prompt-language sweep on Gemini 1.5 Pro.
+
+Paper reference (average recall): English 0.897 > Bengali 0.86 >
+Spanish 0.76 > Chinese 0.69, with two catastrophic term-association
+failures — Chinese sidewalk recall ≈ 0.01, Spanish single-lane recall
+≈ 0.18.
+"""
+
+from conftest import publish
+
+
+def test_fig6_languages(suite, benchmark, results_dir):
+    result = benchmark.pedantic(suite.run_fig6, rounds=1, iterations=1)
+    publish(result, results_dir)
+
+    recalls = {row["language"]: row["recall"] for row in result.rows}
+    # Shape: the paper's strict language ordering.
+    assert recalls["en"] > recalls["bn"] > recalls["es"] > recalls["zh"]
+    # English tracks the paper's absolute level.
+    assert abs(recalls["en"] - 0.897) < 0.05
+
+    zh = result.row_by("language", "zh")
+    es = result.row_by("language", "es")
+    # The two catastrophic failures.
+    assert zh["SW_recall"] < 0.10
+    assert es["SR_recall"] < 0.30

@@ -1,0 +1,31 @@
+"""§IV-C4: temperature and top-p sweeps on Gemini 1.5 Pro.
+
+Paper reference: F1 0.78 / 0.81 / 0.79 at temperature 0.1 / 1.0 / 1.5
+and 0.79 / 0.79 / 0.81 at top-p 0.5 / 0.75 / 0.95 — i.e. sampling
+parameters "mainly influence output variety rather than task
+performance".
+"""
+
+from conftest import publish
+
+
+def test_param_tuning(suite, benchmark, results_dir):
+    result = benchmark.pedantic(suite.run_param, rounds=1, iterations=1)
+    publish(result, results_dir)
+
+    temperature_f1 = {
+        row["value"]: row["f1"]
+        for row in result.rows
+        if row["parameter"] == "temperature"
+    }
+    top_p_f1 = {
+        row["value"]: row["f1"]
+        for row in result.rows
+        if row["parameter"] == "top_p"
+    }
+    # Shape: flat within a few F1 points across both sweeps.
+    assert max(temperature_f1.values()) - min(temperature_f1.values()) < 0.05
+    assert max(top_p_f1.values()) - min(top_p_f1.values()) < 0.05
+    # Everything stays at the working level of the default setting.
+    for f1 in list(temperature_f1.values()) + list(top_p_f1.values()):
+        assert f1 > 0.70

@@ -1,0 +1,22 @@
+"""§IV-B3: comparison with prior GSV indicator models.
+
+Paper reference: the trained detector's average F1 (≈0.96) beats the
+published per-class scores of the ResNet-18 multitask model [11]
+(streetlight F1 0.59) and the VGG-19 classifier [6].
+"""
+
+from conftest import publish
+
+
+def test_prior_work(suite, benchmark, results_dir):
+    result = benchmark.pedantic(suite.run_prior, rounds=1, iterations=1)
+    publish(result, results_dir)
+
+    ours = next(r for r in result.rows if "ours" in str(r["model"]))
+    prior_scores = [
+        r["score"] for r in result.rows if "ours" not in str(r["model"])
+    ]
+    # Shape: our average F1 beats most prior per-class scores and the
+    # weakest prior classes by a wide margin.
+    assert ours["score"] > 0.90
+    assert ours["score"] > min(prior_scores) + 0.2

@@ -1,0 +1,24 @@
+"""Table I: detector per-class precision/recall/F1/mAP50.
+
+Paper reference (YOLOv11 Nano, 1,200 images, 20 epochs):
+
+    average F1 0.963, average mAP50 0.991; every class ≥ 0.90 F1;
+    single-lane road the weakest class by F1 (0.903).
+"""
+
+from conftest import publish
+
+
+def test_table1_detector(suite, benchmark, results_dir):
+    result = benchmark.pedantic(suite.run_table1, rounds=1, iterations=1)
+    publish(result, results_dir)
+
+    average = result.row_by("label", "Average")
+    # Shape: the supervised detector is near-ceiling.
+    assert average["f1"] > 0.90
+    assert average["map50"] > 0.88
+    # Every class is detected usefully.
+    for row in result.rows:
+        if row["label"] == "Average":
+            continue
+        assert row["f1"] > 0.60, row["label"]

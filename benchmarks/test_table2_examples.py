@@ -1,0 +1,23 @@
+"""Table II: example per-question responses from the four models.
+
+Reproduces the paper's qualitative prompt/response matrix: each model
+answers the six standalone questions about one image.
+"""
+
+from conftest import publish
+from repro.core.parsing import extract_decisions
+
+
+def test_table2_examples(suite, benchmark, results_dir):
+    result = benchmark.pedantic(
+        suite.run_table2, rounds=1, iterations=1
+    )
+    publish(result, results_dir)
+
+    assert len(result.rows) == 6
+    for row in result.rows:
+        for column, value in row.items():
+            if column == "question":
+                continue
+            decisions = extract_decisions(str(value))
+            assert len(decisions) == 1, (column, value)

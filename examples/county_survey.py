@@ -1,0 +1,64 @@
+"""County survey: the public-health use case from the paper's intro.
+
+Decodes neighborhood environments across a rural county (Robeson-like)
+and an urban county (Durham-like) with the paper's best configuration —
+majority voting over Gemini, Claude, and Grok — and reports
+per-location indicator rates by land-use zone, the kind of exposure
+variable studies correlate with obesity/diabetes prevalence.
+
+Run:  python examples/county_survey.py
+"""
+
+from repro import build_survey_dataset
+from repro.core import (
+    LLMIndicatorClassifier,
+    NeighborhoodDecoder,
+    VotingEnsemble,
+)
+from repro.core.indicators import ALL_INDICATORS
+from repro.geo import make_durham_like, make_robeson_like
+from repro.gsv import StreetViewClient
+from repro.llm import VOTING_MODEL_IDS, build_clients
+
+
+def main() -> None:
+    counties = [make_robeson_like(seed=2), make_durham_like(seed=3)]
+    street_view = StreetViewClient(counties=counties, api_key="survey-key")
+
+    print("Calibrating LLM clients...")
+    calibration = build_survey_dataset(n_images=240, size=320, seed=50)
+    clients = build_clients(
+        [image.scene for image in calibration],
+        model_ids=VOTING_MODEL_IDS,
+    )
+    ensemble = VotingEnsemble(
+        {
+            model_id: LLMIndicatorClassifier(clients[model_id])
+            for model_id in VOTING_MODEL_IDS
+        }
+    )
+    decoder = NeighborhoodDecoder(street_view=street_view, ensemble=ensemble)
+
+    for county in counties:
+        print(f"\nSurveying {county.name} County (60 locations)...")
+        report = decoder.survey(county, n_locations=60, seed=7)
+        print(
+            f"  images classified: {report.images_classified}; "
+            f"GSV fees: ${report.fees_usd:.2f}"
+        )
+        print(f"  {'indicator':20s} rate")
+        for indicator, rate in report.indicator_rates().items():
+            bar = "#" * int(rate * 30)
+            print(f"  {indicator.display_name:20s} {rate:5.2f} {bar}")
+
+        print("  by land-use zone:")
+        for zone, rates in report.rates_by_zone().items():
+            summary = "  ".join(
+                f"{ind.abbreviation}={rates[ind]:.2f}"
+                for ind in ALL_INDICATORS
+            )
+            print(f"    {zone:12s} {summary}")
+
+
+if __name__ == "__main__":
+    main()

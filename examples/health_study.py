@@ -1,0 +1,90 @@
+"""Health association study: the paper's motivating use case.
+
+The introduction cites work linking built-environment indicators to
+obesity, diabetes, and physical-activity outcomes (visible powerlines
+→ higher prevalence; sidewalks → lower).  This example closes that
+loop with the reproduction's pipeline:
+
+1. sample census-tract-like units across an urban county and draw
+   synthetic outcome counts from a literature-informed model;
+2. decode each tract's indicator exposures with Gemini (zero-shot,
+   parallel prompt) — no labeled training data;
+3. run the standard tract-level logistic regression twice — once on
+   ground-truth exposures, once on the LLM-decoded exposures — and
+   compare the recovered coefficients.
+
+The punchline: LLM decoding preserves most association *signs* while
+attenuating magnitudes, so it is usable for screening-scale studies
+without any annotation effort.
+
+Run:  python examples/health_study.py
+"""
+
+from repro import build_clients, build_survey_dataset
+from repro.core import LLMIndicatorClassifier
+from repro.core.indicators import ALL_INDICATORS, Indicator
+from repro.geo import make_durham_like
+from repro.health import (
+    TRUE_COEFFICIENTS,
+    build_tract_survey,
+    run_association_study,
+)
+from repro.llm import GEMINI_15_PRO
+
+
+def main() -> None:
+    county = make_durham_like(seed=3)
+    print(f"Sampling 30 tracts across {county.name} County...")
+    survey = build_tract_survey(
+        county, n_tracts=30, locations_per_tract=5, seed=0
+    )
+    total_images = sum(len(v) for v in survey.images_by_tract.values())
+    print(f"  {len(survey.tracts)} tracts, {total_images} street-view images")
+
+    print("Calibrating the LLM client and decoding exposures...")
+    calibration = build_survey_dataset(n_images=240, size=320, seed=77)
+    clients = build_clients(
+        [image.scene for image in calibration], model_ids=(GEMINI_15_PRO,)
+    )
+    classifier = LLMIndicatorClassifier(clients[GEMINI_15_PRO])
+    decoded = survey.decoded_exposures(classifier)
+
+    truth_study = run_association_study(
+        survey, survey.true_exposures(), "ground truth"
+    )
+    llm_study = run_association_study(survey, decoded, "LLM-decoded")
+
+    for outcome in ("obesity", "diabetes", "physical_inactivity"):
+        print(f"\n{outcome} — log-odds coefficients (tract-level)")
+        header = (
+            f"{'indicator':18s} {'true β':>8s} {'truth-fit':>10s} "
+            f"{'LLM-fit':>9s} {'sig?':>5s}"
+        )
+        print(header)
+        print("-" * len(header))
+        for indicator in ALL_INDICATORS:
+            true_beta = TRUE_COEFFICIENTS[outcome][indicator]
+            truth_c = truth_study.coefficient(outcome, indicator)
+            llm_c = llm_study.coefficient(outcome, indicator)
+            print(
+                f"{indicator.display_name:18s} {true_beta:8.2f} "
+                f"{truth_c.estimate:10.2f} {llm_c.estimate:9.2f} "
+                f"{'yes' if llm_c.significant else 'no':>5s}"
+            )
+
+    truth_signs = truth_study.sign_agreement(TRUE_COEFFICIENTS)
+    llm_signs = llm_study.sign_agreement(TRUE_COEFFICIENTS)
+    print(
+        f"\nSign recovery of meaningful effects: ground-truth exposures "
+        f"{truth_signs:.0%}, LLM-decoded exposures {llm_signs:.0%}"
+    )
+    stats = clients[GEMINI_15_PRO].stats
+    print(
+        f"LLM cost: {stats.requests} requests, "
+        f"{stats.prompt_tokens + stats.completion_tokens} tokens, "
+        "zero labeled training images"
+    )
+
+
+if __name__ == "__main__":
+    main()

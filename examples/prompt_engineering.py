@@ -1,0 +1,85 @@
+"""Prompt engineering study: structure, language, and sampling knobs.
+
+Walks through the paper's Section IV-C ablations on a small dataset:
+
+1. parallel vs sequential prompting (Fig. 4),
+2. prompt language sweep with the catastrophic per-class failures
+   (Fig. 6),
+3. temperature / top-p sensitivity (§IV-C4),
+4. majority voting over the top three models (Fig. 5).
+
+Run:  python examples/prompt_engineering.py
+"""
+
+from repro import (
+    ClassificationReport,
+    LLMIndicatorClassifier,
+    build_clients,
+    build_survey_dataset,
+)
+from repro.core import ClassifierConfig, PromptStyle
+from repro.core.indicators import Indicator
+from repro.core.voting import vote_predictions
+from repro.llm import GEMINI_15_PRO, VOTING_MODEL_IDS, Language
+
+
+def main() -> None:
+    dataset = build_survey_dataset(n_images=240, size=320, seed=0)
+    truths = [image.presence for image in dataset]
+    calibration = build_survey_dataset(n_images=240, size=320, seed=123)
+    clients = build_clients([image.scene for image in calibration])
+
+    def recall_for(config: ClassifierConfig, model_id: str = GEMINI_15_PRO):
+        classifier = LLMIndicatorClassifier(clients[model_id], config)
+        predictions = classifier.predictions(dataset.images)
+        return ClassificationReport.from_predictions(truths, predictions)
+
+    print("1) Prompt structure (average recall)")
+    for style in (PromptStyle.PARALLEL, PromptStyle.SEQUENTIAL):
+        report = recall_for(ClassifierConfig(style=style))
+        print(f"   {style.value:10s} recall={report.mean_recall:.3f}")
+
+    print("\n2) Prompt language (Gemini)")
+    for language in (
+        Language.ENGLISH,
+        Language.BENGALI,
+        Language.SPANISH,
+        Language.CHINESE,
+    ):
+        report = recall_for(ClassifierConfig(language=language))
+        sidewalk = report.counts[Indicator.SIDEWALK].recall
+        single = report.counts[Indicator.SINGLE_LANE_ROAD].recall
+        print(
+            f"   {language.value}  recall={report.mean_recall:.3f}  "
+            f"sidewalk={sidewalk:.2f}  single-lane={single:.2f}"
+        )
+
+    print("\n3) Sampling parameters (Gemini F1)")
+    for temperature in (0.1, 1.0, 1.5):
+        report = recall_for(ClassifierConfig(temperature=temperature))
+        print(f"   temperature={temperature}: F1={report.mean_f1:.3f}")
+    for top_p in (0.5, 0.75, 0.95):
+        report = recall_for(ClassifierConfig(top_p=top_p))
+        print(f"   top_p={top_p}: F1={report.mean_f1:.3f}")
+
+    print("\n4) Majority voting (top three models)")
+    per_model = {}
+    for model_id in VOTING_MODEL_IDS:
+        classifier = LLMIndicatorClassifier(clients[model_id])
+        per_model[model_id] = classifier.predictions(dataset.images)
+        accuracy = ClassificationReport.from_predictions(
+            truths, per_model[model_id]
+        ).mean_accuracy
+        print(f"   {model_id:16s} accuracy={accuracy:.3f}")
+    voted = vote_predictions(per_model)
+    voted_report = ClassificationReport.from_predictions(truths, voted)
+    print(f"   {'majority vote':16s} accuracy={voted_report.mean_accuracy:.3f}")
+    print(
+        "   single-lane road voted accuracy: "
+        f"{voted_report.counts[Indicator.SINGLE_LANE_ROAD].accuracy:.3f} "
+        "(the error all models share)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: decode environmental indicators in street-view imagery.
+
+Builds a small survey dataset through the simulated GSV pipeline,
+calibrates the four simulated vision LLMs, classifies every image with
+Gemini using the paper's parallel prompt, and prints per-indicator
+precision / recall / F1 / accuracy (Appendix-table style).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ClassificationReport,
+    LLMIndicatorClassifier,
+    build_clients,
+    build_survey_dataset,
+)
+
+
+def main() -> None:
+    # 1. Collect a survey: two synthetic NC-like counties, roadways
+    #    segmented at 50-foot intervals, four headings per location.
+    print("Building survey dataset (200 images)...")
+    dataset = build_survey_dataset(n_images=200, size=320, seed=0)
+    print(f"  {len(dataset)} images; object counts:")
+    for indicator, count in dataset.object_counts().items():
+        print(f"    {indicator.display_name:18s} {count}")
+
+    # 2. Calibrate the simulated LLM clients on a *separate* sample
+    #    (fits each model's response policies to the paper's published
+    #    confusion statistics).
+    print("\nCalibrating simulated LLM clients...")
+    calibration = build_survey_dataset(n_images=240, size=320, seed=99)
+    clients = build_clients([image.scene for image in calibration])
+
+    # 3. Classify every survey image with Gemini 1.5 Pro.
+    classifier = LLMIndicatorClassifier(clients["gemini-1.5-pro"])
+    print("\nPrompt sent per image:\n" + "-" * 60)
+    print(classifier.prompt)
+    print("-" * 60)
+
+    predictions = classifier.predictions(dataset.images)
+
+    # 4. Score against ground truth.
+    truths = [image.presence for image in dataset]
+    report = ClassificationReport.from_predictions(truths, predictions)
+    print("\nGemini 1.5 Pro vs ground truth:")
+    header = f"{'label':20s} {'prec':>6s} {'rec':>6s} {'f1':>6s} {'acc':>6s}"
+    print(header)
+    print("-" * len(header))
+    for row in report.rows():
+        print(
+            f"{row['label']:20s} {row['precision']:6.3f} "
+            f"{row['recall']:6.3f} {row['f1']:6.3f} {row['accuracy']:6.3f}"
+        )
+
+    stats = clients["gemini-1.5-pro"].stats
+    print(
+        f"\nAPI usage: {stats.requests} requests, "
+        f"{stats.prompt_tokens + stats.completion_tokens} tokens"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Command-line interface: run any experiment from the shell.
+
+Usage::
+
+    python -m repro list                 # enumerate experiments
+    python -m repro table1               # one experiment
+    python -m repro fig5 --scale paper   # full paper scale
+    python -m repro all --scale smoke    # everything, fast
+
+Results render as plain-text tables on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .detect.train import TrainConfig
+from .experiments import (
+    ExperimentConfig,
+    ExperimentSuite,
+    paper_config,
+    smoke_config,
+)
+from .experiments.extensions import (
+    run_correlation_ablation,
+    run_cost_accounting,
+    run_few_shot_languages,
+    run_label_efficiency,
+    run_label_noise,
+    run_multi_frame,
+    run_weather_robustness,
+)
+
+#: Experiment name → (description, runner factory).
+EXPERIMENTS = {
+    "table1": ("Table I: detector accuracy", lambda s: s.run_table1()),
+    "fig2": ("Fig. 2: augmentation ablation", lambda s: s.run_fig2()),
+    "fig3": ("Fig. 3: SNR robustness", lambda s: s.run_fig3()),
+    "table2": ("Table II: example responses", lambda s: s.run_table2()),
+    "fig4": ("Fig. 4: prompt structure", lambda s: s.run_fig4()),
+    "fig5": ("Fig. 5: LLM accuracy + voting", lambda s: s.run_fig5()),
+    "tables3to6": (
+        "Tables III-VI: per-LLM confusion",
+        lambda s: list(s.run_tables3to6().values()),
+    ),
+    "fig6": ("Fig. 6: prompt languages", lambda s: s.run_fig6()),
+    "param": ("§IV-C4: temperature/top-p", lambda s: s.run_param()),
+    "prior": ("§IV-B3: prior work", lambda s: s.run_prior()),
+    "label-noise": ("Ext. A: annotation noise", run_label_noise),
+    "few-shot": ("Ext. B: few-shot languages", run_few_shot_languages),
+    "multi-frame": ("Ext. C: multi-frame fusion", run_multi_frame),
+    "cost": ("Ext. D: cost accounting", run_cost_accounting),
+    "correlation": (
+        "Ext. E: voting vs error correlation",
+        run_correlation_ablation,
+    ),
+    "label-efficiency": (
+        "Ext. G: detector F1 vs label budget",
+        run_label_efficiency,
+    ),
+    "weather": ("Ext. H: weather robustness", run_weather_robustness),
+}
+
+
+def _config_for(scale: str) -> ExperimentConfig:
+    if scale == "paper":
+        return paper_config()
+    if scale == "smoke":
+        return smoke_config()
+    if scale == "bench":
+        return ExperimentConfig(
+            n_images=600,
+            image_size=640,
+            n_calibration_images=600,
+            detector_train=TrainConfig(epochs=20, batch_size=16),
+        )
+    raise SystemExit(f"unknown scale: {scale!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Decoding Neighborhood Environments with Large "
+            "Language Models' (DSN 2025)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--scale",
+        default="bench",
+        choices=["smoke", "bench", "paper"],
+        help="input scale (default: bench = 600 images at 640 px)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (description, _) in sorted(EXPERIMENTS.items()):
+            print(f"  {name:12s} {description}")
+        return 0
+
+    suite = ExperimentSuite(config=_config_for(args.scale))
+    names = (
+        sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"\n=== {description} (scale={args.scale}) ===")
+        started = time.time()
+        outcome = runner(suite)
+        results = outcome if isinstance(outcome, list) else [outcome]
+        for result in results:
+            print(result.render())
+        print(f"[{time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

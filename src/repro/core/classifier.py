@@ -1,0 +1,143 @@
+"""Driving an LLM over survey images: prompt → request → parsed answers.
+
+``LLMIndicatorClassifier`` is the workhorse of the paper's evaluation:
+it builds the prompt for the configured style/language, attaches the
+image, calls the chat client with bounded retry (rate limits and
+transient server errors are real failure modes of the commercial
+APIs), parses the Yes/No answers, and returns per-image
+:class:`~repro.core.indicators.IndicatorPresence` predictions.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..gsv.dataset import LabeledImage
+from ..llm.base import (
+    DEFAULT_TEMPERATURE,
+    DEFAULT_TOP_P,
+    ChatClient,
+    ImageAttachment,
+)
+from ..llm.errors import RateLimitError, ServerError
+from ..llm.language import Language
+from .indicators import Indicator, IndicatorPresence
+from .languages import PAPER_QUESTION_ORDER
+from .parsing import ResponseParseError, answers_to_presence, parse_answers
+from .prompts import PromptStyle, prompt_for_style
+
+
+@dataclass
+class ClassifierConfig:
+    """Prompting and retry configuration.
+
+    ``few_shot_exemplars`` prepends labeled example images to every
+    request (the §V cross-lingual mitigation); it requires the
+    parallel prompt style.
+    """
+
+    style: PromptStyle = PromptStyle.PARALLEL
+    language: Language = Language.ENGLISH
+    indicators: tuple[Indicator, ...] = PAPER_QUESTION_ORDER
+    temperature: float = DEFAULT_TEMPERATURE
+    top_p: float = DEFAULT_TOP_P
+    max_attempts: int = 4
+    backoff_s: float = 0.0  # keep zero in tests/benches; >0 in production
+    few_shot_exemplars: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.few_shot_exemplars and self.style is not PromptStyle.PARALLEL:
+            raise ValueError(
+                "few-shot exemplars require the parallel prompt style"
+            )
+
+
+@dataclass
+class ClassificationOutcome:
+    """Per-image prediction with provenance."""
+
+    image_id: str
+    presence: IndicatorPresence
+    raw_response: str
+    attempts: int
+
+
+@dataclass
+class LLMIndicatorClassifier:
+    """Classify images with one LLM under one prompting configuration."""
+
+    client: ChatClient
+    config: ClassifierConfig = field(default_factory=ClassifierConfig)
+
+    @property
+    def prompt(self) -> str:
+        return prompt_for_style(
+            self.config.style, self.config.language, self.config.indicators
+        )
+
+    def classify_image(self, image: LabeledImage) -> ClassificationOutcome:
+        """Classify a single image, retrying transient failures."""
+        last_error: Exception | None = None
+        for attempt in range(1, self.config.max_attempts + 1):
+            try:
+                text = self._request(image)
+                parsed = parse_answers(
+                    text,
+                    expected=len(self.config.indicators),
+                    language=self.config.language,
+                )
+                presence = answers_to_presence(
+                    parsed, self.config.indicators
+                )
+                return ClassificationOutcome(
+                    image_id=image.image_id,
+                    presence=presence,
+                    raw_response=text,
+                    attempts=attempt,
+                )
+            except (RateLimitError, ServerError, ResponseParseError) as err:
+                last_error = err
+                if self.config.backoff_s > 0:
+                    time.sleep(self.config.backoff_s * attempt)
+        raise RuntimeError(
+            f"classification of {image.image_id} failed after "
+            f"{self.config.max_attempts} attempts"
+        ) from last_error
+
+    def _request(self, image: LabeledImage) -> str:
+        """Issue one chat request for ``image`` (zero- or few-shot)."""
+        if self.config.few_shot_exemplars:
+            from .fewshot import build_few_shot_request
+
+            request = build_few_shot_request(
+                model=self.client.model_name,
+                image=image,
+                exemplars=self.config.few_shot_exemplars,
+                language=self.config.language,
+                indicators=self.config.indicators,
+                temperature=self.config.temperature,
+                top_p=self.config.top_p,
+            )
+            return self.client.complete(request).content
+        return self.client.ask(
+            self.prompt,
+            ImageAttachment(scene=image.scene),
+            temperature=self.config.temperature,
+            top_p=self.config.top_p,
+        )
+
+    def classify(
+        self, images: Sequence[LabeledImage]
+    ) -> list[ClassificationOutcome]:
+        """Classify a batch of images."""
+        return [self.classify_image(image) for image in images]
+
+    def predictions(
+        self, images: Sequence[LabeledImage]
+    ) -> list[IndicatorPresence]:
+        """Batch classify, returning just the presence predictions."""
+        return [outcome.presence for outcome in self.classify(images)]

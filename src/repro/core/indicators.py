@@ -1,0 +1,163 @@
+"""The six environmental indicators studied by the paper.
+
+The paper trains and evaluates on exactly six indicators of the built
+environment: streetlight (SL), sidewalk (SW), single-lane road (SR),
+multilane road (MR), powerline (PL), and apartment (AP).  This module
+is the single source of truth for that taxonomy — every substrate
+(scene generation, detection, LLM prompting, metrics) keys off it.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+
+
+class Indicator(enum.Enum):
+    """An environmental indicator class.
+
+    Values are stable snake_case identifiers used in datasets, prompt
+    catalogs, and result tables.
+    """
+
+    STREETLIGHT = "streetlight"
+    SIDEWALK = "sidewalk"
+    SINGLE_LANE_ROAD = "single_lane_road"
+    MULTILANE_ROAD = "multilane_road"
+    POWERLINE = "powerline"
+    APARTMENT = "apartment"
+
+    @property
+    def abbreviation(self) -> str:
+        """The paper's two-letter abbreviation (SL/SW/SR/MR/PL/AP)."""
+        return _ABBREVIATIONS[self]
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable name as used in the paper's tables."""
+        return _DISPLAY_NAMES[self]
+
+    @classmethod
+    def from_string(cls, value: str) -> "Indicator":
+        """Parse an indicator from its value, abbreviation, or name.
+
+        Accepts ``"sidewalk"``, ``"SW"``, ``"Sidewalk"`` and similar
+        spellings; raises ``ValueError`` for anything unrecognized.
+        """
+        text = value.strip()
+        lowered = text.lower().replace("-", "_").replace(" ", "_")
+        for indicator in cls:
+            if lowered == indicator.value:
+                return indicator
+        upper = text.upper()
+        for indicator, abbrev in _ABBREVIATIONS.items():
+            if upper == abbrev:
+                return indicator
+        for indicator, name in _DISPLAY_NAMES.items():
+            if lowered == name.lower().replace("-", "_").replace(" ", "_"):
+                return indicator
+        raise ValueError(f"unknown indicator: {value!r}")
+
+
+_ABBREVIATIONS = {
+    Indicator.STREETLIGHT: "SL",
+    Indicator.SIDEWALK: "SW",
+    Indicator.SINGLE_LANE_ROAD: "SR",
+    Indicator.MULTILANE_ROAD: "MR",
+    Indicator.POWERLINE: "PL",
+    Indicator.APARTMENT: "AP",
+}
+
+_DISPLAY_NAMES = {
+    Indicator.STREETLIGHT: "Streetlight",
+    Indicator.SIDEWALK: "Sidewalk",
+    Indicator.SINGLE_LANE_ROAD: "Single-lane road",
+    Indicator.MULTILANE_ROAD: "Multilane road",
+    Indicator.POWERLINE: "Powerline",
+    Indicator.APARTMENT: "Apartment",
+}
+
+#: Canonical ordering used in every table of the paper.
+ALL_INDICATORS: tuple[Indicator, ...] = (
+    Indicator.STREETLIGHT,
+    Indicator.SIDEWALK,
+    Indicator.SINGLE_LANE_ROAD,
+    Indicator.MULTILANE_ROAD,
+    Indicator.POWERLINE,
+    Indicator.APARTMENT,
+)
+
+#: Labeled object counts reported in Section IV-A for the 1,200-image
+#: dataset.  Used to sanity-check the synthetic dataset's prevalence.
+PAPER_OBJECT_COUNTS: Mapping[Indicator, int] = {
+    Indicator.STREETLIGHT: 206,
+    Indicator.SIDEWALK: 444,
+    Indicator.SINGLE_LANE_ROAD: 346,
+    Indicator.MULTILANE_ROAD: 505,
+    Indicator.POWERLINE: 301,
+    Indicator.APARTMENT: 125,
+}
+
+
+class IndicatorPresence(Mapping[Indicator, bool]):
+    """Immutable per-image presence/absence over the six indicators.
+
+    Behaves as a mapping from :class:`Indicator` to ``bool``; missing
+    indicators default to absent at construction time so instances are
+    always total over the taxonomy.
+    """
+
+    __slots__ = ("_present",)
+
+    def __init__(self, present: Iterable[Indicator] = ()) -> None:
+        self._present = frozenset(present)
+        for item in self._present:
+            if not isinstance(item, Indicator):
+                raise TypeError(f"not an Indicator: {item!r}")
+
+    def __getitem__(self, key: Indicator) -> bool:
+        if not isinstance(key, Indicator):
+            raise KeyError(key)
+        return key in self._present
+
+    def __iter__(self):
+        return iter(ALL_INDICATORS)
+
+    def __len__(self) -> int:
+        return len(ALL_INDICATORS)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IndicatorPresence):
+            return self._present == other._present
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._present)
+
+    def __repr__(self) -> str:
+        names = sorted(ind.value for ind in self._present)
+        return f"IndicatorPresence({names})"
+
+    @property
+    def present(self) -> frozenset[Indicator]:
+        """The set of indicators present in the image."""
+        return self._present
+
+    def as_vector(self) -> tuple[bool, ...]:
+        """Presence as a tuple in canonical indicator order."""
+        return tuple(ind in self._present for ind in ALL_INDICATORS)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[Indicator, bool]) -> "IndicatorPresence":
+        return cls(ind for ind, present in mapping.items() if present)
+
+    @classmethod
+    def from_vector(cls, vector: Iterable[bool]) -> "IndicatorPresence":
+        values = tuple(bool(v) for v in vector)
+        if len(values) != len(ALL_INDICATORS):
+            raise ValueError(
+                f"expected {len(ALL_INDICATORS)} values, got {len(values)}"
+            )
+        return cls(
+            ind for ind, flag in zip(ALL_INDICATORS, values) if flag
+        )

@@ -1,0 +1,212 @@
+"""Multilingual prompt catalog (English, Spanish, Chinese, Bengali).
+
+Transcribes the paper's prompts: the English questions from Table II
+and the Spanish / Simplified Chinese / Bengali parallel prompts from
+Appendix B.  Question templates are keyed by indicator so the prompt
+builders can assemble parallel or sequential prompts in any of the
+four languages with any question subset/order.
+"""
+
+from __future__ import annotations
+
+from ..llm.language import Language
+from .indicators import Indicator
+
+#: Question order used throughout the paper's prompts.
+PAPER_QUESTION_ORDER: tuple[Indicator, ...] = (
+    Indicator.MULTILANE_ROAD,
+    Indicator.SINGLE_LANE_ROAD,
+    Indicator.SIDEWALK,
+    Indicator.STREETLIGHT,
+    Indicator.POWERLINE,
+    Indicator.APARTMENT,
+)
+
+#: Per-language, per-indicator simple questions (with the response
+#: instruction attached, as in the paper's prompt boxes).
+QUESTIONS: dict[Language, dict[Indicator, str]] = {
+    Language.ENGLISH: {
+        Indicator.MULTILANE_ROAD: (
+            "Is the road shown in the image a multi-lane road (more than "
+            "one lane per direction)? Respond only with 'Yes' or 'No'."
+        ),
+        Indicator.SINGLE_LANE_ROAD: (
+            "Is the road in the image a single-lane road (one lane per "
+            "direction)? Respond only with 'Yes' or 'No'."
+        ),
+        Indicator.SIDEWALK: (
+            "Is there a sidewalk visible in the image? Respond only with "
+            "'Yes' or 'No'."
+        ),
+        Indicator.STREETLIGHT: (
+            "Is there a streetlight visible in the image? Respond only "
+            "with 'Yes' or 'No'."
+        ),
+        Indicator.POWERLINE: (
+            "Is there a powerline visible in the image? Respond only with "
+            "'Yes' or 'No'."
+        ),
+        Indicator.APARTMENT: (
+            "Is there an apartment visible in the image? Respond only "
+            "with 'Yes' or 'No'."
+        ),
+    },
+    Language.SPANISH: {
+        Indicator.MULTILANE_ROAD: (
+            "¿La carretera que se muestra en la imagen tiene varios "
+            "carriles (más de un carril por sentido)? Responda solo con "
+            "'Sí' o 'No'."
+        ),
+        Indicator.SINGLE_LANE_ROAD: (
+            "¿La carretera que se muestra en la imagen tiene un solo "
+            "carril (un carril por sentido)? Responda solo con 'Sí' o "
+            "'No'."
+        ),
+        Indicator.SIDEWALK: (
+            "¿Se ve una acera en la imagen? Responda solo con 'Sí' o 'No'."
+        ),
+        Indicator.STREETLIGHT: (
+            "¿Se ve un alumbrado público en la imagen? Responda solo con "
+            "'Sí' o 'No'."
+        ),
+        Indicator.POWERLINE: (
+            "¿Se ve un cable eléctrico en la imagen? Responda solo con "
+            "'Sí' o 'No'."
+        ),
+        Indicator.APARTMENT: (
+            "¿Se ve un apartamento en la imagen? Responda solo con 'Sí' o "
+            "'No'."
+        ),
+    },
+    Language.CHINESE: {
+        Indicator.MULTILANE_ROAD: (
+            "图片中显示的道路是多车道公路（每个方向有超过一条车道）吗？"
+            "请仅回答“是”或“否”。"
+        ),
+        Indicator.SINGLE_LANE_ROAD: (
+            "图片中的道路是单车道公路（每个方向只有一条车道）吗？"
+            "请仅回答“是”或“否”。"
+        ),
+        Indicator.SIDEWALK: (
+            "图片中是否有可见的路边人行道？仅回答“是”或“否”。"
+        ),
+        Indicator.STREETLIGHT: (
+            "图片中是否有可见的路灯？仅回答“是”或“否”。"
+        ),
+        Indicator.POWERLINE: (
+            "图片中是否有可见的电线？请回答“是”或“否”。"
+        ),
+        Indicator.APARTMENT: (
+            "图片中是否有可见的公寓？仅回答“是”或“否”。"
+        ),
+    },
+    Language.BENGALI: {
+        Indicator.MULTILANE_ROAD: (
+            "ছবিতে দেখানো রাস্তাটি কি বহু-লেনের রাস্তা (প্রতি দিকে একাধিক লেন)? "
+            "অনুগ্রহ করে কেবল 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।"
+        ),
+        Indicator.SINGLE_LANE_ROAD: (
+            "ছবিতে দেখানো রাস্তাটি কি এক-লেনের রাস্তা (প্রতি দিকে এক লেন)? "
+            "অনুগ্রহ করে কেবল 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।"
+        ),
+        Indicator.SIDEWALK: (
+            "ছবিতে কি কোনও ফুটপাত দেখা যাচ্ছে? কেবল 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।"
+        ),
+        Indicator.STREETLIGHT: (
+            "ছবিতে কি কোনও রাস্তার আলো দেখা যাচ্ছে? কেবল 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।"
+        ),
+        Indicator.POWERLINE: (
+            "ছবিতে কি কোনও বিদ্যুতের লাইন দেখা যাচ্ছে? অনুগ্রহ করে 'হ্যাঁ' বা 'না' "
+            "দিয়ে উত্তর দিন।"
+        ),
+        Indicator.APARTMENT: (
+            "ছবিতে কি কোনও অ্যাপার্টমেন্ট দেখা যাচ্ছে? কেবল 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।"
+        ),
+    },
+}
+
+#: Format headers instructing the comma-separated answer style, as in
+#: the paper's prompt boxes ("Respond in this format: Yes, No, ...").
+FORMAT_HEADERS: dict[Language, str] = {
+    Language.ENGLISH: (
+        "Respond exactly in this format and no other: "
+        "Yes, No, No, Yes, No, Yes."
+    ),
+    Language.SPANISH: (
+        "Por favor, responda exactamente en este formato y ningún otro: "
+        "sí, no, no, sí, no, no."
+    ),
+    Language.CHINESE: "请严格按照以下格式回答，不得使用其他格式：是，否，否，是，是，否。",
+    Language.BENGALI: "ঠিক এই ফর্ম্যাটে উত্তর দিন: হ্যাঁ, না, না, হ্যাঁ, না, না।",
+}
+
+#: Connective used between questions in the parallel prompt ("And ...").
+CONJUNCTIONS: dict[Language, str] = {
+    Language.ENGLISH: "And",
+    Language.SPANISH: "Y",
+    Language.CHINESE: "并且",
+    Language.BENGALI: "এবং",
+}
+
+#: Sequential-style scaffolding: one run-on sentence whose clauses pack
+#: every indicator mention together (the "complex grammatical
+#: construction" the paper contrasts with simple parallel questions).
+SEQUENTIAL_LEADS: dict[Language, str] = {
+    Language.ENGLISH: (
+        "Looking carefully at the attached street image, considering the "
+        "roadway configuration and every roadside element, determine "
+        "whether"
+    ),
+    Language.SPANISH: (
+        "Observando cuidadosamente la imagen adjunta de la calle, "
+        "considerando la configuración de la vía y cada elemento al "
+        "borde, determine si"
+    ),
+    Language.CHINESE: "仔细观察所附街道图片，结合道路结构与路边各个要素，判断",
+    Language.BENGALI: (
+        "সংযুক্ত রাস্তার ছবিটি মনোযোগ দিয়ে দেখে, রাস্তার বিন্যাস ও পাশের প্রতিটি উপাদান "
+        "বিবেচনা করে নির্ধারণ করুন"
+    ),
+}
+
+#: Sequential clause per indicator: the bare claim being verified,
+#: embedding the same lexicon terms as the simple questions.
+SEQUENTIAL_CLAUSES: dict[Language, dict[Indicator, str]] = {
+    Language.ENGLISH: {
+        Indicator.MULTILANE_ROAD: (
+            "the road is a multi-lane road with more than one lane per "
+            "direction"
+        ),
+        Indicator.SINGLE_LANE_ROAD: "the road is a single-lane road",
+        Indicator.SIDEWALK: "a sidewalk is visible",
+        Indicator.STREETLIGHT: "a streetlight is visible",
+        Indicator.POWERLINE: "a powerline is visible",
+        Indicator.APARTMENT: "an apartment is visible",
+    },
+    Language.SPANISH: {
+        Indicator.MULTILANE_ROAD: (
+            "la carretera tiene varios carriles por sentido"
+        ),
+        Indicator.SINGLE_LANE_ROAD: "la carretera tiene un solo carril",
+        Indicator.SIDEWALK: "se ve una acera",
+        Indicator.STREETLIGHT: "se ve un alumbrado público",
+        Indicator.POWERLINE: "se ve un cable eléctrico",
+        Indicator.APARTMENT: "se ve un apartamento",
+    },
+    Language.CHINESE: {
+        Indicator.MULTILANE_ROAD: "道路是否为多车道公路",
+        Indicator.SINGLE_LANE_ROAD: "道路是否为单车道公路",
+        Indicator.SIDEWALK: "是否可见人行道",
+        Indicator.STREETLIGHT: "是否可见路灯",
+        Indicator.POWERLINE: "是否可见电线",
+        Indicator.APARTMENT: "是否可见公寓",
+    },
+    Language.BENGALI: {
+        Indicator.MULTILANE_ROAD: "রাস্তাটি বহু-লেনের রাস্তা কিনা",
+        Indicator.SINGLE_LANE_ROAD: "রাস্তাটি এক-লেনের রাস্তা কিনা",
+        Indicator.SIDEWALK: "ফুটপাত দেখা যাচ্ছে কিনা",
+        Indicator.STREETLIGHT: "রাস্তার আলো দেখা যাচ্ছে কিনা",
+        Indicator.POWERLINE: "বিদ্যুতের লাইন দেখা যাচ্ছে কিনা",
+        Indicator.APARTMENT: "অ্যাপার্টমেন্ট দেখা যাচ্ছে কিনা",
+    },
+}

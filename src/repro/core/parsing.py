@@ -1,0 +1,127 @@
+"""Parsing model responses back into Yes/No decisions.
+
+Real models never answer with a perfectly clean machine-readable
+string; this parser tolerates the formatting the four simulated models
+(and their real counterparts) produce: mixed case, trailing
+punctuation, vendor prefixes, different separators, and the four
+languages' Yes/No surface forms (Yes/No, Sí/No, 是/否, হ্যাঁ/না).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..llm.language import Language
+from .indicators import ALL_INDICATORS, Indicator, IndicatorPresence
+
+
+class ResponseParseError(ValueError):
+    """The model's response could not be mapped to Yes/No answers."""
+
+
+#: Affirmative and negative tokens per language (lowercased, accent
+#: variants included).
+_YES_TOKENS = {
+    "yes", "y", "sí", "si", "是", "是的", "हाँ", "হ্যাঁ", "হ্যা", "true",
+}
+_NO_TOKENS = {"no", "n", "否", "不是", "না", "false"}
+
+#: Separators between successive answers.
+_SEPARATORS = re.compile(r"[,，、;；/\s]+")
+
+#: Characters stripped from candidate tokens.
+_STRIP = ".!?。！？'\"`“”‘’()[]{}:"
+
+
+@dataclass(frozen=True)
+class ParsedAnswers:
+    """Decoded answers plus bookkeeping for diagnostics."""
+
+    answers: tuple[bool, ...]
+    raw: str
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+def extract_decisions(text: str) -> list[bool]:
+    """All Yes/No decisions found in a response, in order."""
+    decisions = []
+    for token in _SEPARATORS.split(text):
+        cleaned = token.strip(_STRIP).lower()
+        if not cleaned:
+            continue
+        if cleaned in _YES_TOKENS:
+            decisions.append(True)
+        elif cleaned in _NO_TOKENS:
+            decisions.append(False)
+        else:
+            # CJK answers may arrive unseparated ("是否是…" never occurs
+            # in answers, but "是，否" with full-width separators does;
+            # handle glued single-char sequences).
+            for char in cleaned:
+                if char == "是":
+                    decisions.append(True)
+                elif char == "否":
+                    decisions.append(False)
+    return decisions
+
+
+def parse_answers(
+    text: str,
+    expected: int,
+    language: Language = Language.ENGLISH,
+) -> ParsedAnswers:
+    """Parse a response expected to contain ``expected`` decisions.
+
+    Raises :class:`ResponseParseError` when the count does not match —
+    the classifier uses this to trigger a reformat-and-retry round
+    trip, just as one must against the real APIs.
+    """
+    if expected <= 0:
+        raise ValueError(f"expected must be positive: {expected}")
+    decisions = extract_decisions(text)
+    if len(decisions) != expected:
+        raise ResponseParseError(
+            f"expected {expected} Yes/No answers, found {len(decisions)} "
+            f"in {text!r}"
+        )
+    return ParsedAnswers(answers=tuple(decisions), raw=text)
+
+
+def answers_to_presence(
+    answers: ParsedAnswers | tuple[bool, ...],
+    indicators: tuple[Indicator, ...],
+) -> IndicatorPresence:
+    """Map ordered answers onto their indicators.
+
+    Indicators outside ``indicators`` are treated as absent.
+    """
+    values = (
+        answers.answers if isinstance(answers, ParsedAnswers) else answers
+    )
+    if len(values) != len(indicators):
+        raise ValueError(
+            f"{len(values)} answers for {len(indicators)} indicators"
+        )
+    present = [
+        indicator
+        for indicator, answer in zip(indicators, values)
+        if answer
+    ]
+    return IndicatorPresence(present)
+
+
+def presence_to_answer_text(
+    presence: IndicatorPresence,
+    indicators: tuple[Indicator, ...] = ALL_INDICATORS,
+    language: Language = Language.ENGLISH,
+) -> str:
+    """Render a presence record as the canonical answer string."""
+    from ..llm.language import NO_WORDS, YES_WORDS
+
+    yes, no = YES_WORDS[language], NO_WORDS[language]
+    return ", ".join(
+        yes if presence[indicator] else no for indicator in indicators
+    )

@@ -1,0 +1,158 @@
+"""End-to-end neighborhood decoding: the system a user would deploy.
+
+``NeighborhoodDecoder`` wires the whole paper together: sample
+locations from a county's road network, fetch street-view imagery,
+classify every capture with an LLM (or a majority-voting ensemble),
+and aggregate per-location results into neighborhood-level indicator
+statistics — the kind of output public-health studies correlate with
+obesity/diabetes prevalence in the work the paper builds on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gsv.api import StreetViewClient
+from ..gsv.dataset import LabeledImage
+from ..geo.county import County
+from ..geo.roadnet import build_road_network
+from ..geo.sampling import (
+    build_sampling_frame,
+    expand_to_captures,
+    select_survey_locations,
+)
+from .classifier import LLMIndicatorClassifier
+from .indicators import ALL_INDICATORS, Indicator, IndicatorPresence
+from .voting import VotingEnsemble
+
+
+@dataclass
+class LocationResult:
+    """Decoded indicators at one survey location (4 headings)."""
+
+    latitude: float
+    longitude: float
+    county: str
+    zone_kind: str
+    presence: IndicatorPresence  # union over the four headings
+
+
+@dataclass
+class SurveyReport:
+    """Aggregated neighborhood survey output."""
+
+    locations: list[LocationResult] = field(default_factory=list)
+    images_classified: int = 0
+    fees_usd: float = 0.0
+
+    def indicator_rates(self) -> dict[Indicator, float]:
+        """Fraction of locations where each indicator was decoded."""
+        if not self.locations:
+            return {ind: float("nan") for ind in ALL_INDICATORS}
+        return {
+            ind: float(
+                np.mean([loc.presence[ind] for loc in self.locations])
+            )
+            for ind in ALL_INDICATORS
+        }
+
+    def rates_by_zone(self) -> dict[str, dict[Indicator, float]]:
+        """Indicator rates broken out by land-use zone."""
+        zones: dict[str, list[LocationResult]] = {}
+        for location in self.locations:
+            zones.setdefault(location.zone_kind, []).append(location)
+        return {
+            zone: {
+                ind: float(
+                    np.mean([loc.presence[ind] for loc in group])
+                )
+                for ind in ALL_INDICATORS
+            }
+            for zone, group in sorted(zones.items())
+        }
+
+
+@dataclass
+class NeighborhoodDecoder:
+    """Survey a county with an LLM classifier or voting ensemble.
+
+    Exactly one of ``classifier`` / ``ensemble`` must be provided.
+    """
+
+    street_view: StreetViewClient
+    classifier: LLMIndicatorClassifier | None = None
+    ensemble: VotingEnsemble | None = None
+
+    def __post_init__(self) -> None:
+        if (self.classifier is None) == (self.ensemble is None):
+            raise ValueError(
+                "provide exactly one of classifier or ensemble"
+            )
+
+    def survey(
+        self,
+        county: County,
+        n_locations: int,
+        seed: int = 0,
+    ) -> SurveyReport:
+        """Decode ``n_locations`` random roadway locations in a county."""
+        graph = build_road_network(county, seed=seed + 17)
+        frame = build_sampling_frame(county, graph)
+        points = select_survey_locations(
+            {county.name: frame}, n_locations, seed=seed + 23
+        )
+        captures = expand_to_captures(points)
+
+        fees_before = self.street_view.usage().fees_usd
+        images: list[LabeledImage] = []
+        for index, capture in enumerate(captures):
+            served = self.street_view.fetch_capture(capture, render=False)
+            images.append(
+                LabeledImage(
+                    image_id=f"survey_{index:05d}",
+                    scene=served.scene,
+                    annotations=tuple(
+                        (obj.indicator, obj.box)
+                        for obj in served.scene.objects
+                    ),
+                )
+            )
+
+        predictions = self._predict(images)
+
+        report = SurveyReport(
+            images_classified=len(images),
+            fees_usd=self.street_view.usage().fees_usd - fees_before,
+        )
+        headings_per_point = len(captures) // len(points)
+        for point_index, point in enumerate(points):
+            start = point_index * headings_per_point
+            union = [
+                ind
+                for ind in ALL_INDICATORS
+                if any(
+                    predictions[start + offset][ind]
+                    for offset in range(headings_per_point)
+                )
+            ]
+            report.locations.append(
+                LocationResult(
+                    latitude=point.location.lat,
+                    longitude=point.location.lon,
+                    county=point.county,
+                    zone_kind=point.zone_kind.value,
+                    presence=IndicatorPresence(union),
+                )
+            )
+        return report
+
+    def _predict(
+        self, images: Sequence[LabeledImage]
+    ) -> list[IndicatorPresence]:
+        if self.classifier is not None:
+            return self.classifier.predictions(images)
+        assert self.ensemble is not None
+        return self.ensemble.predictions(images)

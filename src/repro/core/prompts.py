@@ -1,0 +1,119 @@
+"""Prompt builders: parallel vs sequential, in four languages.
+
+The paper compares two zero-shot prompting strategies (§IV-C1):
+
+* **parallel** — one request containing a format header plus each
+  indicator's *simple, self-contained question* ("Is there a sidewalk
+  visible in the image? Respond only with 'Yes' or 'No'."), joined by
+  a light conjunction.  One sentence, one question.
+* **sequential** — one request packing all indicator clauses into a
+  single run-on sentence ("... determine whether the road is a
+  multi-lane road ..., whether the road is a single-lane road ...,
+  whether a sidewalk is visible ...").  The complex grammatical
+  structure is exactly what the paper (following Linzbach et al.)
+  blames for the recall drop.
+
+Both builders are order- and subset-configurable; the defaults follow
+the paper's question order.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+from ..llm.language import Language
+from .indicators import Indicator
+from .languages import (
+    CONJUNCTIONS,
+    FORMAT_HEADERS,
+    PAPER_QUESTION_ORDER,
+    QUESTIONS,
+    SEQUENTIAL_CLAUSES,
+    SEQUENTIAL_LEADS,
+)
+
+
+class PromptStyle(enum.Enum):
+    """The two prompting strategies compared in Fig. 4."""
+
+    PARALLEL = "parallel"
+    SEQUENTIAL = "sequential"
+
+
+def build_parallel_prompt(
+    language: Language = Language.ENGLISH,
+    indicators: Sequence[Indicator] = PAPER_QUESTION_ORDER,
+    include_format_header: bool = True,
+) -> str:
+    """Assemble the paper's parallel prompt.
+
+    Each question is its own simple sentence; questions after the
+    first are prefixed with the language's conjunction, mirroring the
+    paper's "putting 'and' in between each one".
+    """
+    _validate_indicators(indicators)
+    questions = QUESTIONS[language]
+    conjunction = CONJUNCTIONS[language]
+    parts = []
+    if include_format_header:
+        parts.append(FORMAT_HEADERS[language])
+    for position, indicator in enumerate(indicators):
+        question = questions[indicator]
+        if position == 0:
+            parts.append(question)
+        else:
+            parts.append(f"{conjunction} {question[0].lower()}{question[1:]}")
+    return "\n".join(parts)
+
+
+def build_sequential_prompt(
+    language: Language = Language.ENGLISH,
+    indicators: Sequence[Indicator] = PAPER_QUESTION_ORDER,
+) -> str:
+    """Assemble the run-on "sequential" prompt.
+
+    All clauses share one sentence, separated only by commas — the
+    complex grammatical construction that degrades recall in Fig. 4.
+    """
+    _validate_indicators(indicators)
+    lead = SEQUENTIAL_LEADS[language]
+    clauses = SEQUENTIAL_CLAUSES[language]
+    if language is Language.CHINESE:
+        body = "，".join(clauses[ind] for ind in indicators)
+        return f"{lead}{body}，并按顺序依次回答。"
+    connective = {"en": "whether", "es": "si", "bn": ""}[language.value]
+    joined = ", ".join(
+        f"{connective} {clauses[ind]}".strip() for ind in indicators
+    )
+    tail = {
+        "en": ", answering each in order.",
+        "es": ", respondiendo a cada una en orden.",
+        "bn": ", প্রতিটির উত্তর ক্রমানুসারে দিন।",
+    }[language.value]
+    return f"{lead} {joined}{tail}"
+
+
+def build_single_prompt(
+    indicator: Indicator, language: Language = Language.ENGLISH
+) -> str:
+    """One indicator's standalone question (Table II style)."""
+    return QUESTIONS[language][indicator]
+
+
+def prompt_for_style(
+    style: PromptStyle,
+    language: Language = Language.ENGLISH,
+    indicators: Sequence[Indicator] = PAPER_QUESTION_ORDER,
+) -> str:
+    """Dispatch on prompt style."""
+    if style is PromptStyle.PARALLEL:
+        return build_parallel_prompt(language, indicators)
+    return build_sequential_prompt(language, indicators)
+
+
+def _validate_indicators(indicators: Sequence[Indicator]) -> None:
+    if not indicators:
+        raise ValueError("prompt needs at least one indicator")
+    if len(set(indicators)) != len(indicators):
+        raise ValueError("duplicate indicators in prompt")

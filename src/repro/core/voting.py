@@ -1,0 +1,114 @@
+"""Majority voting across multiple LLMs (§IV-C2).
+
+The paper's final accuracy boost comes from a majority vote over the
+top three models (Gemini, Claude, Grok): an indicator is declared
+present when at least two of the three agree.  This module provides
+both the pure vote combinator (usable on any prediction lists) and an
+ensemble classifier that drives several
+:class:`~repro.core.classifier.LLMIndicatorClassifier` instances and
+votes their outputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from ..gsv.dataset import LabeledImage
+from .classifier import LLMIndicatorClassifier
+from .indicators import ALL_INDICATORS, Indicator, IndicatorPresence
+
+
+def majority_vote(
+    votes: Sequence[IndicatorPresence],
+    quorum: int | None = None,
+) -> IndicatorPresence:
+    """Combine presence votes for one image.
+
+    ``quorum`` defaults to a strict majority (two of three, three of
+    four, ...).  Ties under an even vote count with the default quorum
+    resolve to *present* only when the quorum is met.
+    """
+    if not votes:
+        raise ValueError("no votes to combine")
+    threshold = quorum if quorum is not None else len(votes) // 2 + 1
+    if not 1 <= threshold <= len(votes):
+        raise ValueError(
+            f"quorum {threshold} invalid for {len(votes)} voters"
+        )
+    present = []
+    for indicator in ALL_INDICATORS:
+        agreement = sum(1 for vote in votes if vote[indicator])
+        if agreement >= threshold:
+            present.append(indicator)
+    return IndicatorPresence(present)
+
+
+def vote_predictions(
+    per_model: Mapping[str, Sequence[IndicatorPresence]],
+    quorum: int | None = None,
+) -> list[IndicatorPresence]:
+    """Vote aligned per-model prediction lists into one list."""
+    if not per_model:
+        raise ValueError("no model predictions")
+    lengths = {len(preds) for preds in per_model.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"prediction lists differ in length: {lengths}")
+    names = sorted(per_model)
+    n_images = lengths.pop()
+    return [
+        majority_vote(
+            [per_model[name][index] for name in names], quorum=quorum
+        )
+        for index in range(n_images)
+    ]
+
+
+@dataclass
+class VotingEnsemble:
+    """Drive several classifiers and majority-vote their predictions."""
+
+    classifiers: dict[str, LLMIndicatorClassifier]
+    quorum: int | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.classifiers) < 2:
+            raise ValueError("an ensemble needs at least two classifiers")
+
+    def predictions(
+        self, images: Sequence[LabeledImage]
+    ) -> list[IndicatorPresence]:
+        per_model = {
+            name: classifier.predictions(images)
+            for name, classifier in self.classifiers.items()
+        }
+        return vote_predictions(per_model, quorum=self.quorum)
+
+    def predictions_with_members(
+        self, images: Sequence[LabeledImage]
+    ) -> tuple[list[IndicatorPresence], dict[str, list[IndicatorPresence]]]:
+        """Voted predictions plus each member's own predictions."""
+        per_model = {
+            name: classifier.predictions(images)
+            for name, classifier in self.classifiers.items()
+        }
+        return vote_predictions(per_model, quorum=self.quorum), per_model
+
+
+def agreement_rate(
+    per_model: Mapping[str, Sequence[IndicatorPresence]],
+    indicator: Indicator,
+) -> float:
+    """Fraction of images on which all models agree about ``indicator``."""
+    names = sorted(per_model)
+    if not names:
+        raise ValueError("no model predictions")
+    n_images = len(per_model[names[0]])
+    if n_images == 0:
+        return float("nan")
+    unanimous = 0
+    for index in range(n_images):
+        answers = {per_model[name][index][indicator] for name in names}
+        if len(answers) == 1:
+            unanimous += 1
+    return unanimous / n_images

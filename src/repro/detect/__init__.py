@@ -1,0 +1,76 @@
+"""Detector substrate: the YOLOv11-Nano analog trained from scratch."""
+
+from .analysis import (
+    ClassErrorBreakdown,
+    ErrorReport,
+    analyze_errors,
+)
+from .boxes import (
+    as_boxes,
+    box_area,
+    clip_boxes,
+    cxcywh_to_xyxy,
+    iou_matrix,
+    nms,
+    xyxy_to_cxcywh,
+)
+from .evaluate import (
+    ClassMetrics,
+    EvaluationReport,
+    average_precision,
+    best_f1_operating_point,
+    evaluate_detector,
+    match_detections,
+)
+from .features import (
+    DEFAULT_GRID,
+    FEATURE_DIM,
+    FeatureConfig,
+    cell_bounds,
+    cell_centers,
+    extract_features,
+)
+from .model import Detection, ModelConfig, NanoDetector, sigmoid
+from .train import (
+    CELL_COVER_THRESHOLD,
+    TrainConfig,
+    TrainResult,
+    assign_targets,
+    build_training_tensors,
+    train_detector,
+)
+
+__all__ = [
+    "ClassErrorBreakdown",
+    "ErrorReport",
+    "analyze_errors",
+    "as_boxes",
+    "box_area",
+    "clip_boxes",
+    "cxcywh_to_xyxy",
+    "iou_matrix",
+    "nms",
+    "xyxy_to_cxcywh",
+    "ClassMetrics",
+    "EvaluationReport",
+    "average_precision",
+    "best_f1_operating_point",
+    "evaluate_detector",
+    "match_detections",
+    "DEFAULT_GRID",
+    "FEATURE_DIM",
+    "FeatureConfig",
+    "cell_bounds",
+    "cell_centers",
+    "extract_features",
+    "Detection",
+    "ModelConfig",
+    "NanoDetector",
+    "sigmoid",
+    "CELL_COVER_THRESHOLD",
+    "TrainConfig",
+    "TrainResult",
+    "assign_targets",
+    "build_training_tensors",
+    "train_detector",
+]

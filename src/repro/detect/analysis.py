@@ -1,0 +1,160 @@
+"""Detection error taxonomy: where does a detector lose F1?
+
+``evaluate_detector`` reports the headline numbers; this module
+explains them.  Every ground-truth object is classified as detected /
+mislocalized / missed, and every detection as true positive /
+duplicate / background false positive — the standard error taxonomy
+(TIDE-style) that tells you whether to fix the classifier, the box
+regressor, or the NMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.indicators import ALL_INDICATORS, Indicator
+from ..gsv.dataset import LabeledImage
+from .boxes import iou_matrix
+from .model import NanoDetector
+
+
+@dataclass
+class ClassErrorBreakdown:
+    """Error taxonomy for one indicator class."""
+
+    indicator: Indicator
+    detected: int = 0  # GT matched at IoU ≥ hit threshold
+    mislocalized: int = 0  # best IoU in [loc_threshold, hit)
+    missed: int = 0  # best IoU < loc_threshold
+    duplicates: int = 0  # extra detections on already-matched GT
+    background_fp: int = 0  # detections overlapping nothing
+
+    @property
+    def n_ground_truth(self) -> int:
+        return self.detected + self.mislocalized + self.missed
+
+    @property
+    def detection_rate(self) -> float:
+        total = self.n_ground_truth
+        return self.detected / total if total else float("nan")
+
+    @property
+    def dominant_error(self) -> str:
+        """Which error type costs this class the most."""
+        errors = {
+            "mislocalized": self.mislocalized,
+            "missed": self.missed,
+            "background_fp": self.background_fp,
+            "duplicates": self.duplicates,
+        }
+        if all(v == 0 for v in errors.values()):
+            return "none"
+        return max(sorted(errors), key=lambda k: errors[k])
+
+
+@dataclass
+class ErrorReport:
+    """Per-class error breakdowns plus rendering."""
+
+    per_class: dict[Indicator, ClassErrorBreakdown] = field(
+        default_factory=dict
+    )
+
+    def rows(self) -> list[dict[str, object]]:
+        rows = []
+        for indicator in ALL_INDICATORS:
+            breakdown = self.per_class[indicator]
+            rows.append(
+                {
+                    "label": indicator.display_name,
+                    "detected": breakdown.detected,
+                    "mislocalized": breakdown.mislocalized,
+                    "missed": breakdown.missed,
+                    "duplicates": breakdown.duplicates,
+                    "background_fp": breakdown.background_fp,
+                    "dominant_error": breakdown.dominant_error,
+                }
+            )
+        return rows
+
+    def render(self) -> str:
+        lines = [
+            f"{'label':18s} {'det':>4s} {'loc':>4s} {'miss':>5s} "
+            f"{'dup':>4s} {'bgfp':>5s}  dominant"
+        ]
+        for row in self.rows():
+            lines.append(
+                f"{row['label']:18s} {row['detected']:4d} "
+                f"{row['mislocalized']:4d} {row['missed']:5d} "
+                f"{row['duplicates']:4d} {row['background_fp']:5d}  "
+                f"{row['dominant_error']}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_errors(
+    model: NanoDetector,
+    images: list[LabeledImage],
+    conf_threshold: float = 0.4,
+    hit_iou: float = 0.5,
+    loc_iou: float = 0.1,
+) -> ErrorReport:
+    """Classify every GT object and detection into the error taxonomy."""
+    if not 0.0 < loc_iou < hit_iou <= 1.0:
+        raise ValueError("need 0 < loc_iou < hit_iou <= 1")
+    report = ErrorReport(
+        per_class={
+            indicator: ClassErrorBreakdown(indicator=indicator)
+            for indicator in ALL_INDICATORS
+        }
+    )
+    for image in images:
+        detections = model.detect(
+            image.render(), conf_threshold=conf_threshold
+        )
+        for indicator in ALL_INDICATORS:
+            breakdown = report.per_class[indicator]
+            gt_boxes = np.asarray(
+                [
+                    [box.x_min, box.y_min, box.x_max, box.y_max]
+                    for ind, box in image.annotations
+                    if ind == indicator
+                ]
+            ).reshape(-1, 4)
+            det = [d for d in detections if d.indicator == indicator]
+            det_boxes = np.asarray([d.box for d in det]).reshape(-1, 4)
+            ious = iou_matrix(det_boxes, gt_boxes)
+
+            matched_gt = set()
+            order = np.argsort([-d.score for d in det])
+            for det_index in order:
+                if gt_boxes.shape[0] == 0:
+                    breakdown.background_fp += 1
+                    continue
+                best_gt = int(np.argmax(ious[det_index]))
+                best_iou = float(ious[det_index, best_gt])
+                if best_iou >= hit_iou:
+                    if best_gt in matched_gt:
+                        breakdown.duplicates += 1
+                    else:
+                        matched_gt.add(best_gt)
+                elif best_iou < loc_iou:
+                    breakdown.background_fp += 1
+                # IoU in [loc, hit): counted from the GT side below.
+
+            for gt_index in range(gt_boxes.shape[0]):
+                if gt_index in matched_gt:
+                    breakdown.detected += 1
+                    continue
+                best = (
+                    float(ious[:, gt_index].max())
+                    if det_boxes.shape[0]
+                    else 0.0
+                )
+                if best >= loc_iou:
+                    breakdown.mislocalized += 1
+                else:
+                    breakdown.missed += 1
+    return report

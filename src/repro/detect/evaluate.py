@@ -1,0 +1,257 @@
+"""Detection evaluation: greedy IoU matching, AP50, precision/recall/F1.
+
+Implements the metrics of the paper's Table I:
+
+* **mAP50** — average precision at IoU 0.50, computed from the full
+  precision/recall curve with 101-point interpolation (COCO style),
+* **precision / recall / F1** — computed at the per-class operating
+  point that maximizes F1 over the score sweep, mirroring how
+  Ultralytics reports the headline P/R of a trained YOLO model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.indicators import ALL_INDICATORS, Indicator
+from ..gsv.dataset import LabeledImage
+from .boxes import iou_matrix
+from .model import Detection, NanoDetector
+
+
+@dataclass(frozen=True)
+class ClassMetrics:
+    """Detection quality for one indicator class."""
+
+    indicator: Indicator
+    precision: float
+    recall: float
+    f1: float
+    ap50: float
+    n_ground_truth: int
+
+
+@dataclass
+class EvaluationReport:
+    """Per-class metrics plus the paper-style averages."""
+
+    per_class: dict[Indicator, ClassMetrics]
+
+    @property
+    def mean_precision(self) -> float:
+        return _mean([m.precision for m in self.per_class.values()])
+
+    @property
+    def mean_recall(self) -> float:
+        return _mean([m.recall for m in self.per_class.values()])
+
+    @property
+    def mean_f1(self) -> float:
+        return _mean([m.f1 for m in self.per_class.values()])
+
+    @property
+    def map50(self) -> float:
+        return _mean([m.ap50 for m in self.per_class.values()])
+
+    def rows(self) -> list[dict[str, float | str]]:
+        """Table I shaped rows (label, P, R, F1, mAP50) + average."""
+        rows: list[dict[str, float | str]] = []
+        for indicator in ALL_INDICATORS:
+            metrics = self.per_class[indicator]
+            rows.append(
+                {
+                    "label": indicator.display_name,
+                    "precision": metrics.precision,
+                    "recall": metrics.recall,
+                    "f1": metrics.f1,
+                    "map50": metrics.ap50,
+                }
+            )
+        rows.append(
+            {
+                "label": "Average",
+                "precision": self.mean_precision,
+                "recall": self.mean_recall,
+                "f1": self.mean_f1,
+                "map50": self.map50,
+            }
+        )
+        return rows
+
+
+def _mean(values: list[float]) -> float:
+    finite = [v for v in values if not np.isnan(v)]
+    return float(np.mean(finite)) if finite else float("nan")
+
+
+def match_detections(
+    detections: list[np.ndarray],
+    scores: list[np.ndarray],
+    ground_truths: list[np.ndarray],
+    iou_threshold: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Greedy matching across a set of images for one class.
+
+    Each element of the three lists corresponds to one image.  Returns
+    ``(all_scores, is_true_positive, n_ground_truth)`` with detections
+    pooled across images, sorted by descending score.
+    """
+    pooled_scores = []
+    pooled_tp = []
+    total_gt = 0
+    for det_boxes, det_scores, gt_boxes in zip(
+        detections, scores, ground_truths
+    ):
+        total_gt += len(gt_boxes)
+        if len(det_boxes) == 0:
+            continue
+        order = np.argsort(-det_scores)
+        matched = np.zeros(len(gt_boxes), dtype=bool)
+        ious = (
+            iou_matrix(det_boxes, gt_boxes)
+            if len(gt_boxes)
+            else np.zeros((len(det_boxes), 0))
+        )
+        for det_index in order:
+            best_gt = -1
+            best_iou = iou_threshold
+            for gt_index in range(len(gt_boxes)):
+                if matched[gt_index]:
+                    continue
+                if ious[det_index, gt_index] >= best_iou:
+                    best_iou = ious[det_index, gt_index]
+                    best_gt = gt_index
+            pooled_scores.append(det_scores[det_index])
+            if best_gt >= 0:
+                matched[best_gt] = True
+                pooled_tp.append(True)
+            else:
+                pooled_tp.append(False)
+    if not pooled_scores:
+        return np.zeros(0), np.zeros(0, dtype=bool), total_gt
+    pooled = np.argsort(-np.asarray(pooled_scores))
+    return (
+        np.asarray(pooled_scores)[pooled],
+        np.asarray(pooled_tp, dtype=bool)[pooled],
+        total_gt,
+    )
+
+
+def average_precision(
+    tp_sorted: np.ndarray, n_ground_truth: int
+) -> float:
+    """AP with 101-point interpolation over the PR curve."""
+    if n_ground_truth == 0:
+        return float("nan")
+    if tp_sorted.size == 0:
+        return 0.0
+    tp_cum = np.cumsum(tp_sorted)
+    fp_cum = np.cumsum(~tp_sorted)
+    recall = tp_cum / n_ground_truth
+    precision = tp_cum / (tp_cum + fp_cum)
+    # Monotone non-increasing precision envelope.
+    envelope = np.maximum.accumulate(precision[::-1])[::-1]
+    recall_points = np.linspace(0.0, 1.0, 101)
+    interpolated = np.zeros_like(recall_points)
+    for i, r in enumerate(recall_points):
+        above = recall >= r
+        interpolated[i] = envelope[above].max() if above.any() else 0.0
+    return float(interpolated.mean())
+
+
+def best_f1_operating_point(
+    scores_sorted: np.ndarray, tp_sorted: np.ndarray, n_ground_truth: int
+) -> tuple[float, float, float]:
+    """(precision, recall, f1) at the score threshold maximizing F1."""
+    if n_ground_truth == 0:
+        return float("nan"), float("nan"), float("nan")
+    if scores_sorted.size == 0:
+        return 0.0, 0.0, 0.0
+    tp_cum = np.cumsum(tp_sorted)
+    fp_cum = np.cumsum(~tp_sorted)
+    precision = tp_cum / (tp_cum + fp_cum)
+    recall = tp_cum / n_ground_truth
+    with np.errstate(divide="ignore", invalid="ignore"):
+        f1 = np.where(
+            precision + recall > 0,
+            2.0 * precision * recall / (precision + recall),
+            0.0,
+        )
+    best = int(np.argmax(f1))
+    return float(precision[best]), float(recall[best]), float(f1[best])
+
+
+def evaluate_detector(
+    model: NanoDetector,
+    images: list[LabeledImage],
+    iou_threshold: float = 0.5,
+    conf_threshold: float = 0.05,
+    image_transform=None,
+) -> EvaluationReport:
+    """Evaluate a trained detector on labeled images.
+
+    ``conf_threshold`` is deliberately low: the PR sweep needs the full
+    score range, and the operating point is chosen by best F1 per
+    class.  ``image_transform`` optionally corrupts each rendered image
+    before inference (the Fig. 3 noise ablation hooks in here).
+    """
+    per_class_dets: dict[Indicator, list[np.ndarray]] = {
+        ind: [] for ind in ALL_INDICATORS
+    }
+    per_class_scores: dict[Indicator, list[np.ndarray]] = {
+        ind: [] for ind in ALL_INDICATORS
+    }
+    per_class_gts: dict[Indicator, list[np.ndarray]] = {
+        ind: [] for ind in ALL_INDICATORS
+    }
+
+    for image in images:
+        pixels = image.render()
+        if image_transform is not None:
+            pixels = image_transform(pixels)
+        detections = model.detect(pixels, conf_threshold=conf_threshold)
+        grouped: dict[Indicator, list[Detection]] = {
+            ind: [] for ind in ALL_INDICATORS
+        }
+        for det in detections:
+            grouped[det.indicator].append(det)
+        for indicator in ALL_INDICATORS:
+            dets = grouped[indicator]
+            per_class_dets[indicator].append(
+                np.asarray([d.box for d in dets]).reshape(-1, 4)
+            )
+            per_class_scores[indicator].append(
+                np.asarray([d.score for d in dets])
+            )
+            gt = [
+                [box.x_min, box.y_min, box.x_max, box.y_max]
+                for ind, box in image.annotations
+                if ind == indicator
+            ]
+            per_class_gts[indicator].append(
+                np.asarray(gt, dtype=np.float64).reshape(-1, 4)
+            )
+
+    per_class = {}
+    for indicator in ALL_INDICATORS:
+        scores_sorted, tp_sorted, n_gt = match_detections(
+            per_class_dets[indicator],
+            per_class_scores[indicator],
+            per_class_gts[indicator],
+            iou_threshold,
+        )
+        ap = average_precision(tp_sorted, n_gt)
+        precision, recall, f1 = best_f1_operating_point(
+            scores_sorted, tp_sorted, n_gt
+        )
+        per_class[indicator] = ClassMetrics(
+            indicator=indicator,
+            precision=precision,
+            recall=recall,
+            f1=f1,
+            ap50=ap,
+            n_ground_truth=n_gt,
+        )
+    return EvaluationReport(per_class=per_class)

@@ -1,0 +1,310 @@
+"""The NanoDetector: a YOLO-style single-stage grid detector in numpy.
+
+Architecture (mirroring the YOLOv11 stage names the paper cites):
+
+* **backbone** — hand-crafted per-cell features (``features.py``),
+* **neck** — feature standardization + one shared fully-connected
+  ReLU layer,
+* **head** — per-cell, per-class outputs: an objectness logit and a
+  4-vector box regression in ``cxcywh`` (sigmoid-squashed so predicted
+  boxes always live on the unit canvas).
+
+Every positive cell predicts the *full* box of the object covering it;
+at inference the per-class NMS (with cluster merging) collapses the
+redundant per-cell predictions into one detection.  Forward and
+backward passes are written out explicitly — no autograd framework.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.indicators import ALL_INDICATORS, Indicator
+from .boxes import clip_boxes, cxcywh_to_xyxy, nms
+from .features import FeatureConfig, extract_features
+
+N_CLASSES = len(ALL_INDICATORS)
+
+#: Outputs per class: 1 objectness logit + 4 box parameters.
+_PER_CLASS = 5
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected object instance."""
+
+    indicator: Indicator
+    box: np.ndarray  # normalized xyxy
+    score: float
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """NanoDetector hyperparameters."""
+
+    grid: int = 16
+    hidden: int = 160
+    conf_threshold: float = 0.40
+    nms_iou: float = 0.45
+    smooth_features: bool = True
+    context_features: bool = True
+
+    @property
+    def feature_config(self) -> FeatureConfig:
+        return FeatureConfig(
+            grid=self.grid,
+            smooth=self.smooth_features,
+            context=self.context_features,
+        )
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def _label_components(mask: np.ndarray) -> tuple[np.ndarray, int]:
+    """8-connected component labeling of a boolean grid mask.
+
+    Returns ``(labels, n_components)`` where ``labels`` is ``-1`` on
+    background cells and a component index elsewhere.
+    """
+    grid_h, grid_w = mask.shape
+    labels = -np.ones(mask.shape, dtype=np.int32)
+    n_components = 0
+    for i in range(grid_h):
+        for j in range(grid_w):
+            if not mask[i, j] or labels[i, j] >= 0:
+                continue
+            stack = [(i, j)]
+            labels[i, j] = n_components
+            while stack:
+                a, b = stack.pop()
+                for da in (-1, 0, 1):
+                    for db in (-1, 0, 1):
+                        x, y = a + da, b + db
+                        if (
+                            0 <= x < grid_h
+                            and 0 <= y < grid_w
+                            and mask[x, y]
+                            and labels[x, y] < 0
+                        ):
+                            labels[x, y] = n_components
+                            stack.append((x, y))
+            n_components += 1
+    return labels, n_components
+
+
+@dataclass
+class NanoDetector:
+    """Trainable grid detector over the six environmental indicators."""
+
+    config: ModelConfig = field(default_factory=ModelConfig)
+    w1: np.ndarray | None = None
+    b1: np.ndarray | None = None
+    w2: np.ndarray | None = None
+    b2: np.ndarray | None = None
+    feat_mean: np.ndarray | None = None
+    feat_std: np.ndarray | None = None
+
+    @property
+    def output_dim(self) -> int:
+        return N_CLASSES * _PER_CLASS
+
+    @property
+    def is_initialized(self) -> bool:
+        return self.w1 is not None
+
+    def initialize(self, feature_dim: int, rng: np.random.Generator) -> None:
+        """He-style random initialization of both layers."""
+        hidden = self.config.hidden
+        self.w1 = rng.normal(0.0, np.sqrt(2.0 / feature_dim), (feature_dim, hidden))
+        self.b1 = np.zeros(hidden)
+        self.w2 = rng.normal(0.0, np.sqrt(2.0 / hidden), (hidden, self.output_dim))
+        self.b2 = np.zeros(self.output_dim)
+        self.feat_mean = np.zeros(feature_dim)
+        self.feat_std = np.ones(feature_dim)
+
+    def set_normalization(self, mean: np.ndarray, std: np.ndarray) -> None:
+        """Install feature standardization statistics (from train set)."""
+        self.feat_mean = np.asarray(mean, dtype=np.float64)
+        self.feat_std = np.where(np.asarray(std) > 1e-9, std, 1.0)
+
+    # ------------------------------------------------------------------
+    # forward / backward
+
+    def forward(
+        self, features: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Forward pass on standardized inputs.
+
+        Returns ``(logits, hidden_activations, standardized_inputs)``;
+        the latter two are retained for the backward pass.
+        """
+        self._require_initialized()
+        x = (features - self.feat_mean) / self.feat_std
+        hidden = np.maximum(x @ self.w1 + self.b1, 0.0)
+        logits = hidden @ self.w2 + self.b2
+        return logits, hidden, x
+
+    def backward(
+        self,
+        grad_logits: np.ndarray,
+        hidden: np.ndarray,
+        x: np.ndarray,
+    ) -> dict[str, np.ndarray]:
+        """Gradients of the loss w.r.t. every parameter."""
+        grad_w2 = hidden.T @ grad_logits
+        grad_b2 = grad_logits.sum(axis=0)
+        grad_hidden = grad_logits @ self.w2.T
+        grad_hidden[hidden <= 0.0] = 0.0
+        grad_w1 = x.T @ grad_hidden
+        grad_b1 = grad_hidden.sum(axis=0)
+        return {"w1": grad_w1, "b1": grad_b1, "w2": grad_w2, "b2": grad_b2}
+
+    # ------------------------------------------------------------------
+    # structured views of the output tensor
+
+    @staticmethod
+    def split_logits(logits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split ``(N, C*5)`` logits into objectness and box channels.
+
+        Returns ``(obj_logits (N, C), box_logits (N, C, 4))``.
+        """
+        n = logits.shape[0]
+        reshaped = logits.reshape(n, N_CLASSES, _PER_CLASS)
+        return reshaped[:, :, 0], reshaped[:, :, 1:]
+
+    # ------------------------------------------------------------------
+    # inference
+
+    def predict_cells(self, image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Raw per-cell predictions for one image.
+
+        Returns ``(scores (n_cells, C), boxes (n_cells, C, 4) xyxy)``.
+        """
+        features = extract_features(image, self.config.feature_config)
+        logits, _, _ = self.forward(features)
+        obj_logits, box_logits = self.split_logits(logits)
+        scores = sigmoid(obj_logits)
+        boxes_cxcywh = sigmoid(box_logits)
+        n_cells = boxes_cxcywh.shape[0]
+        boxes_xyxy = np.empty_like(boxes_cxcywh)
+        for class_index in range(N_CLASSES):
+            boxes_xyxy[:, class_index, :] = clip_boxes(
+                cxcywh_to_xyxy(boxes_cxcywh[:, class_index, :])
+            ).reshape(n_cells, 4)
+        return scores, boxes_xyxy
+
+    def detect(
+        self, image: np.ndarray, conf_threshold: float | None = None
+    ) -> list[Detection]:
+        """Detect objects in one image.
+
+        Decoding is component-based: confident cells of each class are
+        grouped into 8-connected components (the analog of NMS for a
+        dense grid head) and each component becomes one detection.  The
+        component's box blends two estimates — the union of its cells'
+        extents and the per-coordinate median of its cells' regressed
+        boxes — which is markedly more robust than trusting any single
+        cell's regression.
+        """
+        threshold = (
+            conf_threshold
+            if conf_threshold is not None
+            else self.config.conf_threshold
+        )
+        scores, boxes = self.predict_cells(image)
+        grid = self.config.grid
+        detections: list[Detection] = []
+        for class_index, indicator in enumerate(ALL_INDICATORS):
+            class_scores = scores[:, class_index].reshape(grid, grid)
+            peak = float(class_scores.max())
+            cutoff = max(threshold, 0.35 * peak)
+            mask = class_scores >= cutoff
+            if not mask.any():
+                continue
+            labels, n_components = _label_components(mask)
+            for component in range(n_components):
+                rows, cols = np.nonzero(labels == component)
+                cell_ids = rows * grid + cols
+                component_scores = scores[cell_ids, class_index]
+                regressed = boxes[cell_ids, class_index, :]
+                median_box = np.median(regressed, axis=0)
+                union_box = np.array(
+                    [
+                        cols.min() / grid,
+                        rows.min() / grid,
+                        (cols.max() + 1) / grid,
+                        (rows.max() + 1) / grid,
+                    ]
+                )
+                blended = clip_boxes(
+                    ((union_box + median_box) / 2.0).reshape(1, 4)
+                )[0]
+                detections.append(
+                    Detection(
+                        indicator=indicator,
+                        box=blended,
+                        score=float(component_scores.max()),
+                    )
+                )
+        detections.sort(key=lambda d: -d.score)
+        return detections
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    def to_dict(self) -> dict:
+        """Serialize config + weights to plain JSON-compatible types."""
+        self._require_initialized()
+        return {
+            "config": {
+                "grid": self.config.grid,
+                "hidden": self.config.hidden,
+                "conf_threshold": self.config.conf_threshold,
+                "nms_iou": self.config.nms_iou,
+                "smooth_features": self.config.smooth_features,
+                "context_features": self.config.context_features,
+            },
+            "w1": self.w1.tolist(),
+            "b1": self.b1.tolist(),
+            "w2": self.w2.tolist(),
+            "b2": self.b2.tolist(),
+            "feat_mean": self.feat_mean.tolist(),
+            "feat_std": self.feat_std.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NanoDetector":
+        config = ModelConfig(**payload["config"])
+        model = cls(config=config)
+        model.w1 = np.asarray(payload["w1"], dtype=np.float64)
+        model.b1 = np.asarray(payload["b1"], dtype=np.float64)
+        model.w2 = np.asarray(payload["w2"], dtype=np.float64)
+        model.b2 = np.asarray(payload["b2"], dtype=np.float64)
+        model.feat_mean = np.asarray(payload["feat_mean"], dtype=np.float64)
+        model.feat_std = np.asarray(payload["feat_std"], dtype=np.float64)
+        return model
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "NanoDetector":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def _require_initialized(self) -> None:
+        if not self.is_initialized:
+            raise RuntimeError(
+                "NanoDetector is untrained; call initialize() or load()"
+            )

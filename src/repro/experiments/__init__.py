@@ -1,0 +1,35 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from .config import ExperimentConfig, paper_config, smoke_config
+from .extensions import (
+    run_correlation_ablation,
+    run_cost_accounting,
+    run_few_shot_languages,
+    run_label_noise,
+    run_multi_frame,
+)
+from .prior_work import (
+    ALIREZAEI_F1,
+    NGUYEN_ACCURACY,
+    prior_work_comparison,
+)
+from .results import ExperimentResult, ratio
+from .runner import PAPER_TABLE1, ExperimentSuite
+
+__all__ = [
+    "ExperimentConfig",
+    "paper_config",
+    "smoke_config",
+    "run_correlation_ablation",
+    "run_cost_accounting",
+    "run_few_shot_languages",
+    "run_label_noise",
+    "run_multi_frame",
+    "ALIREZAEI_F1",
+    "NGUYEN_ACCURACY",
+    "prior_work_comparison",
+    "ExperimentResult",
+    "ratio",
+    "PAPER_TABLE1",
+    "ExperimentSuite",
+]

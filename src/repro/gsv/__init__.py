@@ -1,0 +1,69 @@
+"""Street-view service substrate: simulated GSV API, LabelMe I/O, datasets."""
+
+from .api import (
+    FEE_PER_IMAGE_USD,
+    AuthenticationError,
+    NoImageryError,
+    QuotaExceededError,
+    StreetViewClient,
+    StreetViewError,
+    StreetViewImage,
+    TransientNetworkError,
+    UsageMeter,
+    zone_kind_at,
+)
+from .dataset import (
+    DatasetSplits,
+    LabeledImage,
+    SurveyDataset,
+    augment_training_set,
+    build_survey_dataset,
+    cropped_image,
+    rotated_image,
+)
+from .storage import (
+    load_dataset,
+    save_dataset,
+    scene_from_json,
+    scene_to_json,
+)
+from .labelme import (
+    LABELME_VERSION,
+    LabelMeShape,
+    labelme_to_annotations,
+    load_labelme,
+    perturb_annotations,
+    save_labelme,
+    scene_to_labelme,
+)
+
+__all__ = [
+    "FEE_PER_IMAGE_USD",
+    "AuthenticationError",
+    "NoImageryError",
+    "QuotaExceededError",
+    "StreetViewClient",
+    "StreetViewError",
+    "StreetViewImage",
+    "TransientNetworkError",
+    "UsageMeter",
+    "zone_kind_at",
+    "DatasetSplits",
+    "LabeledImage",
+    "SurveyDataset",
+    "augment_training_set",
+    "build_survey_dataset",
+    "cropped_image",
+    "rotated_image",
+    "load_dataset",
+    "save_dataset",
+    "scene_from_json",
+    "scene_to_json",
+    "LABELME_VERSION",
+    "LabelMeShape",
+    "labelme_to_annotations",
+    "load_labelme",
+    "perturb_annotations",
+    "save_labelme",
+    "scene_to_labelme",
+]

@@ -1,0 +1,271 @@
+"""Simulated Google Street View Static API.
+
+The paper accessed GSV imagery "lawfully through an API fee": each
+request names a location, a heading, and an image size, and is billed
+per image.  This module reproduces that request surface against the
+synthetic world — the response pixels come from the procedural scene
+generator and rasterizer instead of Google's servers.
+
+The client enforces the behaviours downstream code must survive in
+production: API-key validation, per-key daily quotas, transient
+transport failures (for retry-path testing), fee metering, and
+metadata lookups that report whether imagery exists at a location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geo.coordinates import CARDINAL_HEADINGS, LatLon, normalize_heading
+from ..geo.county import County, ZoneKind
+from ..geo.roadnet import RoadClass
+from ..geo.sampling import CaptureRequest, SamplePoint
+from ..scene.generator import SceneGenerator
+from ..scene.model import Scene
+from ..scene.render import DEFAULT_SIZE, render_scene
+from ..scene.seeding import stable_seed
+
+
+class StreetViewError(Exception):
+    """Base class for simulated GSV API failures."""
+
+
+class AuthenticationError(StreetViewError):
+    """Missing or invalid API key."""
+
+
+class QuotaExceededError(StreetViewError):
+    """The key's daily request quota is exhausted."""
+
+
+class TransientNetworkError(StreetViewError):
+    """A retryable transport failure (HTTP 5xx / timeout analog)."""
+
+
+class NoImageryError(StreetViewError):
+    """No street-view imagery exists at the requested location."""
+
+
+#: Billing rate mirroring the GSV Static API price sheet (USD/image).
+FEE_PER_IMAGE_USD = 0.007
+
+
+@dataclass(frozen=True)
+class StreetViewImage:
+    """One successfully served street-view capture."""
+
+    location: LatLon
+    heading: int
+    size: int
+    pixels: np.ndarray | None
+    scene: Scene
+    pano_id: str
+
+    def require_pixels(self) -> np.ndarray:
+        """Pixels, rendering on demand if the fetch deferred them."""
+        if self.pixels is not None:
+            return self.pixels
+        return render_scene(self.scene, self.size)
+
+
+@dataclass
+class UsageMeter:
+    """Tracks request counts and accumulated fees for one API key."""
+
+    requests: int = 0
+    images_served: int = 0
+    fees_usd: float = 0.0
+
+    def record_image(self) -> None:
+        self.requests += 1
+        self.images_served += 1
+        self.fees_usd += FEE_PER_IMAGE_USD
+
+    def record_metadata(self) -> None:
+        # Metadata requests are free, matching the real API.
+        self.requests += 1
+
+
+@dataclass
+class StreetViewClient:
+    """Simulated GSV Static API client bound to a synthetic world.
+
+    Parameters
+    ----------
+    counties:
+        The synthetic counties with imagery coverage.
+    api_key:
+        Any non-empty string is a valid key; each key has its own
+        quota and usage meter.
+    daily_quota:
+        Maximum billable images per key (``None`` = unlimited).
+    failure_rate:
+        Probability that a request raises ``TransientNetworkError``
+        before being served; exercises caller retry logic.
+    generator_seed:
+        Seed for the procedural world behind the camera.
+    """
+
+    counties: list[County]
+    api_key: str = "test-key"
+    daily_quota: int | None = None
+    failure_rate: float = 0.0
+    generator_seed: int = 0
+    _meters: dict[str, UsageMeter] = field(default_factory=dict)
+    _generator: SceneGenerator = field(init=False)
+    _failure_rng: np.random.Generator = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError(f"failure rate out of range: {self.failure_rate}")
+        self._generator = SceneGenerator(seed=self.generator_seed)
+        self._failure_rng = np.random.default_rng(
+            stable_seed("gsv-failures", self.generator_seed)
+        )
+
+    # ------------------------------------------------------------------
+
+    def usage(self, api_key: str | None = None) -> UsageMeter:
+        """The usage meter for a key (default: the client's own key)."""
+        key = api_key if api_key is not None else self.api_key
+        return self._meters.setdefault(key, UsageMeter())
+
+    def metadata(self, location: LatLon) -> dict:
+        """Free metadata lookup: is imagery available here?
+
+        Mirrors the GSV metadata endpoint's ``status`` field.
+        """
+        self._check_key()
+        self.usage().record_metadata()
+        county = self._county_for(location)
+        if county is None:
+            return {"status": "ZERO_RESULTS"}
+        return {
+            "status": "OK",
+            "copyright": "© synthetic imagery",
+            "location": {"lat": location.lat, "lng": location.lon},
+        }
+
+    def fetch(
+        self,
+        location: LatLon,
+        heading: int,
+        size: int = DEFAULT_SIZE,
+        road_class: RoadClass = RoadClass.LOCAL,
+        road_bearing: float | None = None,
+        render: bool = True,
+    ) -> StreetViewImage:
+        """Serve one street-view image.
+
+        ``road_class``/``road_bearing`` describe the roadway the
+        camera stands on; when fetching from a sampling frame prefer
+        :meth:`fetch_capture`, which carries them automatically.
+        With ``render=False`` the response defers rasterization (the
+        scene and billing are identical; call ``require_pixels`` when
+        the pixels are actually needed).
+        """
+        self._check_key()
+        self._check_quota()
+        self._maybe_fail()
+        heading = int(normalize_heading(heading))
+        if heading not in CARDINAL_HEADINGS:
+            raise ValueError(
+                f"heading must be one of {CARDINAL_HEADINGS}: {heading}"
+            )
+        county = self._county_for(location)
+        if county is None:
+            raise NoImageryError(
+                f"no imagery at ({location.lat:.5f}, {location.lon:.5f})"
+            )
+        zone = county.zone_at(location)
+        pano_id = self._pano_id(location, heading)
+        scene = self._generator.generate(
+            scene_id=pano_id,
+            zone_kind=zone.kind,
+            road_class=road_class,
+            heading=heading,
+            road_bearing=(
+                road_bearing if road_bearing is not None else float(heading)
+            ),
+            county=county.name,
+            latitude=location.lat,
+            longitude=location.lon,
+        )
+        pixels = render_scene(scene, size) if render else None
+        self.usage().record_image()
+        return StreetViewImage(
+            location=location,
+            heading=heading,
+            size=size,
+            pixels=pixels,
+            scene=scene,
+            pano_id=pano_id,
+        )
+
+    def fetch_capture(
+        self,
+        capture: CaptureRequest,
+        size: int = DEFAULT_SIZE,
+        render: bool = True,
+    ) -> StreetViewImage:
+        """Serve the image for a sampling-frame capture request."""
+        point: SamplePoint = capture.point
+        return self.fetch(
+            location=point.location,
+            heading=capture.heading,
+            size=size,
+            road_class=point.road_class,
+            road_bearing=point.road_bearing,
+            render=render,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _check_key(self) -> None:
+        if not self.api_key or not self.api_key.strip():
+            raise AuthenticationError("missing API key")
+
+    def _check_quota(self) -> None:
+        if self.daily_quota is None:
+            return
+        if self.usage().images_served >= self.daily_quota:
+            raise QuotaExceededError(
+                f"daily quota of {self.daily_quota} images exhausted"
+            )
+
+    def _maybe_fail(self) -> None:
+        if self.failure_rate > 0 and self._failure_rng.random() < self.failure_rate:
+            raise TransientNetworkError("simulated transport failure")
+
+    #: Imagery coverage extends slightly past the county rectangle —
+    #: road-network jitter can push boundary nodes just outside it.
+    _COVERAGE_MARGIN_DEG = 0.03
+
+    def _county_for(self, location: LatLon) -> County | None:
+        margin = self._COVERAGE_MARGIN_DEG
+        for county in self.counties:
+            if (
+                county.south - margin <= location.lat <= county.north + margin
+                and county.west - margin <= location.lon <= county.east + margin
+            ):
+                return county
+        return None
+
+    @staticmethod
+    def _pano_id(location: LatLon, heading: int) -> str:
+        return (
+            f"pano_{location.lat:.6f}_{location.lon:.6f}_{heading:03d}"
+        )
+
+
+def zone_kind_at(counties: list[County], location: LatLon) -> ZoneKind | None:
+    """Convenience lookup of the zone kind at a location, if covered."""
+    for county in counties:
+        if (
+            county.south <= location.lat <= county.north
+            and county.west <= location.lon <= county.east
+        ):
+            return county.zone_at(location).kind
+    return None

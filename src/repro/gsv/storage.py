@@ -1,0 +1,184 @@
+"""Survey dataset persistence.
+
+A labeled survey is an expensive artifact (billed imagery + annotation
+effort in the real world); pipelines persist it and reload across
+sessions.  The on-disk layout mirrors what a LabelMe-based project
+looks like::
+
+    <root>/
+      manifest.json            # dataset metadata + scene descriptions
+      annotations/<id>.json    # one LabelMe document per image
+
+Scenes serialize losslessly (objects, distractors, attributes), so a
+reloaded dataset renders pixel-identical imagery; the LabelMe files
+are redundant with the manifest but keep the directory usable by
+external annotation tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.indicators import Indicator
+from ..scene.model import (
+    BoundingBox,
+    Distractor,
+    RoadView,
+    Scene,
+    SceneObject,
+)
+from .dataset import LabeledImage, SurveyDataset
+from .labelme import save_labelme, scene_to_labelme
+
+FORMAT_VERSION = 1
+
+
+def _box_to_json(box: BoundingBox) -> list[float]:
+    return [box.x_min, box.y_min, box.x_max, box.y_max]
+
+
+def _box_from_json(payload: list[float]) -> BoundingBox:
+    return BoundingBox(*payload)
+
+
+def scene_to_json(scene: Scene) -> dict:
+    """Lossless scene serialization."""
+    return {
+        "scene_id": scene.scene_id,
+        "objects": [
+            {
+                "indicator": obj.indicator.value,
+                "box": _box_to_json(obj.box),
+                "occlusion": obj.occlusion,
+                "contrast": obj.contrast,
+                "attributes": obj.attributes,
+            }
+            for obj in scene.objects
+        ],
+        "distractors": [
+            {
+                "kind": distractor.kind,
+                "box": _box_to_json(distractor.box),
+                "attributes": distractor.attributes,
+            }
+            for distractor in scene.distractors
+        ],
+        "road_view": scene.road_view.value,
+        "zone_kind": scene.zone_kind,
+        "county": scene.county,
+        "heading": scene.heading,
+        "latitude": scene.latitude,
+        "longitude": scene.longitude,
+        "daylight": scene.daylight,
+        "clutter": scene.clutter,
+    }
+
+
+def scene_from_json(payload: dict) -> Scene:
+    """Inverse of :func:`scene_to_json`."""
+    return Scene(
+        scene_id=payload["scene_id"],
+        objects=tuple(
+            SceneObject(
+                indicator=Indicator.from_string(obj["indicator"]),
+                box=_box_from_json(obj["box"]),
+                occlusion=obj["occlusion"],
+                contrast=obj["contrast"],
+                attributes=dict(obj["attributes"]),
+            )
+            for obj in payload["objects"]
+        ),
+        distractors=tuple(
+            Distractor(
+                kind=distractor["kind"],
+                box=_box_from_json(distractor["box"]),
+                attributes=dict(distractor["attributes"]),
+            )
+            for distractor in payload["distractors"]
+        ),
+        road_view=RoadView(payload["road_view"]),
+        zone_kind=payload["zone_kind"],
+        county=payload["county"],
+        heading=payload["heading"],
+        latitude=payload["latitude"],
+        longitude=payload["longitude"],
+        daylight=payload["daylight"],
+        clutter=payload["clutter"],
+    )
+
+
+def save_dataset(dataset: SurveyDataset, root: str | Path) -> Path:
+    """Persist a survey dataset; returns the manifest path."""
+    root = Path(root)
+    annotations_dir = root / "annotations"
+    annotations_dir.mkdir(parents=True, exist_ok=True)
+
+    images = []
+    for image in dataset.images:
+        images.append(
+            {
+                "image_id": image.image_id,
+                "size": image.size,
+                "scene": scene_to_json(image.scene),
+                "annotations": [
+                    {
+                        "indicator": indicator.value,
+                        "box": _box_to_json(box),
+                    }
+                    for indicator, box in image.annotations
+                ],
+            }
+        )
+        save_labelme(
+            scene_to_labelme(
+                image.scene,
+                f"{image.image_id}.png",
+                image.size,
+                image.size,
+            ),
+            annotations_dir / f"{image.image_id}.json",
+        )
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "counties": dataset.counties,
+        "seed": dataset.seed,
+        "images": images,
+    }
+    manifest_path = root / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest))
+    return manifest_path
+
+
+def load_dataset(root: str | Path) -> SurveyDataset:
+    """Reload a persisted survey dataset."""
+    manifest_path = Path(root) / "manifest.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format version: {version!r}"
+        )
+    images = [
+        LabeledImage(
+            image_id=entry["image_id"],
+            scene=scene_from_json(entry["scene"]),
+            annotations=tuple(
+                (
+                    Indicator.from_string(annotation["indicator"]),
+                    _box_from_json(annotation["box"]),
+                )
+                for annotation in entry["annotations"]
+            ),
+            size=entry["size"],
+        )
+        for entry in manifest["images"]
+    ]
+    return SurveyDataset(
+        images=images,
+        counties=list(manifest["counties"]),
+        seed=manifest["seed"],
+    )

@@ -1,0 +1,42 @@
+"""Health-outcome substrate: the paper's motivating use case.
+
+Synthetic tract-level outcomes generated from literature-informed
+indicator effects, binomial logistic regression written in numpy, and
+association studies comparing ground-truth vs LLM-decoded exposures.
+"""
+
+from .model import (
+    BASE_LOG_ODDS,
+    OUTCOMES,
+    TRUE_COEFFICIENTS,
+    HealthModel,
+    Tract,
+)
+from .regression import (
+    CoefficientEstimate,
+    ConvergenceError,
+    LogisticFit,
+    fit_logistic,
+)
+from .study import (
+    AssociationStudy,
+    TractSurvey,
+    build_tract_survey,
+    run_association_study,
+)
+
+__all__ = [
+    "BASE_LOG_ODDS",
+    "OUTCOMES",
+    "TRUE_COEFFICIENTS",
+    "HealthModel",
+    "Tract",
+    "CoefficientEstimate",
+    "ConvergenceError",
+    "LogisticFit",
+    "fit_logistic",
+    "AssociationStudy",
+    "TractSurvey",
+    "build_tract_survey",
+    "run_association_study",
+]

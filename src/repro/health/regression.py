@@ -1,0 +1,174 @@
+"""Binomial logistic regression, written out in numpy.
+
+The association analyses in the GSV-health literature ([2], [5], [6])
+regress tract-level outcome prevalence on built-environment exposure
+rates.  This module implements the estimator they use — logistic
+regression with binomial counts — via iteratively reweighted least
+squares (IRLS, i.e. Newton–Raphson on the log-likelihood), including
+standard errors from the Fisher information, Wald z-tests, and odds
+ratios with confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ConvergenceError(RuntimeError):
+    """IRLS failed to converge (separation or degenerate design)."""
+
+
+@dataclass(frozen=True)
+class CoefficientEstimate:
+    """One fitted coefficient with inferential statistics."""
+
+    name: str
+    estimate: float
+    std_error: float
+
+    @property
+    def z_value(self) -> float:
+        if self.std_error == 0:
+            return float("inf") if self.estimate != 0 else 0.0
+        return self.estimate / self.std_error
+
+    @property
+    def odds_ratio(self) -> float:
+        return float(np.exp(self.estimate))
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Wald CI for the coefficient (on the log-odds scale)."""
+        half = z * self.std_error
+        return (self.estimate - half, self.estimate + half)
+
+    @property
+    def significant(self) -> bool:
+        """|z| > 1.96 — the conventional 5% two-sided test."""
+        return abs(self.z_value) > 1.96
+
+
+@dataclass
+class LogisticFit:
+    """A fitted binomial logistic regression."""
+
+    coefficients: list[CoefficientEstimate]
+    log_likelihood: float
+    iterations: int
+    converged: bool
+
+    def coefficient(self, name: str) -> CoefficientEstimate:
+        for estimate in self.coefficients:
+            if estimate.name == name:
+                return estimate
+        raise KeyError(f"no coefficient named {name!r}")
+
+    @property
+    def beta(self) -> np.ndarray:
+        return np.array([c.estimate for c in self.coefficients])
+
+
+def _log_likelihood(
+    beta: np.ndarray,
+    design: np.ndarray,
+    successes: np.ndarray,
+    trials: np.ndarray,
+) -> float:
+    eta = design @ beta
+    # log L = Σ y·η − n·log(1 + e^η)  (binomial, dropping constants)
+    return float(
+        np.sum(successes * eta - trials * np.logaddexp(0.0, eta))
+    )
+
+
+def fit_logistic(
+    design: np.ndarray,
+    successes: np.ndarray,
+    trials: np.ndarray,
+    feature_names: list[str] | None = None,
+    add_intercept: bool = True,
+    max_iterations: int = 50,
+    tolerance: float = 1e-8,
+    ridge: float = 1e-8,
+) -> LogisticFit:
+    """Fit ``successes/trials ~ Binomial(logistic(X β))`` by IRLS.
+
+    ``design`` is ``(n_units, n_features)``; ``successes`` and
+    ``trials`` are per-unit counts.  A tiny ridge term keeps the
+    Hessian invertible under near-collinear exposures.
+    """
+    design = np.asarray(design, dtype=float)
+    successes = np.asarray(successes, dtype=float)
+    trials = np.asarray(trials, dtype=float)
+    if design.ndim != 2:
+        raise ValueError("design matrix must be 2-D")
+    n_units = design.shape[0]
+    if successes.shape != (n_units,) or trials.shape != (n_units,):
+        raise ValueError("successes/trials must align with the design")
+    if np.any(trials <= 0):
+        raise ValueError("every unit needs a positive trial count")
+    if np.any(successes < 0) or np.any(successes > trials):
+        raise ValueError("successes must lie in [0, trials]")
+
+    if add_intercept:
+        design = np.column_stack([np.ones(n_units), design])
+    n_features = design.shape[1]
+    if feature_names is None:
+        feature_names = [f"x{i}" for i in range(n_features - int(add_intercept))]
+    names = (
+        ["(intercept)"] + list(feature_names)
+        if add_intercept
+        else list(feature_names)
+    )
+    if len(names) != n_features:
+        raise ValueError(
+            f"{len(names)} names for {n_features} design columns"
+        )
+
+    beta = np.zeros(n_features)
+    previous_ll = _log_likelihood(beta, design, successes, trials)
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        eta = design @ beta
+        mu = 1.0 / (1.0 + np.exp(-np.clip(eta, -35, 35)))
+        weights = trials * mu * (1.0 - mu)
+        gradient = design.T @ (successes - trials * mu)
+        hessian = (design * weights[:, None]).T @ design
+        hessian += ridge * np.eye(n_features)
+        try:
+            step = np.linalg.solve(hessian, gradient)
+        except np.linalg.LinAlgError as err:
+            raise ConvergenceError("singular Hessian") from err
+        beta = beta + step
+        current_ll = _log_likelihood(beta, design, successes, trials)
+        if abs(current_ll - previous_ll) < tolerance * (
+            1.0 + abs(previous_ll)
+        ):
+            converged = True
+            previous_ll = current_ll
+            break
+        previous_ll = current_ll
+
+    if not np.all(np.isfinite(beta)):
+        raise ConvergenceError("coefficients diverged")
+
+    eta = design @ beta
+    mu = 1.0 / (1.0 + np.exp(-np.clip(eta, -35, 35)))
+    weights = trials * mu * (1.0 - mu)
+    fisher = (design * weights[:, None]).T @ design + ridge * np.eye(
+        n_features
+    )
+    covariance = np.linalg.inv(fisher)
+    std_errors = np.sqrt(np.clip(np.diag(covariance), 0.0, None))
+
+    return LogisticFit(
+        coefficients=[
+            CoefficientEstimate(name, float(b), float(se))
+            for name, b, se in zip(names, beta, std_errors)
+        ],
+        log_likelihood=previous_ll,
+        iterations=iteration,
+        converged=converged,
+    )

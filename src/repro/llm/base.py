@@ -1,0 +1,174 @@
+"""Chat-completions API surface shared by all simulated VLM clients.
+
+Mirrors the request/response shape of the commercial APIs the paper
+used (OpenAI chat completions and its Gemini/Anthropic/xAI analogs):
+messages with mixed text/image parts, sampling parameters
+(``temperature``, ``top_p``), token-usage accounting, and a typed
+error surface (:mod:`repro.llm.errors`).
+
+An :class:`ImageAttachment` carries the *scene* behind the pixels —
+the simulated model's perception layer reads scene ground truth
+through a calibrated noisy channel rather than running a real neural
+network over the raster (see DESIGN.md §1 for why this substitution
+preserves the paper's observable behaviour).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..scene.model import Scene
+
+#: Default sampling parameters, matching the Gemini defaults the paper
+#: reports (temperature 1.0, top-p 0.95).
+DEFAULT_TEMPERATURE = 1.0
+DEFAULT_TOP_P = 0.95
+
+#: Flat per-image prompt-token surcharge (the common VLM convention).
+IMAGE_PROMPT_TOKENS = 85
+
+
+@dataclass(frozen=True)
+class ImageAttachment:
+    """An image part of a chat message.
+
+    ``scene`` is required (it is what the simulated model perceives);
+    ``pixels`` may be attached for API fidelity but is not consulted
+    by the simulation.
+    """
+
+    scene: Scene
+    pixels: np.ndarray | None = None
+
+    @property
+    def image_id(self) -> str:
+        return self.scene.scene_id
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One message in a conversation."""
+
+    role: str
+    text: str = ""
+    images: tuple[ImageAttachment, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.role not in ("system", "user", "assistant"):
+            raise ValueError(f"unknown role: {self.role!r}")
+
+
+@dataclass(frozen=True)
+class ChatRequest:
+    """A chat-completion request."""
+
+    model: str
+    messages: tuple[ChatMessage, ...]
+    temperature: float = DEFAULT_TEMPERATURE
+    top_p: float = DEFAULT_TOP_P
+    max_tokens: int = 256
+
+    def __post_init__(self) -> None:
+        if not self.messages:
+            raise ValueError("request has no messages")
+        if not 0.0 <= self.temperature <= 2.0:
+            raise ValueError(f"temperature out of range: {self.temperature}")
+        if not 0.0 < self.top_p <= 1.0:
+            raise ValueError(f"top_p out of range: {self.top_p}")
+        if self.max_tokens <= 0:
+            raise ValueError(f"max_tokens must be positive: {self.max_tokens}")
+
+    @property
+    def user_text(self) -> str:
+        """Concatenated text of all user messages."""
+        return "\n".join(
+            m.text for m in self.messages if m.role == "user" and m.text
+        )
+
+    @property
+    def images(self) -> tuple[ImageAttachment, ...]:
+        attachments: list[ImageAttachment] = []
+        for message in self.messages:
+            attachments.extend(message.images)
+        return tuple(attachments)
+
+
+@dataclass(frozen=True)
+class Usage:
+    """Token accounting for one request."""
+
+    prompt_tokens: int
+    completion_tokens: int
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass(frozen=True)
+class ChatResponse:
+    """A chat-completion response."""
+
+    model: str
+    content: str
+    usage: Usage
+    finish_reason: str = "stop"
+
+
+def estimate_prompt_tokens(request: ChatRequest) -> int:
+    """Rough token estimate: ~4 characters per text token + images."""
+    text_chars = sum(len(m.text) for m in request.messages)
+    return max(1, text_chars // 4) + IMAGE_PROMPT_TOKENS * len(request.images)
+
+
+@dataclass
+class ClientStats:
+    """Cumulative usage across a client's lifetime."""
+
+    requests: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    errors: int = 0
+
+    def record(self, usage: Usage) -> None:
+        self.requests += 1
+        self.prompt_tokens += usage.prompt_tokens
+        self.completion_tokens += usage.completion_tokens
+
+
+class ChatClient(abc.ABC):
+    """Abstract vision-chat client.
+
+    Concrete implementations: the four simulated commercial models in
+    :mod:`repro.llm.models`, plus any test double that honors the
+    interface.
+    """
+
+    def __init__(self, model_name: str) -> None:
+        self.model_name = model_name
+        self.stats = ClientStats()
+
+    @abc.abstractmethod
+    def complete(self, request: ChatRequest) -> ChatResponse:
+        """Execute one chat completion (may raise ``LLMError``)."""
+
+    def ask(
+        self,
+        prompt: str,
+        image: ImageAttachment,
+        temperature: float = DEFAULT_TEMPERATURE,
+        top_p: float = DEFAULT_TOP_P,
+    ) -> str:
+        """Convenience single-turn request; returns the response text."""
+        request = ChatRequest(
+            model=self.model_name,
+            messages=(
+                ChatMessage(role="user", text=prompt, images=(image,)),
+            ),
+            temperature=temperature,
+            top_p=top_p,
+        )
+        return self.complete(request).content

@@ -1,0 +1,186 @@
+"""Batch execution with rate limiting and bounded retry.
+
+Driving four commercial APIs over 1,200 images each is where the
+paper's cost/latency concerns (§V) bite.  This module provides the
+standard client-side machinery:
+
+* a **token-bucket rate limiter** on a pluggable clock (tests inject a
+  virtual clock, production uses wall time),
+* a **batch runner** that executes many requests through a client,
+  retrying rate-limit and transient server errors with exponential
+  backoff and collecting per-request outcomes instead of dying on the
+  first failure.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from .base import ChatClient, ChatRequest, ChatResponse
+from .errors import LLMError, RateLimitError, ServerError
+
+
+class VirtualClock:
+    """A manually advanced clock for deterministic tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep {seconds}s")
+        self.sleeps.append(seconds)
+        self._now += seconds
+
+
+@dataclass
+class WallClock:
+    """The real clock."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+@dataclass
+class TokenBucket:
+    """Token-bucket rate limiter: ``rate`` requests/second, bursting
+    to ``capacity``."""
+
+    rate: float
+    capacity: float
+    clock: VirtualClock | WallClock = field(default_factory=VirtualClock)
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.capacity <= 0:
+            raise ValueError("rate and capacity must be positive")
+        self._tokens = float(self.capacity)
+        self._last = self.clock.now()
+
+    def _refill(self) -> None:
+        now = self.clock.now()
+        self._tokens = min(
+            self.capacity, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+
+    def acquire(self) -> float:
+        """Take one token, sleeping if necessary; returns wait time."""
+        self._refill()
+        waited = 0.0
+        if self._tokens < 1.0:
+            deficit = (1.0 - self._tokens) / self.rate
+            self.clock.sleep(deficit)
+            waited = deficit
+            self._refill()
+        self._tokens -= 1.0
+        return waited
+
+
+@dataclass
+class BatchOutcome:
+    """Result of one request within a batch."""
+
+    index: int
+    response: ChatResponse | None
+    error: LLMError | None
+    attempts: int
+
+    @property
+    def ok(self) -> bool:
+        return self.response is not None
+
+
+@dataclass
+class BatchStats:
+    """Aggregate view of a finished batch."""
+
+    total: int
+    succeeded: int
+    failed: int
+    retries: int
+    rate_limit_waits: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.total if self.total else float("nan")
+
+
+class BatchRunner:
+    """Execute many chat requests with retry + rate limiting."""
+
+    RETRYABLE = (RateLimitError, ServerError)
+
+    def __init__(
+        self,
+        client: ChatClient,
+        limiter: TokenBucket | None = None,
+        max_attempts: int = 4,
+        backoff_base_s: float = 0.5,
+        clock: VirtualClock | WallClock | None = None,
+        on_progress: Callable[[int, int], None] | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.client = client
+        self.limiter = limiter
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.clock = clock or (limiter.clock if limiter else VirtualClock())
+        self.on_progress = on_progress
+
+    def run(
+        self, requests: Sequence[ChatRequest]
+    ) -> tuple[list[BatchOutcome], BatchStats]:
+        """Execute all requests; never raises on per-request failures."""
+        outcomes: list[BatchOutcome] = []
+        retries = 0
+        waits = 0.0
+        for index, request in enumerate(requests):
+            response = None
+            error: LLMError | None = None
+            attempt = 0
+            for attempt in range(1, self.max_attempts + 1):
+                if self.limiter is not None:
+                    waits += self.limiter.acquire()
+                try:
+                    response = self.client.complete(request)
+                    error = None
+                    break
+                except self.RETRYABLE as err:
+                    error = err
+                    retries += 1
+                    delay = self.backoff_base_s * (2 ** (attempt - 1))
+                    if isinstance(err, RateLimitError):
+                        delay = max(delay, err.retry_after_s)
+                    if attempt < self.max_attempts:
+                        self.clock.sleep(delay)
+                except LLMError as err:
+                    error = err  # not retryable
+                    break
+            outcomes.append(
+                BatchOutcome(
+                    index=index,
+                    response=response,
+                    error=error,
+                    attempts=attempt,
+                )
+            )
+            if self.on_progress is not None:
+                self.on_progress(index + 1, len(requests))
+        stats = BatchStats(
+            total=len(requests),
+            succeeded=sum(1 for o in outcomes if o.ok),
+            failed=sum(1 for o in outcomes if not o.ok),
+            retries=retries,
+            rate_limit_waits=waits,
+        )
+        return outcomes, stats

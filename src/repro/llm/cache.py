@@ -1,0 +1,121 @@
+"""Response caching for LLM clients.
+
+Section V flags API cost and latency as the practical barrier to
+multi-LLM voting at scale.  The standard mitigation is a response
+cache: survey pipelines re-run constantly (new indicators, new vote
+configurations, re-scored metrics) over the same images, and identical
+requests should never be re-billed.
+
+:class:`CachingChatClient` wraps any :class:`~repro.llm.base.ChatClient`
+with an exact-match request cache — in memory, optionally persisted to
+a JSON file on disk so interrupted surveys resume for free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .base import ChatClient, ChatRequest, ChatResponse, Usage
+
+
+def request_fingerprint(request: ChatRequest) -> str:
+    """Stable content hash of a request.
+
+    Covers everything that can change the response: model, message
+    roles/texts, attached scene ids, and sampling parameters.
+    """
+    payload = {
+        "model": request.model,
+        "temperature": round(request.temperature, 6),
+        "top_p": round(request.top_p, 6),
+        "max_tokens": request.max_tokens,
+        "messages": [
+            {
+                "role": message.role,
+                "text": message.text,
+                "images": [image.image_id for image in message.images],
+            }
+            for message in request.messages
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True, ensure_ascii=False)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class CachingChatClient(ChatClient):
+    """Exact-match response cache around an inner client.
+
+    Cache hits cost nothing: the inner client is not called and no
+    usage accrues to it.  The wrapper's own ``stats`` still counts
+    every logical request, so hit rates are observable.
+    """
+
+    def __init__(
+        self,
+        inner: ChatClient,
+        cache_path: str | Path | None = None,
+    ) -> None:
+        super().__init__(model_name=inner.model_name)
+        self.inner = inner
+        self.cache_path = Path(cache_path) if cache_path else None
+        self.hits = 0
+        self.misses = 0
+        self._cache: dict[str, dict] = {}
+        if self.cache_path and self.cache_path.exists():
+            self._cache = json.loads(self.cache_path.read_text())
+
+    # ------------------------------------------------------------------
+
+    def complete(self, request: ChatRequest) -> ChatResponse:
+        key = request_fingerprint(request)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            response = ChatResponse(
+                model=cached["model"],
+                content=cached["content"],
+                usage=Usage(
+                    prompt_tokens=cached["prompt_tokens"],
+                    completion_tokens=cached["completion_tokens"],
+                ),
+                finish_reason=cached.get("finish_reason", "stop"),
+            )
+            self.stats.record(Usage(0, 0))  # logical request, zero tokens
+            return response
+
+        self.misses += 1
+        response = self.inner.complete(request)
+        self._cache[key] = {
+            "model": response.model,
+            "content": response.content,
+            "prompt_tokens": response.usage.prompt_tokens,
+            "completion_tokens": response.usage.completion_tokens,
+            "finish_reason": response.finish_reason,
+        }
+        self.stats.record(response.usage)
+        if self.cache_path:
+            self._flush()
+        return response
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else float("nan")
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+        if self.cache_path and self.cache_path.exists():
+            self.cache_path.unlink()
+
+    def _flush(self) -> None:
+        self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+        self.cache_path.write_text(json.dumps(self._cache))

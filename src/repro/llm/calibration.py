@@ -1,0 +1,187 @@
+"""Fitting response policies to the paper's published statistics.
+
+Each simulated model answers "is indicator X present?" by passing the
+scene's evidence ``e`` through a logistic response policy::
+
+    p_yes = sigmoid((e - threshold) / slope)
+
+and sampling the decision (see :mod:`repro.llm.sampling`).  The paper
+publishes per-class precision and recall for all four models (Tables
+III–VI); combined with the dataset's class prevalence these determine
+the true-positive and false-positive rates each policy must achieve.
+This module solves the inverse problem: given evidence samples split
+by ground truth and the (TPR, FPR) targets, find ``(threshold,
+slope)``.
+
+The fit is deterministic: coarse slope grid, exact threshold bisection
+per slope (the expected yes-rate is monotone decreasing in the
+threshold), then a local refinement pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .sampling import effective_yes_probability
+
+
+@dataclass(frozen=True)
+class ResponsePolicy:
+    """Logistic Yes-probability policy over evidence scores."""
+
+    threshold: float
+    slope: float
+
+    def __post_init__(self) -> None:
+        if self.slope <= 0:
+            raise ValueError(f"slope must be positive: {self.slope}")
+
+    def p_yes(self, evidence: float) -> float:
+        z = (evidence - self.threshold) / self.slope
+        return float(1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0))))
+
+    def p_yes_array(self, evidence: np.ndarray) -> np.ndarray:
+        z = (np.asarray(evidence, dtype=np.float64) - self.threshold) / self.slope
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+
+    def shifted(self, delta_threshold: float) -> "ResponsePolicy":
+        """A copy with the threshold raised by ``delta_threshold``."""
+        return ResponsePolicy(self.threshold + delta_threshold, self.slope)
+
+
+@dataclass(frozen=True)
+class PolicyFit:
+    """A fitted policy with its achieved operating point."""
+
+    policy: ResponsePolicy
+    achieved_tpr: float
+    achieved_fpr: float
+    target_tpr: float
+    target_fpr: float
+
+    @property
+    def tpr_error(self) -> float:
+        return abs(self.achieved_tpr - self.target_tpr)
+
+    @property
+    def fpr_error(self) -> float:
+        return abs(self.achieved_fpr - self.target_fpr)
+
+
+def derive_rates(
+    precision: float, recall: float, prevalence: float
+) -> tuple[float, float]:
+    """Convert (precision, recall) at a given prevalence to (TPR, FPR).
+
+    From the definition of precision::
+
+        precision = π·TPR / (π·TPR + (1-π)·FPR)
+        ⇒ FPR = π·TPR·(1-precision) / (precision·(1-π))
+    """
+    if not 0.0 < precision <= 1.0:
+        raise ValueError(f"precision out of range: {precision}")
+    if not 0.0 <= recall <= 1.0:
+        raise ValueError(f"recall out of range: {recall}")
+    if not 0.0 < prevalence < 1.0:
+        raise ValueError(f"prevalence out of range: {prevalence}")
+    tpr = recall
+    fpr = prevalence * tpr * (1.0 - precision) / (precision * (1.0 - prevalence))
+    return tpr, min(fpr, 1.0)
+
+
+def expected_yes_rate(
+    evidence: np.ndarray,
+    policy: ResponsePolicy,
+    temperature: float = 1.0,
+    top_p: float = 0.95,
+) -> float:
+    """Mean probability of answering Yes over an evidence sample."""
+    samples = np.asarray(evidence, dtype=np.float64)
+    if samples.size == 0:
+        return float("nan")
+    probabilities = policy.p_yes_array(samples)
+    effective = np.array(
+        [
+            effective_yes_probability(float(p), temperature, top_p)
+            for p in probabilities
+        ]
+    )
+    return float(effective.mean())
+
+
+def fit_threshold(
+    evidence: np.ndarray,
+    slope: float,
+    target_rate: float,
+    temperature: float = 1.0,
+    top_p: float = 0.95,
+    iterations: int = 40,
+) -> float:
+    """Bisect the threshold achieving a target yes-rate on a sample."""
+    lo, hi = -2.0, 3.0
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        rate = expected_yes_rate(
+            evidence, ResponsePolicy(mid, slope), temperature, top_p
+        )
+        if rate > target_rate:
+            lo = mid  # raise threshold to lower the rate
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def fit_policy(
+    present: np.ndarray,
+    absent: np.ndarray,
+    target_tpr: float,
+    target_fpr: float,
+    temperature: float = 1.0,
+    top_p: float = 0.95,
+) -> PolicyFit:
+    """Fit ``(threshold, slope)`` to hit (TPR, FPR) targets.
+
+    For each candidate slope the threshold is bisected to match the
+    TPR exactly on the present-class evidence, then the slope is chosen
+    to minimize the FPR error on the absent-class evidence.  If the
+    targets are jointly unreachable (evidence distributions too
+    separated or too overlapped) the closest achievable operating
+    point is returned — callers can inspect ``fpr_error``.
+    """
+    present = np.asarray(present, dtype=np.float64)
+    absent = np.asarray(absent, dtype=np.float64)
+    if present.size == 0 or absent.size == 0:
+        raise ValueError("need evidence samples for both classes")
+    if not 0.0 < target_tpr <= 1.0:
+        raise ValueError(f"target TPR out of range: {target_tpr}")
+    if not 0.0 <= target_fpr < 1.0:
+        raise ValueError(f"target FPR out of range: {target_fpr}")
+
+    def evaluate(slope: float) -> tuple[float, ResponsePolicy, float, float]:
+        threshold = fit_threshold(
+            present, slope, target_tpr, temperature, top_p
+        )
+        policy = ResponsePolicy(threshold, slope)
+        tpr = expected_yes_rate(present, policy, temperature, top_p)
+        fpr = expected_yes_rate(absent, policy, temperature, top_p)
+        return abs(fpr - target_fpr), policy, tpr, fpr
+
+    coarse = np.geomspace(0.015, 0.8, 18)
+    scored = [evaluate(float(s)) for s in coarse]
+    best_index = int(np.argmin([s[0] for s in scored]))
+
+    lo = coarse[max(0, best_index - 1)]
+    hi = coarse[min(len(coarse) - 1, best_index + 1)]
+    fine = np.geomspace(lo, hi, 12)
+    scored_fine = [evaluate(float(s)) for s in fine]
+    best = min(scored_fine, key=lambda s: s[0])
+    _, policy, tpr, fpr = best
+    return PolicyFit(
+        policy=policy,
+        achieved_tpr=tpr,
+        achieved_fpr=fpr,
+        target_tpr=target_tpr,
+        target_fpr=target_fpr,
+    )

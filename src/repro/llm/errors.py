@@ -1,0 +1,40 @@
+"""Failure modes of the simulated LLM APIs.
+
+The paper's Section V flags "computational costs and API latency" as
+practical barriers to multi-LLM majority voting.  The simulated
+clients reproduce the corresponding failure surface — rate limits,
+transient server errors, and malformed-response risk — so the
+pipeline's retry and fallback paths are real, tested code.
+"""
+
+from __future__ import annotations
+
+
+class LLMError(Exception):
+    """Base class for simulated LLM API failures."""
+
+
+class RateLimitError(LLMError):
+    """Too many requests; the caller should back off and retry.
+
+    Carries ``retry_after_s`` like the HTTP ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServerError(LLMError):
+    """Transient 5xx-style failure; retryable."""
+
+
+class InvalidRequestError(LLMError):
+    """Malformed request (no image, empty prompt, bad parameters).
+
+    Not retryable — the request itself must change.
+    """
+
+
+class ModelNotFoundError(LLMError):
+    """Unknown model name passed to the registry."""

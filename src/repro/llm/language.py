@@ -1,0 +1,201 @@
+"""Prompt comprehension: language detection, question parsing, answers.
+
+The simulated models genuinely *read the prompt*: they detect its
+language, split it into questions, and match each question against a
+multilingual term lexicon to decide which indicator is being asked
+about and in what order.  Nothing is passed out-of-band — a prompt
+that never mentions sidewalks will never produce a sidewalk answer,
+and a question using a term outside the lexicon falls back to a
+cautious "No" (the model failed to ground the term), which is the
+mechanism behind the paper's catastrophic Chinese-sidewalk and
+Spanish-single-lane recall failures (§IV-C3).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from ..core.indicators import Indicator
+
+
+class Language(enum.Enum):
+    """Prompt languages evaluated in the paper (Fig. 6)."""
+
+    ENGLISH = "en"
+    SPANISH = "es"
+    CHINESE = "zh"
+    BENGALI = "bn"
+
+
+#: Yes/No surface forms per language, as produced by the models.
+YES_WORDS = {
+    Language.ENGLISH: "Yes",
+    Language.SPANISH: "Sí",
+    Language.CHINESE: "是",
+    Language.BENGALI: "হ্যাঁ",
+}
+
+NO_WORDS = {
+    Language.ENGLISH: "No",
+    Language.SPANISH: "No",
+    Language.CHINESE: "否",
+    Language.BENGALI: "না",
+}
+
+#: Indicator term lexicon.  Terms are matched case-insensitively as
+#: substrings of a question (after whitespace normalization).  Order
+#: within a question matters for multilane vs single-lane: both
+#: mention "lane", so the more specific term lists come first.
+LEXICON: dict[Language, dict[Indicator, tuple[str, ...]]] = {
+    Language.ENGLISH: {
+        Indicator.MULTILANE_ROAD: (
+            "multi-lane",
+            "multilane",
+            "more than one lane",
+        ),
+        # "one lane per direction" is a substring of the multilane
+        # phrasing "more than one lane per direction", so only the
+        # unambiguous term is listed.
+        Indicator.SINGLE_LANE_ROAD: ("single-lane", "single lane"),
+        Indicator.SIDEWALK: ("sidewalk",),
+        Indicator.STREETLIGHT: ("streetlight", "street light"),
+        Indicator.POWERLINE: ("powerline", "power line"),
+        Indicator.APARTMENT: ("apartment",),
+    },
+    Language.SPANISH: {
+        Indicator.MULTILANE_ROAD: ("varios carriles", "más de un carril"),
+        Indicator.SINGLE_LANE_ROAD: ("un solo carril",),
+        Indicator.SIDEWALK: ("acera",),
+        Indicator.STREETLIGHT: ("alumbrado público", "farola"),
+        Indicator.POWERLINE: ("cable eléctrico", "línea eléctrica"),
+        Indicator.APARTMENT: ("apartamento",),
+    },
+    Language.CHINESE: {
+        Indicator.MULTILANE_ROAD: ("多车道",),
+        Indicator.SINGLE_LANE_ROAD: ("单车道",),
+        Indicator.SIDEWALK: ("人行道",),
+        Indicator.STREETLIGHT: ("路灯",),
+        Indicator.POWERLINE: ("电线",),
+        Indicator.APARTMENT: ("公寓",),
+    },
+    Language.BENGALI: {
+        Indicator.MULTILANE_ROAD: ("বহু-লেনের",),
+        Indicator.SINGLE_LANE_ROAD: ("এক-লেনের",),
+        Indicator.SIDEWALK: ("ফুটপাত",),
+        Indicator.STREETLIGHT: ("রাস্তার আলো",),
+        Indicator.POWERLINE: ("বিদ্যুতের লাইন",),
+        Indicator.APARTMENT: ("অ্যাপার্টমেন্ট",),
+    },
+}
+
+
+@dataclass(frozen=True)
+class ParsedQuestion:
+    """One recognized question from a prompt."""
+
+    indicator: Indicator | None
+    language: Language
+    text: str
+
+
+@dataclass(frozen=True)
+class ParsedPrompt:
+    """The model's comprehension of a full prompt."""
+
+    questions: tuple[ParsedQuestion, ...]
+    language: Language
+    complex_structure: bool
+
+    @property
+    def indicators(self) -> tuple[Indicator | None, ...]:
+        return tuple(q.indicator for q in self.questions)
+
+
+_CHINESE_CHARS = re.compile(r"[一-鿿]")
+_BENGALI_CHARS = re.compile(r"[ঀ-৿]")
+_SPANISH_MARKERS = (
+    "¿",
+    "carril",
+    "imagen",
+    "responda",
+    "sí",
+    "acera",
+    "alumbrado",
+)
+
+
+def detect_language(text: str) -> Language:
+    """Best-effort language identification for a prompt."""
+    if _CHINESE_CHARS.search(text):
+        return Language.CHINESE
+    if _BENGALI_CHARS.search(text):
+        return Language.BENGALI
+    lowered = text.lower()
+    spanish_hits = sum(1 for marker in _SPANISH_MARKERS if marker in lowered)
+    if spanish_hits >= 2:
+        return Language.SPANISH
+    return Language.ENGLISH
+
+
+_SENTENCE_SPLIT = re.compile(r"[?？。।|\n]+")
+
+
+def split_questions(text: str) -> list[str]:
+    """Split a prompt into candidate question segments."""
+    segments = [seg.strip() for seg in _SENTENCE_SPLIT.split(text)]
+    return [seg for seg in segments if seg]
+
+
+def identify_indicators(
+    segment: str, language: Language
+) -> list[Indicator]:
+    """All indicators a segment asks about, in textual order."""
+    lowered = segment.lower()
+    hits: list[tuple[int, Indicator]] = []
+    for indicator, terms in LEXICON[language].items():
+        positions = [
+            lowered.find(term.lower())
+            for term in terms
+            if term.lower() in lowered
+        ]
+        if positions:
+            hits.append((min(p for p in positions if p >= 0), indicator))
+    hits.sort()
+    return [indicator for _, indicator in hits]
+
+
+def parse_prompt(text: str) -> ParsedPrompt:
+    """Parse a prompt into ordered questions.
+
+    ``complex_structure`` is true when indicator mentions pile up
+    inside single sentences (the run-on "sequential" style the paper
+    finds harder for the models) rather than one simple question per
+    sentence.
+    """
+    language = detect_language(text)
+    segments = split_questions(text)
+    questions: list[ParsedQuestion] = []
+    max_per_segment = 0
+    for segment in segments:
+        found = identify_indicators(segment, language)
+        max_per_segment = max(max_per_segment, len(found))
+        for indicator in found:
+            questions.append(
+                ParsedQuestion(
+                    indicator=indicator, language=language, text=segment
+                )
+            )
+    return ParsedPrompt(
+        questions=tuple(questions),
+        language=language,
+        complex_structure=max_per_segment >= 2,
+    )
+
+
+def format_answers(answers: list[bool], language: Language) -> str:
+    """Render Yes/No decisions in the prompt's language."""
+    yes = YES_WORDS[language]
+    no = NO_WORDS[language]
+    return ", ".join(yes if a else no for a in answers)

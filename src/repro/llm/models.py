@@ -1,0 +1,189 @@
+"""The four simulated commercial VLMs.
+
+Each model is a :class:`SimulatedVLM` — a :class:`~repro.llm.base.ChatClient`
+that reads the prompt through :mod:`repro.llm.language`, perceives the
+attached scene through the shared :class:`~repro.llm.perception.EvidenceModel`
+plus its own idiosyncratic noise, applies its calibrated response
+policies (:mod:`repro.llm.profiles`), samples the Yes/No decision
+under the request's temperature and top-p, and renders the answers in
+the prompt's language with the model's own formatting quirks.
+
+Answers are deterministic per request content (model, scene, question,
+language, structure, sampling parameters), which makes every
+experiment reproducible while keeping cross-model and cross-scene
+variation realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..scene.seeding import stable_seed
+from .base import (
+    ChatClient,
+    ChatRequest,
+    ChatResponse,
+    Usage,
+    estimate_prompt_tokens,
+)
+from .errors import InvalidRequestError, RateLimitError, ServerError
+from .language import format_answers, parse_prompt
+from .perception import EvidenceModel
+from .profiles import ModelProfile
+from .sampling import sample_yes
+
+
+@dataclass(frozen=True)
+class Quirks:
+    """Surface-level response formatting habits of a model."""
+
+    prefix: str = ""
+    suffix: str = ""
+    lowercase: bool = False
+
+    def decorate(self, body: str) -> str:
+        text = body.lower() if self.lowercase else body
+        return f"{self.prefix}{text}{self.suffix}"
+
+
+#: Mild, parseable formatting differences between vendors.
+MODEL_QUIRKS = {
+    "gpt-4o-mini": Quirks(),
+    "gemini-1.5-pro": Quirks(),
+    "claude-3.7": Quirks(suffix="."),
+    "grok-2": Quirks(),
+}
+
+#: Fallback reply when a prompt contains no recognizable question.
+_FALLBACK_REPLY = (
+    "This is a street-level photograph of a neighborhood environment."
+)
+
+#: Exemplar-block markers (mirrors ``repro.core.fewshot``; duplicated
+#: here to keep the llm substrate independent of the core package).
+_EXAMPLE_MARKERS = ("Example:", "Ejemplo:", "示例：", "উদাহরণ:")
+
+
+def _count_exemplars(text: str) -> int:
+    return sum(text.count(marker) for marker in _EXAMPLE_MARKERS)
+
+
+class SimulatedVLM(ChatClient):
+    """A calibrated simulated vision-language model.
+
+    Parameters
+    ----------
+    profile:
+        Calibrated response profile (see ``calibrate_profiles``).
+    evidence_model:
+        The shared perception channel.  Pass the *same instance* to all
+        models in an experiment so their errors correlate through scene
+        difficulty, as the paper observes.
+    rate_limit_every:
+        If set, every Nth request raises ``RateLimitError`` before
+        being served (exercises caller retry logic).
+    server_error_every:
+        If set, every Nth request raises ``ServerError``.
+    """
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        evidence_model: EvidenceModel,
+        rate_limit_every: int | None = None,
+        server_error_every: int | None = None,
+    ) -> None:
+        super().__init__(model_name=profile.model_id)
+        self.profile = profile
+        self.evidence_model = evidence_model
+        self.rate_limit_every = rate_limit_every
+        self.server_error_every = server_error_every
+        self._request_counter = 0
+
+    # ------------------------------------------------------------------
+
+    def complete(self, request: ChatRequest) -> ChatResponse:
+        self._request_counter += 1
+        self._maybe_fail()
+        if request.model != self.model_name:
+            raise InvalidRequestError(
+                f"client for {self.model_name!r} got request for "
+                f"{request.model!r}"
+            )
+        if not request.images:
+            raise InvalidRequestError("vision request has no image")
+        text = request.user_text
+        if not text.strip():
+            raise InvalidRequestError("request has no prompt text")
+
+        parsed = parse_prompt(text)
+        # The classified image is the final attachment; any earlier
+        # images belong to few-shot exemplar blocks.
+        scene = request.images[-1].scene
+        n_exemplars = _count_exemplars(text)
+        language_shift_scale = max(0.3, 1.0 - 0.22 * n_exemplars)
+        if parsed.questions:
+            shared = self.evidence_model.evidence(scene)
+            answers = []
+            for question in parsed.questions:
+                evidence = self.profile.idio_evidence(
+                    scene.scene_id, question.indicator, shared[question.indicator]
+                )
+                policy = self.profile.effective_policy(
+                    question.indicator,
+                    language=parsed.language,
+                    complex_structure=parsed.complex_structure,
+                    language_shift_scale=language_shift_scale,
+                )
+                p_yes = policy.p_yes(evidence)
+                rng = np.random.default_rng(
+                    stable_seed(
+                        "answer",
+                        self.model_name,
+                        scene.scene_id,
+                        question.indicator.value,
+                        round(request.temperature, 4),
+                        round(request.top_p, 4),
+                        parsed.language.value,
+                        parsed.complex_structure,
+                    )
+                )
+                answers.append(
+                    sample_yes(
+                        p_yes, request.temperature, request.top_p, rng
+                    )
+                )
+            body = format_answers(answers, parsed.language)
+            quirks = MODEL_QUIRKS.get(self.model_name, Quirks())
+            content = quirks.decorate(body)
+        else:
+            content = _FALLBACK_REPLY
+
+        usage = Usage(
+            prompt_tokens=estimate_prompt_tokens(request),
+            completion_tokens=max(1, len(content) // 4),
+        )
+        self.stats.record(usage)
+        return ChatResponse(
+            model=self.model_name, content=content, usage=usage
+        )
+
+    # ------------------------------------------------------------------
+
+    def _maybe_fail(self) -> None:
+        if (
+            self.rate_limit_every
+            and self._request_counter % self.rate_limit_every == 0
+        ):
+            self.stats.errors += 1
+            raise RateLimitError(
+                f"{self.model_name}: rate limit exceeded", retry_after_s=0.0
+            )
+        if (
+            self.server_error_every
+            and self._request_counter % self.server_error_every == 0
+        ):
+            self.stats.errors += 1
+            raise ServerError(f"{self.model_name}: upstream error")

@@ -1,0 +1,124 @@
+"""Published per-model statistics used as calibration targets.
+
+These constants transcribe the paper's Appendix A (Tables III–VI),
+the prompt-structure experiment (Fig. 4), and the prompt-language
+experiment (Fig. 6 / §IV-C3).  The simulated models are *fitted to
+reproduce these operating points* on the synthetic dataset — see
+:mod:`repro.llm.calibration` and DESIGN.md §1 for the rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.indicators import Indicator
+from .language import Language
+
+
+@dataclass(frozen=True)
+class ClassTarget:
+    """Precision/recall operating point for one model on one class."""
+
+    precision: float
+    recall: float
+
+
+#: Canonical API-style model identifiers.
+GPT_4O_MINI = "gpt-4o-mini"
+GEMINI_15_PRO = "gemini-1.5-pro"
+CLAUDE_37 = "claude-3.7"
+GROK_2 = "grok-2"
+
+ALL_MODEL_IDS = (GPT_4O_MINI, GEMINI_15_PRO, CLAUDE_37, GROK_2)
+
+DISPLAY_NAMES = {
+    GPT_4O_MINI: "ChatGPT 4o mini",
+    GEMINI_15_PRO: "Gemini 1.5 Pro",
+    CLAUDE_37: "Claude 3.7",
+    GROK_2: "Grok 2",
+}
+
+#: Tables III–VI: per-class precision/recall with the parallel prompt.
+PAPER_LLM_METRICS: dict[str, dict[Indicator, ClassTarget]] = {
+    GPT_4O_MINI: {
+        Indicator.STREETLIGHT: ClassTarget(0.61, 0.84),
+        Indicator.SIDEWALK: ClassTarget(0.80, 0.82),
+        Indicator.SINGLE_LANE_ROAD: ClassTarget(0.49, 0.98),
+        Indicator.MULTILANE_ROAD: ClassTarget(0.97, 0.87),
+        Indicator.POWERLINE: ClassTarget(0.75, 0.94),
+        Indicator.APARTMENT: ClassTarget(0.32, 1.00),
+    },
+    GEMINI_15_PRO: {
+        Indicator.STREETLIGHT: ClassTarget(0.76, 0.96),
+        Indicator.SIDEWALK: ClassTarget(0.96, 0.59),
+        Indicator.SINGLE_LANE_ROAD: ClassTarget(0.55, 0.89),
+        Indicator.MULTILANE_ROAD: ClassTarget(0.89, 0.98),
+        Indicator.POWERLINE: ClassTarget(0.91, 0.96),
+        Indicator.APARTMENT: ClassTarget(0.57, 1.00),
+    },
+    CLAUDE_37: {
+        Indicator.STREETLIGHT: ClassTarget(0.83, 0.76),
+        Indicator.SIDEWALK: ClassTarget(0.76, 0.80),
+        Indicator.SINGLE_LANE_ROAD: ClassTarget(0.52, 0.99),
+        Indicator.MULTILANE_ROAD: ClassTarget(0.98, 0.85),
+        Indicator.POWERLINE: ClassTarget(0.69, 0.99),
+        Indicator.APARTMENT: ClassTarget(0.54, 1.00),
+    },
+    GROK_2: {
+        Indicator.STREETLIGHT: ClassTarget(0.76, 0.91),
+        Indicator.SIDEWALK: ClassTarget(0.83, 0.92),
+        Indicator.SINGLE_LANE_ROAD: ClassTarget(0.41, 0.99),
+        Indicator.MULTILANE_ROAD: ClassTarget(0.98, 0.56),
+        Indicator.POWERLINE: ClassTarget(0.82, 1.00),
+        Indicator.APARTMENT: ClassTarget(0.69, 1.00),
+    },
+}
+
+#: Fig. 4: average recall with parallel vs sequential prompts.
+PAPER_PROMPT_STYLE_RECALL: dict[str, dict[str, float]] = {
+    GEMINI_15_PRO: {"parallel": 0.92, "sequential": 0.80},
+    GPT_4O_MINI: {"parallel": 0.83, "sequential": 0.79},
+    # The paper only measured the style split for Gemini and ChatGPT;
+    # the other two models are assigned the milder ChatGPT-like gap.
+    CLAUDE_37: {"parallel": 0.90, "sequential": 0.855},
+    GROK_2: {"parallel": 0.90, "sequential": 0.855},
+}
+
+#: Fig. 6: average recall per prompt language (Gemini 1.5 Pro).
+PAPER_LANGUAGE_RECALL: dict[Language, float] = {
+    Language.ENGLISH: 0.897,
+    Language.BENGALI: 0.86,
+    Language.SPANISH: 0.76,
+    Language.CHINESE: 0.69,
+}
+
+#: §IV-C3: catastrophic per-class term-association failures.
+PAPER_LANGUAGE_CLASS_OVERRIDES: dict[tuple[Language, Indicator], float] = {
+    (Language.CHINESE, Indicator.SIDEWALK): 0.01,
+    (Language.SPANISH, Indicator.SINGLE_LANE_ROAD): 0.18,
+}
+
+#: Fig. 5: average accuracy per model with the parallel prompt.
+PAPER_MODEL_ACCURACY: dict[str, float] = {
+    GPT_4O_MINI: 0.84,
+    GEMINI_15_PRO: 0.88,
+    CLAUDE_37: 0.86,
+    GROK_2: 0.84,
+}
+
+#: §IV-C2: majority voting (Gemini + Claude + Grok) per-class accuracy.
+PAPER_VOTING_ACCURACY: dict[Indicator, float] = {
+    Indicator.STREETLIGHT: 0.9286,
+    Indicator.SIDEWALK: 0.8491,
+    Indicator.SINGLE_LANE_ROAD: 0.6819,
+    Indicator.MULTILANE_ROAD: 0.9707,
+    Indicator.POWERLINE: 0.9515,
+    Indicator.APARTMENT: 0.9515,
+}
+
+#: §IV-C2: the top-3 models used in the majority vote.
+VOTING_MODEL_IDS = (GEMINI_15_PRO, CLAUDE_37, GROK_2)
+
+#: §IV-C4: Gemini F1 under temperature / top-p sweeps.
+PAPER_TEMPERATURE_F1 = {0.1: 0.78, 1.0: 0.81, 1.5: 0.79}
+PAPER_TOP_P_F1 = {0.5: 0.79, 0.75: 0.79, 0.95: 0.81}

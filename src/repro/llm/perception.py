@@ -1,0 +1,184 @@
+"""Shared visual-evidence model behind every simulated VLM.
+
+The simulated models do not run a neural network over pixels; they
+perceive the *scene* through a calibrated noisy channel.  For each
+indicator this module produces an evidence score in ``[0, 1]``:
+
+* **present** objects yield high evidence, attenuated by the factors
+  that hide real objects from real VLMs — occlusion, low contrast,
+  small apparent size, partial views;
+* **absent** indicators yield low evidence, *raised by confusers*: a
+  bare utility pole looks like a streetlight or powerline, a large
+  house reads as an apartment block, and — the paper's headline error
+  mode — any visible stretch of roadway suggests "single-lane road"
+  regardless of the actual lane count.
+
+Critically the evidence is **shared across models**: each model applies
+its own response policy (threshold/slope, fitted to the paper's
+published confusion statistics) to the *same* per-scene evidence, plus
+a small idiosyncratic perturbation.  Cross-model errors are therefore
+correlated through scene difficulty, which is exactly why the paper's
+majority vote fails to rescue single-lane-road precision (§IV-C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.indicators import ALL_INDICATORS, Indicator
+from ..scene.model import RoadView, Scene, SceneObject
+from ..scene.seeding import stable_seed
+
+#: Standard deviation of the shared per-scene evidence noise.
+SCENE_NOISE_SIGMA = 0.07
+
+
+def _visibility(obj: SceneObject) -> float:
+    """How visible an object instance is, in [0, 1]."""
+    size_factor = min(1.0, 4.0 * np.sqrt(obj.box.area))
+    return obj.contrast * (1.0 - obj.occlusion) * (0.35 + 0.65 * size_factor)
+
+
+@dataclass
+class EvidenceModel:
+    """Deterministic scene→evidence mapping with shared noise.
+
+    ``seed`` controls the shared noise channel; two models built on the
+    same ``EvidenceModel`` see identical evidence for the same scene.
+    """
+
+    seed: int = 0
+    noise_sigma: float = SCENE_NOISE_SIGMA
+
+    def evidence(self, scene: Scene) -> dict[Indicator, float]:
+        """Per-indicator visual evidence for one scene."""
+        raw = {
+            indicator: self._base_evidence(scene, indicator)
+            for indicator in ALL_INDICATORS
+        }
+        noisy = {}
+        for indicator, value in raw.items():
+            rng = np.random.default_rng(
+                stable_seed("evidence", self.seed, scene.scene_id, indicator.value)
+            )
+            shifted = value + float(rng.normal(0.0, self.noise_sigma))
+            noisy[indicator] = float(np.clip(shifted, 0.01, 0.99))
+        return noisy
+
+    # ------------------------------------------------------------------
+
+    def _base_evidence(self, scene: Scene, indicator: Indicator) -> float:
+        objects = scene.objects_of(indicator)
+        if objects:
+            return self._present_evidence(scene, indicator, objects)
+        return self._confuser_evidence(scene, indicator)
+
+    def _present_evidence(
+        self,
+        scene: Scene,
+        indicator: Indicator,
+        objects: tuple[SceneObject, ...],
+    ) -> float:
+        visibility = max(_visibility(obj) for obj in objects)
+        base = 0.55 + 0.42 * visibility
+        if indicator in (Indicator.SINGLE_LANE_ROAD, Indicator.MULTILANE_ROAD):
+            # Roads are unmissable, but a partial (across) view makes
+            # the *lane count* ambiguous: multilane roads seen across
+            # the frame lose evidence, single-lane roads do not (any
+            # road fragment reads "single-lane" to the models).
+            if scene.road_view is RoadView.ACROSS:
+                if indicator is Indicator.MULTILANE_ROAD:
+                    base -= 0.22
+                else:
+                    base += 0.05
+        if indicator is Indicator.POWERLINE:
+            thinness = max(
+                float(obj.attributes.get("thinness", 0.7)) for obj in objects
+            )
+            base -= 0.10 * thinness
+        return base
+
+    def _confuser_evidence(self, scene: Scene, indicator: Indicator) -> float:
+        has = scene.presence
+        distractor_kinds = [d.kind for d in scene.distractors]
+        large_house = any(
+            d.kind == "house" and d.attributes.get("large")
+            for d in scene.distractors
+        )
+
+        if indicator is Indicator.SINGLE_LANE_ROAD:
+            # The paper's dominant failure: any visible roadway —
+            # partial or even a full multilane view — pulls a
+            # "single-lane" yes out of the models.
+            if has[Indicator.MULTILANE_ROAD]:
+                if scene.road_view is RoadView.ACROSS:
+                    return 0.60
+                return 0.52
+            return 0.08
+
+        if indicator is Indicator.MULTILANE_ROAD:
+            if has[Indicator.SINGLE_LANE_ROAD]:
+                return 0.30 if scene.road_view is RoadView.ACROSS else 0.22
+            return 0.06
+
+        if indicator is Indicator.STREETLIGHT:
+            evidence = 0.06
+            if "bare_pole" in distractor_kinds:
+                evidence = max(evidence, 0.34)
+            if has[Indicator.POWERLINE]:
+                evidence = max(evidence, 0.26)
+            return evidence
+
+        if indicator is Indicator.POWERLINE:
+            evidence = 0.06
+            if "bare_pole" in distractor_kinds:
+                evidence = max(evidence, 0.30)
+            if has[Indicator.STREETLIGHT]:
+                evidence = max(evidence, 0.18)
+            return evidence
+
+        if indicator is Indicator.APARTMENT:
+            if large_house:
+                return 0.45
+            if "house" in distractor_kinds:
+                return 0.22
+            return 0.04
+
+        if indicator is Indicator.SIDEWALK:
+            evidence = 0.07
+            if scene.road_view is RoadView.ACROSS and (
+                has[Indicator.SINGLE_LANE_ROAD] or has[Indicator.MULTILANE_ROAD]
+            ):
+                evidence = max(evidence, 0.20)
+            if has[Indicator.APARTMENT]:
+                evidence = max(evidence, 0.24)
+            return evidence
+
+        raise AssertionError(f"unhandled indicator: {indicator}")
+
+    # ------------------------------------------------------------------
+
+    def evidence_samples(
+        self, scenes: list[Scene]
+    ) -> dict[Indicator, tuple[np.ndarray, np.ndarray]]:
+        """Evidence split by ground truth, for calibration.
+
+        Returns per indicator ``(present_samples, absent_samples)``.
+        """
+        present: dict[Indicator, list[float]] = {i: [] for i in ALL_INDICATORS}
+        absent: dict[Indicator, list[float]] = {i: [] for i in ALL_INDICATORS}
+        for scene in scenes:
+            scene_evidence = self.evidence(scene)
+            truth = scene.presence
+            for indicator in ALL_INDICATORS:
+                bucket = present if truth[indicator] else absent
+                bucket[indicator].append(scene_evidence[indicator])
+        return {
+            indicator: (
+                np.asarray(present[indicator]),
+                np.asarray(absent[indicator]),
+            )
+            for indicator in ALL_INDICATORS
+        }

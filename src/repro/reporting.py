@@ -1,0 +1,179 @@
+"""Survey report exports: CSV, GeoJSON, and Markdown.
+
+Downstream consumers of a neighborhood survey live in different
+tools — spreadsheets (CSV), GIS software (GeoJSON point features),
+and documents (Markdown).  This module renders a
+:class:`~repro.core.pipeline.SurveyReport` into each, with no
+third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from .core.indicators import ALL_INDICATORS
+from .core.pipeline import SurveyReport
+
+
+def survey_to_csv(report: SurveyReport) -> str:
+    """One row per location; one 0/1 column per indicator."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(
+        ["latitude", "longitude", "county", "zone"]
+        + [indicator.value for indicator in ALL_INDICATORS]
+    )
+    for location in report.locations:
+        writer.writerow(
+            [
+                f"{location.latitude:.6f}",
+                f"{location.longitude:.6f}",
+                location.county,
+                location.zone_kind,
+            ]
+            + [
+                int(location.presence[indicator])
+                for indicator in ALL_INDICATORS
+            ]
+        )
+    return buffer.getvalue()
+
+
+def survey_to_geojson(report: SurveyReport) -> dict:
+    """A GeoJSON ``FeatureCollection`` of surveyed locations."""
+    features = []
+    for location in report.locations:
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "Point",
+                    # GeoJSON is (longitude, latitude).
+                    "coordinates": [location.longitude, location.latitude],
+                },
+                "properties": {
+                    "county": location.county,
+                    "zone": location.zone_kind,
+                    **{
+                        indicator.value: bool(location.presence[indicator])
+                        for indicator in ALL_INDICATORS
+                    },
+                },
+            }
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def survey_to_markdown(report: SurveyReport, title: str = "Neighborhood survey") -> str:
+    """A human-readable summary document."""
+    lines = [f"# {title}", ""]
+    lines.append(
+        f"Locations surveyed: **{len(report.locations)}** "
+        f"({report.images_classified} images, "
+        f"${report.fees_usd:.2f} imagery fees)"
+    )
+    lines.append("")
+    lines.append("## Indicator rates")
+    lines.append("")
+    lines.append("| indicator | rate |")
+    lines.append("|---|---|")
+    for indicator, rate in report.indicator_rates().items():
+        lines.append(f"| {indicator.display_name} | {rate:.2f} |")
+    by_zone = report.rates_by_zone()
+    if by_zone:
+        lines.append("")
+        lines.append("## By land-use zone")
+        lines.append("")
+        header = "| zone | " + " | ".join(
+            indicator.abbreviation for indicator in ALL_INDICATORS
+        ) + " |"
+        lines.append(header)
+        lines.append("|" + "---|" * (len(ALL_INDICATORS) + 1))
+        for zone, rates in by_zone.items():
+            lines.append(
+                f"| {zone} | "
+                + " | ".join(
+                    f"{rates[indicator]:.2f}"
+                    for indicator in ALL_INDICATORS
+                )
+                + " |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def survey_to_ascii_map(
+    report: SurveyReport,
+    indicator,
+    columns: int = 40,
+    rows: int = 16,
+) -> str:
+    """A terminal choropleth: where an indicator was decoded.
+
+    Bins surveyed locations onto a ``rows×columns`` grid over their
+    bounding box; each cell shows the indicator's presence rate as a
+    density glyph (`` .:-=+*#%@`` from 0 to 1), or a space when no
+    location fell in the cell.
+    """
+    if columns < 4 or rows < 2:
+        raise ValueError("map needs at least 4x2 cells")
+    if not report.locations:
+        return "(no surveyed locations)"
+    lats = [loc.latitude for loc in report.locations]
+    lons = [loc.longitude for loc in report.locations]
+    lat_min, lat_max = min(lats), max(lats)
+    lon_min, lon_max = min(lons), max(lons)
+    lat_span = (lat_max - lat_min) or 1e-9
+    lon_span = (lon_max - lon_min) or 1e-9
+
+    hits = [[0] * columns for _ in range(rows)]
+    totals = [[0] * columns for _ in range(rows)]
+    for location in report.locations:
+        # Latitude grows northward; row 0 renders at the top (north).
+        row = min(
+            rows - 1,
+            int((lat_max - location.latitude) / lat_span * rows),
+        )
+        col = min(
+            columns - 1,
+            int((location.longitude - lon_min) / lon_span * columns),
+        )
+        totals[row][col] += 1
+        if location.presence[indicator]:
+            hits[row][col] += 1
+
+    glyphs = " .:-=+*#%@"
+    lines = [f"{indicator.display_name} presence (north at top)"]
+    for row in range(rows):
+        cells = []
+        for col in range(columns):
+            if totals[row][col] == 0:
+                cells.append(" ")
+            else:
+                rate = hits[row][col] / totals[row][col]
+                cells.append(glyphs[min(9, int(rate * 9.999))])
+        lines.append("".join(cells))
+    lines.append(f"legend: '{glyphs}' = 0% → 100%; blank = not surveyed")
+    return "\n".join(lines)
+
+
+def export_survey(
+    report: SurveyReport,
+    directory: str | Path,
+    basename: str = "survey",
+) -> dict[str, Path]:
+    """Write all three formats; returns the paths by format name."""
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "csv": out_dir / f"{basename}.csv",
+        "geojson": out_dir / f"{basename}.geojson",
+        "markdown": out_dir / f"{basename}.md",
+    }
+    paths["csv"].write_text(survey_to_csv(report))
+    paths["geojson"].write_text(json.dumps(survey_to_geojson(report), indent=2))
+    paths["markdown"].write_text(survey_to_markdown(report))
+    return paths

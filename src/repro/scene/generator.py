@@ -1,0 +1,472 @@
+"""Procedural street-scene generation.
+
+Given a sampling-frame capture (zone kind, road class, camera heading
+vs. road bearing), the generator composes a :class:`~repro.scene.model.Scene`:
+which indicators appear, where their boxes sit, how occluded and how
+contrasty they are, and which unlabeled distractors (bare utility
+poles, large houses, vegetation) share the frame.
+
+Geometry conventions (normalized coordinates, origin top-left):
+
+* the horizon sits at ``y = HORIZON`` (0.45),
+* an *along*-view road is a trapezoid converging to a vanishing point
+  on the horizon; an *across*-view road is a horizontal band near the
+  bottom of the frame (the paper's "partial view of a roadway"),
+* roadside furniture (streetlights, powerline poles) stands between
+  the road edge and the image border.
+
+Class prevalence follows the zone priors in
+:data:`repro.geo.county.ZONE_PRIORS`, which are calibrated so a
+1,200-image survey approximates the paper's Section IV-A object
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.indicators import Indicator
+from ..geo.county import ZONE_PRIORS, ZoneKind
+from ..geo.roadnet import RoadClass
+from ..geo.sampling import CaptureRequest
+from .model import BoundingBox, Distractor, RoadView, Scene, SceneObject
+from .seeding import stable_seed
+
+#: Normalized y coordinate of the horizon line.
+HORIZON = 0.45
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable knobs for scene composition."""
+
+    #: Probability that a perpendicular (across) heading still shows
+    #: the roadway in the foreground.
+    across_road_probability: float = 0.45
+    #: Probability a second streetlight appears when one does.
+    second_streetlight_probability: float = 0.20
+    #: Probability of a bare-pole distractor when no powerline exists.
+    bare_pole_probability: float = 0.18
+    #: Probability of a large-house distractor when no apartment exists.
+    house_probability: float = 0.30
+    #: Mean number of vegetation blobs per scene.
+    vegetation_rate: float = 1.8
+    #: Global multiplier on zone presence priors (sweep knob).
+    prior_scale: float = 1.0
+
+
+@dataclass
+class SceneGenerator:
+    """Deterministic scene factory.
+
+    Each call derives an independent child RNG from the base seed and
+    the scene id so scenes are reproducible individually, regardless of
+    generation order.
+    """
+
+    config: GeneratorConfig = field(default_factory=GeneratorConfig)
+    seed: int = 0
+
+    def _rng_for(self, scene_id: str) -> np.random.Generator:
+        return np.random.default_rng(stable_seed("scene", self.seed, scene_id))
+
+    # ------------------------------------------------------------------
+    # public API
+
+    def generate_for_capture(
+        self, capture: CaptureRequest, scene_id: str
+    ) -> Scene:
+        """Generate the scene for a sampling-frame capture request."""
+        return self.generate(
+            scene_id=scene_id,
+            zone_kind=capture.point.zone_kind,
+            road_class=capture.point.road_class,
+            heading=capture.heading,
+            road_bearing=capture.point.road_bearing,
+            county=capture.point.county,
+            latitude=capture.point.location.lat,
+            longitude=capture.point.location.lon,
+        )
+
+    def generate(
+        self,
+        scene_id: str,
+        zone_kind: ZoneKind,
+        road_class: RoadClass = RoadClass.LOCAL,
+        heading: int = 0,
+        road_bearing: float = 0.0,
+        county: str = "",
+        latitude: float = 0.0,
+        longitude: float = 0.0,
+    ) -> Scene:
+        """Compose a full scene for the given context."""
+        rng = self._rng_for(scene_id)
+        priors = {
+            name: min(1.0, p * self.config.prior_scale)
+            for name, p in ZONE_PRIORS[zone_kind].items()
+        }
+        clutter = self._clutter_for(zone_kind, rng)
+        daylight = float(rng.uniform(0.75, 1.0))
+
+        road_view = self._road_view(heading, road_bearing, rng)
+        objects: list[SceneObject] = []
+        distractors: list[Distractor] = []
+
+        road_obj = self._maybe_road(road_view, road_class, priors, rng)
+        if road_obj is not None:
+            objects.append(road_obj)
+
+        sidewalk = self._maybe_sidewalk(road_view, priors, clutter, rng)
+        if sidewalk is not None:
+            objects.append(sidewalk)
+
+        objects.extend(
+            self._maybe_streetlights(road_view, priors, clutter, rng)
+        )
+
+        powerline = self._maybe_powerline(priors, clutter, rng)
+        if powerline is not None:
+            objects.append(powerline)
+
+        apartment = self._maybe_apartment(priors, clutter, rng)
+        if apartment is not None:
+            objects.append(apartment)
+
+        has_powerline = powerline is not None
+        has_apartment = apartment is not None
+        distractors.extend(
+            self._make_distractors(has_powerline, has_apartment, rng)
+        )
+        distractors.extend(self._make_vegetation(rng))
+
+        return Scene(
+            scene_id=scene_id,
+            objects=tuple(objects),
+            distractors=tuple(distractors),
+            road_view=road_view if road_obj is not None else RoadView.NONE,
+            zone_kind=zone_kind.value,
+            county=county,
+            heading=heading,
+            latitude=latitude,
+            longitude=longitude,
+            daylight=daylight,
+            clutter=clutter,
+        )
+
+    # ------------------------------------------------------------------
+    # composition helpers
+
+    @staticmethod
+    def _clutter_for(zone_kind: ZoneKind, rng: np.random.Generator) -> float:
+        base = {
+            ZoneKind.RURAL: 0.45,
+            ZoneKind.SUBURBAN: 0.35,
+            ZoneKind.URBAN: 0.30,
+            ZoneKind.COMMERCIAL: 0.25,
+        }[zone_kind]
+        return float(np.clip(rng.normal(base, 0.12), 0.0, 0.9))
+
+    def _road_view(
+        self, heading: int, road_bearing: float, rng: np.random.Generator
+    ) -> RoadView:
+        delta = abs((heading - road_bearing) % 180.0)
+        delta = min(delta, 180.0 - delta)
+        if delta < 45.0:
+            return RoadView.ALONG
+        if rng.random() < self.config.across_road_probability:
+            return RoadView.ACROSS
+        return RoadView.NONE
+
+    def _occlusion(
+        self, clutter: float, rng: np.random.Generator, scale: float = 1.0
+    ) -> float:
+        return float(
+            np.clip(rng.normal(clutter * 0.35 * scale, 0.10), 0.0, 0.65)
+        )
+
+    def _contrast(
+        self, rng: np.random.Generator, floor: float = 0.6
+    ) -> float:
+        return float(rng.uniform(floor, 1.0))
+
+    def _maybe_road(
+        self,
+        road_view: RoadView,
+        road_class: RoadClass,
+        priors: dict[str, float],
+        rng: np.random.Generator,
+    ) -> SceneObject | None:
+        if road_view is RoadView.NONE:
+            return None
+        multilane = road_class.is_multilane
+        indicator = (
+            Indicator.MULTILANE_ROAD if multilane else Indicator.SINGLE_LANE_ROAD
+        )
+        if road_view is RoadView.ALONG:
+            vp_x = float(rng.uniform(0.45, 0.55))
+            half_bottom = (
+                float(rng.uniform(0.34, 0.42))
+                if multilane
+                else float(rng.uniform(0.22, 0.30))
+            )
+            poly = (
+                (vp_x - 0.015, HORIZON),
+                (vp_x + 0.015, HORIZON),
+                (0.5 + half_bottom, 1.0),
+                (0.5 - half_bottom, 1.0),
+            )
+            xs = [p[0] for p in poly]
+            box = BoundingBox(
+                max(0.0, min(xs)), HORIZON, min(1.0, max(xs)), 1.0
+            )
+            attributes = {
+                "view": "along",
+                "vanishing_x": vp_x,
+                "half_bottom": half_bottom,
+                "lanes": 4 if multilane else 2,
+            }
+        else:
+            y0 = float(rng.uniform(0.72, 0.80))
+            height = float(rng.uniform(0.13, 0.20))
+            box = BoundingBox(0.0, y0, 1.0, min(1.0, y0 + height))
+            attributes = {
+                "view": "across",
+                "lanes": 4 if multilane else 2,
+                "partial": True,
+            }
+        return SceneObject(
+            indicator=indicator,
+            box=box,
+            occlusion=0.0 if road_view is RoadView.ALONG else 0.25,
+            contrast=self._contrast(rng, floor=0.75),
+            attributes=attributes,
+        )
+
+    def _maybe_sidewalk(
+        self,
+        road_view: RoadView,
+        priors: dict[str, float],
+        clutter: float,
+        rng: np.random.Generator,
+    ) -> SceneObject | None:
+        probability = priors["sidewalk"]
+        if road_view is RoadView.ACROSS:
+            probability *= 0.7
+        elif road_view is RoadView.NONE:
+            probability *= 0.3
+        if rng.random() >= probability:
+            return None
+        side = "right" if rng.random() < 0.5 else "left"
+        if road_view is RoadView.ALONG:
+            # Sidewalk trapezoid hugging one road edge.  The box is the
+            # hull of the same trapezoid corners the renderer draws, so
+            # labels, pixels, and occupancy all agree.
+            inner = float(rng.uniform(0.26, 0.44))
+            outer = inner + float(rng.uniform(0.08, 0.13))
+            sign = 1.0 if side == "right" else -1.0
+            corner_xs = (
+                0.5 + sign * 0.02,
+                0.5 + sign * 0.032,
+                0.5 + sign * inner,
+                0.5 + sign * outer,
+            )
+            box = BoundingBox(
+                max(0.0, min(corner_xs)),
+                HORIZON + 0.02,
+                min(1.0, max(corner_xs)),
+                1.0,
+            )
+            attributes = {"view": "along", "side": side, "inner": inner, "outer": outer}
+        else:
+            y0 = float(rng.uniform(0.62, 0.70))
+            box = BoundingBox(0.0, y0, 1.0, y0 + float(rng.uniform(0.06, 0.10)))
+            attributes = {"view": "across", "side": side}
+        return SceneObject(
+            indicator=Indicator.SIDEWALK,
+            box=box,
+            occlusion=self._occlusion(clutter, rng),
+            contrast=self._contrast(rng),
+            attributes=attributes,
+        )
+
+    def _maybe_streetlights(
+        self,
+        road_view: RoadView,
+        priors: dict[str, float],
+        clutter: float,
+        rng: np.random.Generator,
+    ) -> list[SceneObject]:
+        if rng.random() >= priors["streetlight"]:
+            return []
+        lights = [self._make_streetlight(clutter, rng, primary=True)]
+        if rng.random() < self.config.second_streetlight_probability:
+            lights.append(self._make_streetlight(clutter, rng, primary=False))
+        return lights
+
+    def _make_streetlight(
+        self, clutter: float, rng: np.random.Generator, primary: bool
+    ) -> SceneObject:
+        side = -1.0 if rng.random() < 0.5 else 1.0
+        pole_x = 0.5 + side * float(rng.uniform(0.34, 0.46))
+        scale = 1.0 if primary else float(rng.uniform(0.65, 0.9))
+        y_top = 0.5 - 0.32 * scale + float(rng.uniform(-0.03, 0.03))
+        y_base = HORIZON + 0.33 * scale
+        arm_length = 0.085 * scale
+        arm_x = pole_x - side * arm_length
+        x_lo = min(pole_x, arm_x) - 0.012
+        x_hi = max(pole_x, arm_x) + 0.012
+        box = BoundingBox(
+            max(0.0, x_lo), max(0.0, y_top - 0.02), min(1.0, x_hi), min(1.0, y_base)
+        )
+        return SceneObject(
+            indicator=Indicator.STREETLIGHT,
+            box=box,
+            # Streetlights stand clear of the tree line on the road
+            # margin: low occlusion and solid silhouette contrast.
+            occlusion=self._occlusion(clutter, rng, scale=0.4),
+            contrast=self._contrast(rng, floor=0.85),
+            attributes={
+                "pole_x": pole_x,
+                "y_top": y_top,
+                "y_base": y_base,
+                "arm_x": arm_x,
+                "scale": scale,
+                "side": "left" if side < 0 else "right",
+            },
+        )
+
+    def _maybe_powerline(
+        self,
+        priors: dict[str, float],
+        clutter: float,
+        rng: np.random.Generator,
+    ) -> SceneObject | None:
+        if rng.random() >= priors["powerline"]:
+            return None
+        side = -1.0 if rng.random() < 0.5 else 1.0
+        pole_x = 0.5 + side * float(rng.uniform(0.30, 0.44))
+        wire_y = float(rng.uniform(0.14, 0.22))
+        n_wires = int(rng.integers(2, 4))
+        sag = float(rng.uniform(0.015, 0.045))
+        box = BoundingBox(
+            0.0,
+            max(0.0, wire_y - 0.02),
+            1.0,
+            min(1.0, HORIZON + 0.30),
+        )
+        # Thin wires are the dominant difficulty driver for this class.
+        thinness = float(rng.uniform(0.4, 1.0))
+        return SceneObject(
+            indicator=Indicator.POWERLINE,
+            box=box,
+            occlusion=self._occlusion(clutter, rng, scale=0.8),
+            contrast=self._contrast(rng, floor=0.5) * (0.6 + 0.4 * thinness),
+            attributes={
+                "pole_x": pole_x,
+                "wire_y": wire_y,
+                "n_wires": n_wires,
+                "sag": sag,
+                "thinness": thinness,
+            },
+        )
+
+    def _maybe_apartment(
+        self,
+        priors: dict[str, float],
+        clutter: float,
+        rng: np.random.Generator,
+    ) -> SceneObject | None:
+        if rng.random() >= priors["apartment"]:
+            return None
+        center_x = float(rng.choice((0.24, 0.76))) + float(
+            rng.uniform(-0.06, 0.06)
+        )
+        half_width = float(rng.uniform(0.13, 0.21))
+        y_top = float(rng.uniform(0.12, 0.22))
+        y_base = HORIZON + float(rng.uniform(0.10, 0.17))
+        floors = int(rng.integers(4, 7))
+        box = BoundingBox(
+            max(0.0, center_x - half_width),
+            y_top,
+            min(1.0, center_x + half_width),
+            min(1.0, y_base),
+        )
+        return SceneObject(
+            indicator=Indicator.APARTMENT,
+            box=box,
+            occlusion=self._occlusion(clutter, rng, scale=0.6),
+            contrast=self._contrast(rng, floor=0.7),
+            attributes={"floors": floors, "center_x": center_x},
+        )
+
+    def _make_distractors(
+        self,
+        has_powerline: bool,
+        has_apartment: bool,
+        rng: np.random.Generator,
+    ) -> list[Distractor]:
+        distractors = []
+        if not has_powerline and rng.random() < self.config.bare_pole_probability:
+            pole_x = 0.5 + float(rng.choice((-1, 1))) * float(
+                rng.uniform(0.30, 0.44)
+            )
+            distractors.append(
+                Distractor(
+                    kind="bare_pole",
+                    box=BoundingBox(
+                        max(0.0, pole_x - 0.012),
+                        0.20,
+                        min(1.0, pole_x + 0.012),
+                        HORIZON + 0.30,
+                    ),
+                    attributes={"pole_x": pole_x},
+                )
+            )
+        if not has_apartment and rng.random() < self.config.house_probability:
+            center_x = float(rng.choice((0.25, 0.75))) + float(
+                rng.uniform(-0.05, 0.05)
+            )
+            half_width = float(rng.uniform(0.07, 0.11))
+            # A large house is the paper's implied apartment confuser.
+            large = rng.random() < 0.35
+            if large:
+                half_width *= 1.6
+            distractors.append(
+                Distractor(
+                    kind="house",
+                    box=BoundingBox(
+                        max(0.0, center_x - half_width),
+                        0.33 if large else 0.37,
+                        min(1.0, center_x + half_width),
+                        HORIZON + 0.12,
+                    ),
+                    attributes={"center_x": center_x, "large": large},
+                )
+            )
+        return distractors
+
+    def _make_vegetation(self, rng: np.random.Generator) -> list[Distractor]:
+        count = int(rng.poisson(self.config.vegetation_rate))
+        blobs = []
+        for _ in range(min(count, 5)):
+            cx = float(rng.uniform(0.02, 0.98))
+            # Keep foliage off the road corridor center.
+            if 0.35 < cx < 0.65:
+                cx = 0.2 if cx < 0.5 else 0.8
+            rx = float(rng.uniform(0.04, 0.11))
+            cy = float(rng.uniform(0.30, 0.44))
+            blobs.append(
+                Distractor(
+                    kind="tree",
+                    box=BoundingBox(
+                        max(0.0, cx - rx),
+                        max(0.0, cy - rx),
+                        min(1.0, cx + rx),
+                        min(1.0, cy + rx * 1.4),
+                    ),
+                    attributes={"cx": cx, "cy": cy, "rx": rx},
+                )
+            )
+        return blobs

@@ -1,0 +1,201 @@
+"""Scene graph: the ground truth behind every synthetic street image.
+
+A :class:`Scene` is the structured description of what a street-view
+capture contains — typed objects with normalized bounding boxes plus
+scene-level context (zone kind, camera heading relative to the road,
+lighting).  The rasterizer turns a scene into pixels; the LabelMe layer
+turns it into annotations; the LLM perception model reads it through a
+noisy channel.  Keeping the scene explicit is what lets the
+reproduction run the same image through every subsystem with a single
+source of ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..core.indicators import ALL_INDICATORS, Indicator, IndicatorPresence
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned box in normalized image coordinates.
+
+    Coordinates are fractions of image width/height with the origin at
+    the top-left corner, ``0 <= x_min < x_max <= 1`` and likewise for
+    y.  Normalized coordinates make scene ground truth independent of
+    the requested render resolution.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.x_min < self.x_max <= 1.0):
+            raise ValueError(
+                f"invalid x extent: [{self.x_min}, {self.x_max}]"
+            )
+        if not (0.0 <= self.y_min < self.y_max <= 1.0):
+            raise ValueError(
+                f"invalid y extent: [{self.y_min}, {self.y_max}]"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (
+            (self.x_min + self.x_max) / 2.0,
+            (self.y_min + self.y_max) / 2.0,
+        )
+
+    def iou(self, other: "BoundingBox") -> float:
+        """Intersection-over-union with ``other``."""
+        ix = max(0.0, min(self.x_max, other.x_max) - max(self.x_min, other.x_min))
+        iy = max(0.0, min(self.y_max, other.y_max) - max(self.y_min, other.y_min))
+        inter = ix * iy
+        union = self.area + other.area - inter
+        return inter / union if union > 0 else 0.0
+
+    def to_pixels(self, width: int, height: int) -> tuple[int, int, int, int]:
+        """Convert to integer pixel coordinates for a given image size."""
+        if width <= 0 or height <= 0:
+            raise ValueError("image dimensions must be positive")
+        return (
+            int(round(self.x_min * width)),
+            int(round(self.y_min * height)),
+            int(round(self.x_max * width)),
+            int(round(self.y_max * height)),
+        )
+
+    @classmethod
+    def from_pixels(
+        cls, x0: float, y0: float, x1: float, y1: float, width: int, height: int
+    ) -> "BoundingBox":
+        """Build a normalized box from pixel coordinates, clamping to the canvas."""
+        return cls(
+            max(0.0, min(1.0, x0 / width)),
+            max(0.0, min(1.0, y0 / height)),
+            max(0.0, min(1.0, x1 / width)),
+            max(0.0, min(1.0, y1 / height)),
+        )
+
+    def clamped_shift(self, dx: float, dy: float) -> "BoundingBox":
+        """Translate the box, clamping to the unit canvas."""
+        x0 = min(max(self.x_min + dx, 0.0), 0.999)
+        y0 = min(max(self.y_min + dy, 0.0), 0.999)
+        x1 = min(max(self.x_max + dx, x0 + 1e-3), 1.0)
+        y1 = min(max(self.y_max + dy, y0 + 1e-3), 1.0)
+        return BoundingBox(x0, y0, x1, y1)
+
+
+class RoadView(enum.Enum):
+    """How the roadway appears for the capture heading."""
+
+    ALONG = "along"  # camera looks down the road: full perspective view
+    ACROSS = "across"  # road crosses the foreground: partial view
+    NONE = "none"  # no roadway visible (vegetation, open field)
+
+
+@dataclass(frozen=True)
+class SceneObject:
+    """A labeled object instance inside a scene.
+
+    ``occlusion`` is the fraction of the object hidden behind other
+    geometry (vegetation, parked cars); ``contrast`` is how strongly
+    the object stands out from its background.  Both feed the LLM
+    perception channel and the renderer.
+    """
+
+    indicator: Indicator
+    box: BoundingBox
+    occlusion: float = 0.0
+    contrast: float = 1.0
+    attributes: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.occlusion <= 1.0:
+            raise ValueError(f"occlusion out of range: {self.occlusion}")
+        if not 0.0 < self.contrast <= 1.0:
+            raise ValueError(f"contrast out of range: {self.contrast}")
+
+
+@dataclass(frozen=True)
+class Distractor:
+    """Unlabeled scene content that can confuse classifiers.
+
+    Examples: a bare utility pole (streetlight confuser), a large
+    single-family house (apartment confuser), a paved driveway
+    (road/sidewalk confuser).  Distractors render like objects but are
+    never part of the ground-truth labels.
+    """
+
+    kind: str
+    box: BoundingBox
+    attributes: dict = field(default_factory=dict, compare=False)
+
+
+@dataclass(frozen=True)
+class Scene:
+    """Complete ground truth for one street-view capture."""
+
+    scene_id: str
+    objects: tuple[SceneObject, ...]
+    distractors: tuple[Distractor, ...] = ()
+    road_view: RoadView = RoadView.NONE
+    zone_kind: str = "rural"
+    county: str = ""
+    heading: int = 0
+    latitude: float = 0.0
+    longitude: float = 0.0
+    daylight: float = 1.0
+    clutter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.1 <= self.daylight <= 1.0:
+            raise ValueError(f"daylight out of range: {self.daylight}")
+        if not 0.0 <= self.clutter <= 1.0:
+            raise ValueError(f"clutter out of range: {self.clutter}")
+
+    @property
+    def presence(self) -> IndicatorPresence:
+        """Image-level presence labels derived from the object list."""
+        return IndicatorPresence(obj.indicator for obj in self.objects)
+
+    def objects_of(self, indicator: Indicator) -> tuple[SceneObject, ...]:
+        return tuple(o for o in self.objects if o.indicator == indicator)
+
+    def count_of(self, indicator: Indicator) -> int:
+        return sum(1 for o in self.objects if o.indicator == indicator)
+
+    def object_counts(self) -> dict[Indicator, int]:
+        return {ind: self.count_of(ind) for ind in ALL_INDICATORS}
+
+    def with_objects(self, objects: tuple[SceneObject, ...]) -> "Scene":
+        """Return a copy of the scene with a replaced object list."""
+        return Scene(
+            scene_id=self.scene_id,
+            objects=objects,
+            distractors=self.distractors,
+            road_view=self.road_view,
+            zone_kind=self.zone_kind,
+            county=self.county,
+            heading=self.heading,
+            latitude=self.latitude,
+            longitude=self.longitude,
+            daylight=self.daylight,
+            clutter=self.clutter,
+        )

@@ -1,0 +1,145 @@
+"""Object occupancy footprints for training-target assignment.
+
+A bounding box is a poor description of *where an object's pixels
+actually are* for diagonal or skeletal objects: an along-view sidewalk
+is a thin diagonal strip inside a large box, a streetlight is a 1-pixel
+pole plus an arm, powerline wires are a thin band spanning the frame.
+
+``occupancy_boxes`` decomposes a scene object into a small set of
+sub-boxes that tightly cover its rendered footprint.  The detector's
+target assigner marks a grid cell positive only when occupancy (not
+the enclosing box) covers it, which removes the contradictory
+supervision that bbox-based assignment creates for such shapes.
+"""
+
+from __future__ import annotations
+
+from ..core.indicators import Indicator
+from .generator import HORIZON
+from .model import BoundingBox, SceneObject
+
+
+def _clamped(x0: float, y0: float, x1: float, y1: float) -> BoundingBox | None:
+    x0, x1 = max(0.0, x0), min(1.0, x1)
+    y0, y1 = max(0.0, y0), min(1.0, y1)
+    if x1 - x0 < 1e-3 or y1 - y0 < 1e-3:
+        return None
+    return BoundingBox(x0, y0, x1, y1)
+
+
+def _strip_slices(
+    top_x0: float,
+    top_x1: float,
+    bottom_x0: float,
+    bottom_x1: float,
+    y_top: float,
+    y_bottom: float,
+    slices: int = 5,
+) -> list[BoundingBox]:
+    """Cover a vertical trapezoid strip with stacked axis-aligned boxes."""
+    boxes = []
+    for i in range(slices):
+        t0 = i / slices
+        t1 = (i + 1) / slices
+        xa0 = top_x0 + (bottom_x0 - top_x0) * t0
+        xa1 = top_x1 + (bottom_x1 - top_x1) * t0
+        xb0 = top_x0 + (bottom_x0 - top_x0) * t1
+        xb1 = top_x1 + (bottom_x1 - top_x1) * t1
+        box = _clamped(
+            min(xa0, xb0),
+            y_top + (y_bottom - y_top) * t0,
+            max(xa1, xb1),
+            y_top + (y_bottom - y_top) * t1,
+        )
+        if box is not None:
+            boxes.append(box)
+    return boxes
+
+
+def occupancy_boxes(obj: SceneObject) -> list[BoundingBox]:
+    """Sub-boxes tightly covering the object's rendered footprint.
+
+    Falls back to the bounding box itself when the object has no
+    structured geometry (or when geometry attributes are missing, as
+    for annotations loaded from plain LabelMe files).
+    """
+    attributes = obj.attributes
+    indicator = obj.indicator
+
+    if indicator is Indicator.SIDEWALK and attributes.get("view") == "along":
+        inner = attributes.get("inner")
+        outer = attributes.get("outer")
+        side = attributes.get("side", "right")
+        if inner is None or outer is None:
+            return [obj.box]
+        sign = 1.0 if side == "right" else -1.0
+        vp_x = 0.5 + sign * 0.02
+        top_lo, top_hi = sorted((vp_x, vp_x + sign * 0.012))
+        bot_lo, bot_hi = sorted((0.5 + sign * inner, 0.5 + sign * outer))
+        return _strip_slices(
+            top_lo, top_hi, bot_lo, bot_hi, HORIZON + 0.02, 1.0, slices=6
+        )
+
+    if indicator in (Indicator.SINGLE_LANE_ROAD, Indicator.MULTILANE_ROAD):
+        if attributes.get("view") == "along":
+            vp_x = attributes.get("vanishing_x")
+            half_bottom = attributes.get("half_bottom")
+            if vp_x is None or half_bottom is None:
+                return [obj.box]
+            return _strip_slices(
+                vp_x - 0.015,
+                vp_x + 0.015,
+                0.5 - half_bottom,
+                0.5 + half_bottom,
+                HORIZON,
+                1.0,
+                slices=6,
+            )
+        return [obj.box]
+
+    if indicator is Indicator.STREETLIGHT:
+        pole_x = attributes.get("pole_x")
+        if pole_x is None:
+            return [obj.box]
+        y_top = attributes.get("y_top", obj.box.y_min)
+        y_base = attributes.get("y_base", obj.box.y_max)
+        arm_x = attributes.get("arm_x", pole_x)
+        boxes = []
+        pole = _clamped(pole_x - 0.012, y_top, pole_x + 0.012, y_base)
+        if pole is not None:
+            boxes.append(pole)
+        arm = _clamped(
+            min(pole_x, arm_x) - 0.012,
+            y_top - 0.02,
+            max(pole_x, arm_x) + 0.012,
+            y_top + 0.03,
+        )
+        if arm is not None:
+            boxes.append(arm)
+        return boxes or [obj.box]
+
+    if indicator is Indicator.POWERLINE:
+        pole_x = attributes.get("pole_x")
+        wire_y = attributes.get("wire_y")
+        if pole_x is None or wire_y is None:
+            return [obj.box]
+        n_wires = int(attributes.get("n_wires", 2))
+        sag = attributes.get("sag", 0.03)
+        boxes = []
+        band = _clamped(
+            0.0,
+            wire_y - 0.015,
+            1.0,
+            wire_y + n_wires * 0.022 + sag * 1.5 + 0.015,
+        )
+        if band is not None:
+            boxes.append(band)
+        pole = _clamped(
+            pole_x - 0.05, wire_y - 0.02, pole_x + 0.05, HORIZON + 0.30
+        )
+        if pole is not None:
+            boxes.append(pole)
+        return boxes or [obj.box]
+
+    # Apartments and across-view elements are genuinely box-like.
+    return [obj.box]

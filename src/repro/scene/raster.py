@@ -1,0 +1,225 @@
+"""Minimal numpy rasterization primitives.
+
+The renderer needs just a handful of operations — filled rectangles,
+filled convex polygons, thick line segments, and ellipses — all drawn
+into an ``(H, W, 3)`` float image in ``[0, 1]``.  Every primitive
+restricts its work to the bounding window of the shape so rendering a
+640×640 scene stays in the low milliseconds.
+
+All coordinates are pixels with the origin at the top-left corner,
+``x`` rightward and ``y`` downward, matching image indexing
+``image[y, x]``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+Color = tuple[float, float, float]
+
+
+def _window(
+    image: np.ndarray,
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+) -> tuple[int, int, int, int] | None:
+    """Clip a pixel-space bounding window to the image; None if empty."""
+    height, width = image.shape[:2]
+    ix0 = max(0, int(np.floor(x0)))
+    iy0 = max(0, int(np.floor(y0)))
+    ix1 = min(width, int(np.ceil(x1)) + 1)
+    iy1 = min(height, int(np.ceil(y1)) + 1)
+    if ix0 >= ix1 or iy0 >= iy1:
+        return None
+    return ix0, iy0, ix1, iy1
+
+
+def _blend(
+    patch: np.ndarray, mask: np.ndarray, color: Color, opacity: float
+) -> None:
+    """Alpha-blend ``color`` into ``patch`` wherever ``mask`` is true."""
+    if opacity >= 1.0:
+        patch[mask] = color
+    else:
+        patch[mask] = (1.0 - opacity) * patch[mask] + opacity * np.asarray(
+            color, dtype=patch.dtype
+        )
+
+
+def fill_rect(
+    image: np.ndarray,
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+    color: Color,
+    opacity: float = 1.0,
+) -> None:
+    """Fill the axis-aligned rectangle ``[x0, x1) x [y0, y1)``."""
+    win = _window(image, x0, y0, x1 - 1, y1 - 1)
+    if win is None:
+        return
+    ix0, iy0, ix1, iy1 = win
+    patch = image[iy0:iy1, ix0:ix1]
+    mask = np.ones(patch.shape[:2], dtype=bool)
+    _blend(patch, mask, color, opacity)
+
+
+def fill_convex_polygon(
+    image: np.ndarray,
+    vertices: Sequence[tuple[float, float]],
+    color: Color,
+    opacity: float = 1.0,
+) -> None:
+    """Fill a convex polygon given counter-clockwise or clockwise vertices.
+
+    Uses half-plane tests over the polygon's bounding window.  Vertex
+    winding is detected automatically.
+    """
+    if len(vertices) < 3:
+        raise ValueError("polygon needs at least 3 vertices")
+    pts = np.asarray(vertices, dtype=np.float64)
+    win = _window(
+        image, pts[:, 0].min(), pts[:, 1].min(), pts[:, 0].max(), pts[:, 1].max()
+    )
+    if win is None:
+        return
+    ix0, iy0, ix1, iy1 = win
+    ys, xs = np.mgrid[iy0:iy1, ix0:ix1]
+    xs = xs + 0.5
+    ys = ys + 0.5
+
+    # Signed area decides the winding so the half-plane tests agree.
+    rolled = np.roll(pts, -1, axis=0)
+    signed_area = float(
+        np.sum(pts[:, 0] * rolled[:, 1] - rolled[:, 0] * pts[:, 1])
+    )
+    sign = 1.0 if signed_area >= 0 else -1.0
+
+    mask = np.ones(xs.shape, dtype=bool)
+    for (px, py), (qx, qy) in zip(pts, rolled):
+        cross = (qx - px) * (ys - py) - (qy - py) * (xs - px)
+        mask &= sign * cross >= 0
+        if not mask.any():
+            return
+    _blend(image[iy0:iy1, ix0:ix1], mask, color, opacity)
+
+
+def draw_line(
+    image: np.ndarray,
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+    color: Color,
+    thickness: float = 1.0,
+    opacity: float = 1.0,
+) -> None:
+    """Draw a thick line segment (distance-to-segment test)."""
+    if thickness <= 0:
+        raise ValueError(f"thickness must be positive: {thickness}")
+    radius = thickness / 2.0
+    win = _window(
+        image,
+        min(x0, x1) - radius,
+        min(y0, y1) - radius,
+        max(x0, x1) + radius,
+        max(y0, y1) + radius,
+    )
+    if win is None:
+        return
+    ix0, iy0, ix1, iy1 = win
+    ys, xs = np.mgrid[iy0:iy1, ix0:ix1]
+    xs = xs + 0.5
+    ys = ys + 0.5
+    dx, dy = x1 - x0, y1 - y0
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0:
+        dist = np.hypot(xs - x0, ys - y0)
+    else:
+        t = np.clip(((xs - x0) * dx + (ys - y0) * dy) / length_sq, 0.0, 1.0)
+        dist = np.hypot(xs - (x0 + t * dx), ys - (y0 + t * dy))
+    mask = dist <= radius
+    if mask.any():
+        _blend(image[iy0:iy1, ix0:ix1], mask, color, opacity)
+
+
+def draw_polyline(
+    image: np.ndarray,
+    points: Sequence[tuple[float, float]],
+    color: Color,
+    thickness: float = 1.0,
+    opacity: float = 1.0,
+) -> None:
+    """Draw connected line segments through ``points``."""
+    for (ax, ay), (bx, by) in zip(points, points[1:]):
+        draw_line(image, ax, ay, bx, by, color, thickness, opacity)
+
+
+def fill_ellipse(
+    image: np.ndarray,
+    cx: float,
+    cy: float,
+    rx: float,
+    ry: float,
+    color: Color,
+    opacity: float = 1.0,
+) -> None:
+    """Fill an axis-aligned ellipse centered at ``(cx, cy)``."""
+    if rx <= 0 or ry <= 0:
+        raise ValueError("ellipse radii must be positive")
+    win = _window(image, cx - rx, cy - ry, cx + rx, cy + ry)
+    if win is None:
+        return
+    ix0, iy0, ix1, iy1 = win
+    ys, xs = np.mgrid[iy0:iy1, ix0:ix1]
+    xs = xs + 0.5
+    ys = ys + 0.5
+    mask = ((xs - cx) / rx) ** 2 + ((ys - cy) / ry) ** 2 <= 1.0
+    if mask.any():
+        _blend(image[iy0:iy1, ix0:ix1], mask, color, opacity)
+
+
+def vertical_gradient(
+    image: np.ndarray,
+    y0: float,
+    y1: float,
+    top_color: Color,
+    bottom_color: Color,
+) -> None:
+    """Fill rows ``[y0, y1)`` with a vertical color gradient."""
+    height, width = image.shape[:2]
+    iy0 = max(0, int(y0))
+    iy1 = min(height, int(y1))
+    if iy0 >= iy1:
+        return
+    top = np.asarray(top_color, dtype=image.dtype)
+    bottom = np.asarray(bottom_color, dtype=image.dtype)
+    span = max(1, iy1 - iy0 - 1)
+    for row in range(iy0, iy1):
+        t = (row - iy0) / span
+        image[row, :, :] = (1.0 - t) * top + t * bottom
+
+
+def speckle(
+    image: np.ndarray,
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+    amplitude: float,
+    rng: np.random.Generator,
+) -> None:
+    """Add zero-mean texture noise to a window (asphalt grain, foliage)."""
+    win = _window(image, x0, y0, x1 - 1, y1 - 1)
+    if win is None:
+        return
+    ix0, iy0, ix1, iy1 = win
+    patch = image[iy0:iy1, ix0:ix1]
+    noise = rng.normal(0.0, amplitude, size=patch.shape[:2])
+    patch += noise[..., None]
+    np.clip(patch, 0.0, 1.0, out=patch)

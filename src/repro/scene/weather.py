@@ -1,0 +1,127 @@
+"""Weather and lighting conditions as image-space corruptions.
+
+GSV imagery is captured in whatever conditions the car drove through;
+the paper's noise ablation (Fig. 3) covers sensor noise but not
+weather.  This module adds the three conditions street-level vision
+work usually evaluates, each implemented as a physically motivated
+pixel transform:
+
+* **fog** — scattering toward a gray airlight, stronger higher in the
+  frame (farther scene content sits near the horizon);
+* **rain** — contrast loss plus semi-transparent streak overlays;
+* **dusk** — global dimming with a warm sky tint and a blue shadow
+  shift.
+
+All transforms accept uint8 or float images and preserve dtype, so
+they slot directly into ``evaluate_detector(image_transform=...)``
+exactly like the SNR corruption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .seeding import stable_seed
+
+#: Severity sweep used by the robustness benches.
+SEVERITY_LEVELS = (0.25, 0.5, 0.75, 1.0)
+
+
+def _to_float(image: np.ndarray) -> tuple[np.ndarray, bool]:
+    if image.dtype == np.uint8:
+        return image.astype(np.float64) / 255.0, True
+    return image.astype(np.float64), False
+
+
+def _from_float(pixels: np.ndarray, was_uint8: bool) -> np.ndarray:
+    np.clip(pixels, 0.0, 1.0, out=pixels)
+    if was_uint8:
+        return (pixels * 255.0 + 0.5).astype(np.uint8)
+    return pixels
+
+
+def apply_fog(image: np.ndarray, severity: float = 0.5) -> np.ndarray:
+    """Blend toward gray airlight with height-dependent density."""
+    _check_severity(severity)
+    pixels, was_uint8 = _to_float(image)
+    height = pixels.shape[0]
+    airlight = np.array([0.78, 0.80, 0.82])
+    # Density falls from the horizon region downward: rows near the
+    # top (distant content) fog over first.
+    row_factor = np.linspace(1.0, 0.35, height)[:, None, None]
+    alpha = severity * 0.75 * row_factor
+    fogged = (1.0 - alpha) * pixels + alpha * airlight
+    return _from_float(fogged, was_uint8)
+
+
+def apply_rain(
+    image: np.ndarray,
+    severity: float = 0.5,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Contrast loss plus diagonal rain streaks."""
+    _check_severity(severity)
+    pixels, was_uint8 = _to_float(image)
+    height, width = pixels.shape[:2]
+    rng = np.random.default_rng(
+        stable_seed("rain", seed if seed is not None else 0)
+    )
+    # Wet-scene contrast compression toward the mean.
+    mean = pixels.mean()
+    pixels = (1.0 - 0.3 * severity) * pixels + 0.3 * severity * mean
+    # Streaks: short bright diagonal segments.
+    n_streaks = int(severity * width * height / 400)
+    streak_color = 0.85
+    for _ in range(n_streaks):
+        x = int(rng.integers(0, width))
+        y = int(rng.integers(0, height))
+        length = int(rng.integers(6, 14))
+        for step in range(length):
+            yy = y + step
+            xx = x + step // 3
+            if yy < height and xx < width:
+                pixels[yy, xx] = (
+                    0.6 * pixels[yy, xx] + 0.4 * streak_color
+                )
+    return _from_float(pixels, was_uint8)
+
+
+def apply_dusk(image: np.ndarray, severity: float = 0.5) -> np.ndarray:
+    """Dim the scene with a warm horizon tint and cool shadows."""
+    _check_severity(severity)
+    pixels, was_uint8 = _to_float(image)
+    dimming = 1.0 - 0.55 * severity
+    pixels = pixels * dimming
+    # Warm tint strongest near the horizon band, cool shift below.
+    height = pixels.shape[0]
+    band = np.exp(
+        -(((np.arange(height) - 0.45 * height) / (0.12 * height)) ** 2)
+    )[:, None]
+    pixels[..., 0] += 0.10 * severity * band
+    pixels[..., 2] += 0.05 * severity * (1.0 - band)
+    return _from_float(pixels, was_uint8)
+
+
+#: Named condition registry for sweeps.
+CONDITIONS = {
+    "fog": apply_fog,
+    "rain": apply_rain,
+    "dusk": apply_dusk,
+}
+
+
+def apply_condition(
+    image: np.ndarray, condition: str, severity: float = 0.5
+) -> np.ndarray:
+    """Apply a named weather condition."""
+    if condition not in CONDITIONS:
+        raise ValueError(
+            f"unknown condition {condition!r}; choose from "
+            f"{sorted(CONDITIONS)}"
+        )
+    return CONDITIONS[condition](image, severity)
+
+
+def _check_severity(severity: float) -> None:
+    if not 0.0 <= severity <= 1.0:
+        raise ValueError(f"severity out of range: {severity}")

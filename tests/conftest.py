@@ -1,0 +1,71 @@
+"""Shared fixtures: small deterministic datasets, scenes, and clients.
+
+Session-scoped so the expensive builds (dataset assembly, LLM
+calibration) run once per pytest invocation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geo import RoadClass, ZoneKind
+from repro.gsv import build_survey_dataset
+from repro.llm import EvidenceModel, build_clients
+from repro.scene import GeneratorConfig, SceneGenerator
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """120 images at 256px: fast but statistically meaningful."""
+    return build_survey_dataset(n_images=120, size=256, seed=11)
+
+
+@pytest.fixture(scope="session")
+def calibration_dataset():
+    """Separate dataset used only for client calibration."""
+    return build_survey_dataset(n_images=240, size=256, seed=77)
+
+
+@pytest.fixture(scope="session")
+def clients(calibration_dataset):
+    """The four calibrated simulated VLM clients."""
+    return build_clients([image.scene for image in calibration_dataset])
+
+
+@pytest.fixture(scope="session")
+def evidence_model():
+    return EvidenceModel(seed=0)
+
+
+@pytest.fixture()
+def generator():
+    return SceneGenerator(config=GeneratorConfig(), seed=5)
+
+
+@pytest.fixture()
+def urban_scene(generator):
+    """A deterministic urban scene with a road view along the camera."""
+    return generator.generate(
+        scene_id="test-urban",
+        zone_kind=ZoneKind.URBAN,
+        road_class=RoadClass.ARTERIAL,
+        heading=0,
+        road_bearing=5.0,
+    )
+
+
+@pytest.fixture()
+def rural_scene(generator):
+    return generator.generate(
+        scene_id="test-rural",
+        zone_kind=ZoneKind.RURAL,
+        road_class=RoadClass.LOCAL,
+        heading=90,
+        road_bearing=85.0,
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(123)

@@ -1,0 +1,159 @@
+"""Tests for the response cache and survey exports."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    LLMIndicatorClassifier,
+    NeighborhoodDecoder,
+    build_parallel_prompt,
+)
+from repro.geo import make_durham_like
+from repro.gsv import StreetViewClient
+from repro.llm import ImageAttachment
+from repro.llm.cache import CachingChatClient, request_fingerprint
+from repro.llm.base import ChatMessage, ChatRequest
+from repro.reporting import (
+    export_survey,
+    survey_to_csv,
+    survey_to_geojson,
+    survey_to_markdown,
+)
+
+
+@pytest.fixture()
+def attachment(urban_scene):
+    return ImageAttachment(scene=urban_scene)
+
+
+def _request(attachment, text="Is there a sidewalk visible in the image?"):
+    return ChatRequest(
+        model="gpt-4o-mini",
+        messages=(
+            ChatMessage(role="user", text=text, images=(attachment,)),
+        ),
+    )
+
+
+class TestFingerprint:
+    def test_identical_requests_same_key(self, attachment):
+        assert request_fingerprint(_request(attachment)) == request_fingerprint(
+            _request(attachment)
+        )
+
+    def test_different_text_different_key(self, attachment):
+        a = request_fingerprint(_request(attachment, "sidewalk?"))
+        b = request_fingerprint(_request(attachment, "powerline?"))
+        assert a != b
+
+    def test_different_temperature_different_key(self, attachment):
+        base = _request(attachment)
+        warm = ChatRequest(
+            model=base.model, messages=base.messages, temperature=0.2
+        )
+        assert request_fingerprint(base) != request_fingerprint(warm)
+
+    def test_different_image_different_key(self, urban_scene, rural_scene):
+        a = _request(ImageAttachment(scene=urban_scene))
+        b = _request(ImageAttachment(scene=rural_scene))
+        assert request_fingerprint(a) != request_fingerprint(b)
+
+
+class TestCachingClient:
+    def test_second_call_hits_cache(self, clients, attachment):
+        caching = CachingChatClient(clients["gpt-4o-mini"])
+        request = _request(attachment)
+        first = caching.complete(request)
+        inner_requests = clients["gpt-4o-mini"].stats.requests
+        second = caching.complete(request)
+        assert second.content == first.content
+        assert caching.hits == 1 and caching.misses == 1
+        # The inner client was not called again.
+        assert clients["gpt-4o-mini"].stats.requests == inner_requests
+
+    def test_persistence_round_trip(self, clients, attachment, tmp_path):
+        path = tmp_path / "cache.json"
+        request = _request(attachment)
+        first = CachingChatClient(clients["gpt-4o-mini"], cache_path=path)
+        original = first.complete(request)
+        assert path.exists()
+
+        reloaded = CachingChatClient(
+            clients["gpt-4o-mini"], cache_path=path
+        )
+        cached = reloaded.complete(request)
+        assert cached.content == original.content
+        assert reloaded.hits == 1
+
+    def test_clear(self, clients, attachment, tmp_path):
+        path = tmp_path / "cache.json"
+        caching = CachingChatClient(clients["gpt-4o-mini"], cache_path=path)
+        caching.complete(_request(attachment))
+        assert len(caching) == 1
+        caching.clear()
+        assert len(caching) == 0
+        assert not path.exists()
+
+    def test_works_under_classifier(self, clients, small_dataset):
+        caching = CachingChatClient(clients["gemini-1.5-pro"])
+        classifier = LLMIndicatorClassifier(caching)
+        first = classifier.predictions(small_dataset.images[:8])
+        second = classifier.predictions(small_dataset.images[:8])
+        assert first == second
+        assert caching.hits == 8
+
+    def test_hit_rate(self, clients, attachment):
+        caching = CachingChatClient(clients["claude-3.7"])
+        prompt = build_parallel_prompt()
+        request = ChatRequest(
+            model="claude-3.7",
+            messages=(
+                ChatMessage(role="user", text=prompt, images=(attachment,)),
+            ),
+        )
+        caching.complete(request)
+        caching.complete(request)
+        caching.complete(request)
+        assert caching.hit_rate == pytest.approx(2 / 3)
+
+
+@pytest.fixture(scope="module")
+def survey_report(clients):
+    county = make_durham_like(seed=3)
+    decoder = NeighborhoodDecoder(
+        street_view=StreetViewClient(counties=[county], api_key="x"),
+        classifier=LLMIndicatorClassifier(clients["gemini-1.5-pro"]),
+    )
+    return decoder.survey(county, n_locations=6, seed=0)
+
+
+class TestExports:
+    def test_csv_shape(self, survey_report):
+        text = survey_to_csv(survey_report)
+        rows = text.strip().split("\n")
+        assert len(rows) == 7  # header + 6 locations
+        assert rows[0].startswith("latitude,longitude,county,zone")
+
+    def test_geojson_valid(self, survey_report):
+        geojson = survey_to_geojson(survey_report)
+        assert geojson["type"] == "FeatureCollection"
+        assert len(geojson["features"]) == 6
+        feature = geojson["features"][0]
+        lon, lat = feature["geometry"]["coordinates"]
+        assert -180 <= lon <= 180 and -90 <= lat <= 90
+        assert "sidewalk" in feature["properties"]
+
+    def test_markdown_contains_rates(self, survey_report):
+        text = survey_to_markdown(survey_report)
+        assert "## Indicator rates" in text
+        assert "Sidewalk" in text
+
+    def test_export_writes_all_files(self, survey_report, tmp_path):
+        paths = export_survey(survey_report, tmp_path)
+        assert set(paths) == {"csv", "geojson", "markdown"}
+        for path in paths.values():
+            assert path.exists()
+            assert path.stat().st_size > 0
+        parsed = json.loads(paths["geojson"].read_text())
+        assert parsed["type"] == "FeatureCollection"

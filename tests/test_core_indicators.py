@@ -1,0 +1,95 @@
+"""Tests for the indicator taxonomy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.indicators import (
+    ALL_INDICATORS,
+    Indicator,
+    IndicatorPresence,
+    PAPER_OBJECT_COUNTS,
+)
+
+
+class TestIndicator:
+    def test_six_indicators(self):
+        assert len(ALL_INDICATORS) == 6
+        assert len(set(ALL_INDICATORS)) == 6
+
+    def test_abbreviations_match_paper(self):
+        assert Indicator.STREETLIGHT.abbreviation == "SL"
+        assert Indicator.SIDEWALK.abbreviation == "SW"
+        assert Indicator.SINGLE_LANE_ROAD.abbreviation == "SR"
+        assert Indicator.MULTILANE_ROAD.abbreviation == "MR"
+        assert Indicator.POWERLINE.abbreviation == "PL"
+        assert Indicator.APARTMENT.abbreviation == "AP"
+
+    @pytest.mark.parametrize("indicator", list(Indicator))
+    def test_from_string_round_trips_value(self, indicator):
+        assert Indicator.from_string(indicator.value) is indicator
+
+    @pytest.mark.parametrize("indicator", list(Indicator))
+    def test_from_string_accepts_abbreviation(self, indicator):
+        assert Indicator.from_string(indicator.abbreviation) is indicator
+
+    @pytest.mark.parametrize("indicator", list(Indicator))
+    def test_from_string_accepts_display_name(self, indicator):
+        assert Indicator.from_string(indicator.display_name) is indicator
+
+    def test_from_string_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Indicator.from_string("swimming pool")
+
+    def test_paper_counts_total(self):
+        # Section IV-A: 1,927 labeled indicator objects.
+        assert sum(PAPER_OBJECT_COUNTS.values()) == 1927
+
+
+class TestIndicatorPresence:
+    def test_defaults_absent(self):
+        presence = IndicatorPresence()
+        assert not any(presence.values())
+        assert len(presence) == 6
+
+    def test_mapping_interface(self):
+        presence = IndicatorPresence([Indicator.SIDEWALK])
+        assert presence[Indicator.SIDEWALK] is True
+        assert presence[Indicator.POWERLINE] is False
+        assert Indicator.SIDEWALK in list(presence)
+
+    def test_rejects_non_indicator(self):
+        with pytest.raises(TypeError):
+            IndicatorPresence(["sidewalk"])
+
+    def test_bad_key_raises(self):
+        with pytest.raises(KeyError):
+            IndicatorPresence()["sidewalk"]
+
+    def test_vector_round_trip(self):
+        presence = IndicatorPresence(
+            [Indicator.STREETLIGHT, Indicator.APARTMENT]
+        )
+        assert IndicatorPresence.from_vector(presence.as_vector()) == presence
+
+    def test_from_vector_validates_length(self):
+        with pytest.raises(ValueError):
+            IndicatorPresence.from_vector([True, False])
+
+    def test_from_mapping(self):
+        presence = IndicatorPresence.from_mapping(
+            {Indicator.SIDEWALK: True, Indicator.POWERLINE: False}
+        )
+        assert presence.present == frozenset([Indicator.SIDEWALK])
+
+    def test_hashable_and_equal(self):
+        a = IndicatorPresence([Indicator.SIDEWALK])
+        b = IndicatorPresence([Indicator.SIDEWALK])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @given(
+        flags=st.lists(st.booleans(), min_size=6, max_size=6)
+    )
+    def test_vector_round_trip_property(self, flags):
+        presence = IndicatorPresence.from_vector(flags)
+        assert list(presence.as_vector()) == flags

@@ -1,0 +1,103 @@
+"""Tests for response parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ResponseParseError,
+    answers_to_presence,
+    extract_decisions,
+    parse_answers,
+    presence_to_answer_text,
+)
+from repro.core.indicators import ALL_INDICATORS, Indicator, IndicatorPresence
+from repro.llm import Language
+
+
+class TestExtractDecisions:
+    def test_plain_english(self):
+        assert extract_decisions("Yes, No, No, Yes, No, Yes") == [
+            True, False, False, True, False, True,
+        ]
+
+    def test_case_insensitive(self):
+        assert extract_decisions("YES, no") == [True, False]
+
+    def test_trailing_punctuation(self):
+        assert extract_decisions("Yes, No.") == [True, False]
+
+    def test_quoted_answers(self):
+        assert extract_decisions("'Yes', 'No'") == [True, False]
+
+    def test_spanish_accents(self):
+        assert extract_decisions("Sí, No, sí") == [True, False, True]
+
+    def test_chinese_separated(self):
+        assert extract_decisions("是, 否, 是") == [True, False, True]
+
+    def test_chinese_fullwidth_commas(self):
+        assert extract_decisions("是，否，否") == [True, False, False]
+
+    def test_bengali(self):
+        assert extract_decisions("হ্যাঁ, না") == [True, False]
+
+    def test_ignores_noise_words(self):
+        assert extract_decisions("Answers: Yes and also No") == [True, False]
+
+    def test_empty(self):
+        assert extract_decisions("") == []
+
+    def test_newline_separated(self):
+        assert extract_decisions("Yes\nNo\nYes") == [True, False, True]
+
+
+class TestParseAnswers:
+    def test_exact_count(self):
+        parsed = parse_answers("Yes, No, Yes", expected=3)
+        assert parsed.answers == (True, False, True)
+
+    def test_count_mismatch_raises(self):
+        with pytest.raises(ResponseParseError):
+            parse_answers("Yes, No", expected=3)
+
+    def test_rejects_nonpositive_expected(self):
+        with pytest.raises(ValueError):
+            parse_answers("Yes", expected=0)
+
+    def test_raw_preserved(self):
+        parsed = parse_answers("Yes.", expected=1)
+        assert parsed.raw == "Yes."
+
+
+class TestAnswersToPresence:
+    def test_maps_in_order(self):
+        indicators = (Indicator.SIDEWALK, Indicator.POWERLINE)
+        presence = answers_to_presence((True, False), indicators)
+        assert presence[Indicator.SIDEWALK]
+        assert not presence[Indicator.POWERLINE]
+
+    def test_unasked_indicators_absent(self):
+        presence = answers_to_presence((True,), (Indicator.APARTMENT,))
+        assert not presence[Indicator.SIDEWALK]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            answers_to_presence((True, False), (Indicator.SIDEWALK,))
+
+    @given(flags=st.lists(st.booleans(), min_size=6, max_size=6))
+    def test_round_trip_through_text(self, flags):
+        presence = IndicatorPresence.from_vector(flags)
+        text = presence_to_answer_text(presence)
+        parsed = parse_answers(text, expected=6)
+        recovered = answers_to_presence(parsed, ALL_INDICATORS)
+        assert recovered == presence
+
+    @given(
+        flags=st.lists(st.booleans(), min_size=6, max_size=6),
+        language=st.sampled_from(list(Language)),
+    )
+    def test_round_trip_all_languages(self, flags, language):
+        presence = IndicatorPresence.from_vector(flags)
+        text = presence_to_answer_text(presence, language=language)
+        parsed = parse_answers(text, expected=6, language=language)
+        assert answers_to_presence(parsed, ALL_INDICATORS) == presence

@@ -1,0 +1,96 @@
+"""Tests for the end-to-end NeighborhoodDecoder."""
+
+import pytest
+
+from repro.core import (
+    ClassifierConfig,
+    LLMIndicatorClassifier,
+    NeighborhoodDecoder,
+    VotingEnsemble,
+)
+from repro.core.indicators import ALL_INDICATORS, Indicator
+from repro.geo import make_durham_like, make_robeson_like
+from repro.gsv import StreetViewClient
+
+
+@pytest.fixture(scope="module")
+def street_view():
+    return StreetViewClient(
+        counties=[make_robeson_like(seed=2), make_durham_like(seed=3)],
+        api_key="survey",
+    )
+
+
+class TestNeighborhoodDecoder:
+    def test_requires_exactly_one_predictor(self, street_view, clients):
+        classifier = LLMIndicatorClassifier(clients["gemini-1.5-pro"])
+        with pytest.raises(ValueError):
+            NeighborhoodDecoder(street_view=street_view)
+        with pytest.raises(ValueError):
+            NeighborhoodDecoder(
+                street_view=street_view,
+                classifier=classifier,
+                ensemble=VotingEnsemble(
+                    {
+                        "a": classifier,
+                        "b": LLMIndicatorClassifier(clients["grok-2"]),
+                    }
+                ),
+            )
+
+    def test_survey_with_single_classifier(self, street_view, clients):
+        decoder = NeighborhoodDecoder(
+            street_view=street_view,
+            classifier=LLMIndicatorClassifier(clients["gemini-1.5-pro"]),
+        )
+        report = decoder.survey(make_robeson_like(seed=2), n_locations=8, seed=0)
+        assert len(report.locations) == 8
+        assert report.images_classified == 32
+        assert report.fees_usd > 0
+
+    def test_survey_rates_in_unit_interval(self, street_view, clients):
+        decoder = NeighborhoodDecoder(
+            street_view=street_view,
+            classifier=LLMIndicatorClassifier(clients["claude-3.7"]),
+        )
+        report = decoder.survey(make_durham_like(seed=3), n_locations=6, seed=1)
+        for rate in report.indicator_rates().values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_survey_with_ensemble(self, street_view, clients):
+        ensemble = VotingEnsemble(
+            {
+                name: LLMIndicatorClassifier(clients[name])
+                for name in ("gemini-1.5-pro", "claude-3.7", "grok-2")
+            }
+        )
+        decoder = NeighborhoodDecoder(
+            street_view=street_view, ensemble=ensemble
+        )
+        report = decoder.survey(make_durham_like(seed=3), n_locations=5, seed=2)
+        assert len(report.locations) == 5
+
+    def test_rates_by_zone_keys(self, street_view, clients):
+        decoder = NeighborhoodDecoder(
+            street_view=street_view,
+            classifier=LLMIndicatorClassifier(clients["gpt-4o-mini"]),
+        )
+        report = decoder.survey(
+            make_durham_like(seed=3), n_locations=10, seed=3
+        )
+        by_zone = report.rates_by_zone()
+        assert by_zone
+        for zone_rates in by_zone.values():
+            assert set(zone_rates) == set(ALL_INDICATORS)
+
+    def test_urban_county_decodes_more_sidewalks(self, street_view, clients):
+        decoder = NeighborhoodDecoder(
+            street_view=street_view,
+            classifier=LLMIndicatorClassifier(clients["gemini-1.5-pro"]),
+        )
+        rural = decoder.survey(make_robeson_like(seed=2), 25, seed=5)
+        urban = decoder.survey(make_durham_like(seed=3), 25, seed=5)
+        assert (
+            urban.indicator_rates()[Indicator.SIDEWALK]
+            > rural.indicator_rates()[Indicator.SIDEWALK]
+        )

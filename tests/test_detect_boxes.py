@@ -1,0 +1,125 @@
+"""Unit and property tests for box algebra (IoU, NMS, conversions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.detect import (
+    as_boxes,
+    box_area,
+    clip_boxes,
+    cxcywh_to_xyxy,
+    iou_matrix,
+    nms,
+    xyxy_to_cxcywh,
+)
+
+
+@st.composite
+def box_arrays(draw, max_boxes=8):
+    n = draw(st.integers(1, max_boxes))
+    out = []
+    for _ in range(n):
+        x0 = draw(st.floats(0.0, 0.8))
+        y0 = draw(st.floats(0.0, 0.8))
+        w = draw(st.floats(0.05, 0.2))
+        h = draw(st.floats(0.05, 0.2))
+        out.append([x0, y0, min(1.0, x0 + w), min(1.0, y0 + h)])
+    return np.asarray(out)
+
+
+class TestBoxBasics:
+    def test_as_boxes_validates(self):
+        with pytest.raises(ValueError):
+            as_boxes([[0.5, 0.1, 0.4, 0.9]])
+
+    def test_as_boxes_empty(self):
+        assert as_boxes([]).shape == (0, 4)
+
+    def test_area(self):
+        boxes = np.array([[0.0, 0.0, 0.5, 0.5], [0.1, 0.1, 0.2, 0.3]])
+        assert box_area(boxes) == pytest.approx([0.25, 0.02])
+
+    def test_iou_matrix_shape(self):
+        a = np.zeros((3, 4)) + [0.1, 0.1, 0.2, 0.2]
+        b = np.zeros((5, 4)) + [0.1, 0.1, 0.2, 0.2]
+        assert iou_matrix(a, b).shape == (3, 5)
+
+    def test_iou_matrix_empty(self):
+        assert iou_matrix(np.zeros((0, 4)), np.zeros((2, 4))).shape == (0, 2)
+
+    def test_round_trip_xyxy_cxcywh(self):
+        boxes = np.array([[0.1, 0.2, 0.5, 0.8], [0.0, 0.0, 1.0, 1.0]])
+        assert np.allclose(cxcywh_to_xyxy(xyxy_to_cxcywh(boxes)), boxes)
+
+    def test_clip_boxes_bounds(self):
+        boxes = np.array([[-0.2, 0.5, 1.4, 1.2]])
+        clipped = clip_boxes(boxes)
+        assert clipped[0, 0] >= 0.0
+        assert clipped[0, 2] <= 1.0
+        assert clipped[0, 2] > clipped[0, 0]
+
+    @given(boxes=box_arrays())
+    @settings(max_examples=60)
+    def test_iou_diagonal_is_one(self, boxes):
+        ious = iou_matrix(boxes, boxes)
+        assert np.allclose(np.diag(ious), 1.0)
+
+    @given(boxes=box_arrays())
+    @settings(max_examples=60)
+    def test_iou_matrix_symmetric(self, boxes):
+        ious = iou_matrix(boxes, boxes)
+        assert np.allclose(ious, ious.T)
+
+
+class TestNMS:
+    def test_suppresses_duplicates(self):
+        boxes = np.array(
+            [[0.1, 0.1, 0.3, 0.3], [0.11, 0.11, 0.31, 0.31], [0.7, 0.7, 0.9, 0.9]]
+        )
+        scores = np.array([0.9, 0.8, 0.7])
+        kept, kept_scores = nms(boxes, scores, iou_threshold=0.5)
+        assert len(kept) == 2
+        assert kept_scores[0] == 0.9
+
+    def test_keeps_disjoint(self):
+        boxes = np.array([[0.0, 0.0, 0.2, 0.2], [0.5, 0.5, 0.7, 0.7]])
+        scores = np.array([0.6, 0.9])
+        kept, kept_scores = nms(boxes, scores)
+        assert len(kept) == 2
+        assert kept_scores[0] == 0.9  # sorted by score
+
+    def test_merge_averages_cluster(self):
+        boxes = np.array([[0.1, 0.1, 0.3, 0.3], [0.2, 0.1, 0.4, 0.3]])
+        scores = np.array([0.5, 0.5])
+        kept, _ = nms(boxes, scores, iou_threshold=0.2, merge=True)
+        assert len(kept) == 1
+        assert kept[0][0] == pytest.approx(0.15)
+
+    def test_empty_input(self):
+        kept, scores = nms(np.zeros((0, 4)), np.zeros(0))
+        assert len(kept) == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            nms(np.zeros((2, 4)) + [0, 0, 1, 1], np.zeros(3))
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            nms(np.zeros((1, 4)) + [0, 0, 1, 1], np.ones(1), iou_threshold=0.0)
+
+    @given(boxes=box_arrays())
+    @settings(max_examples=60)
+    def test_nms_output_no_high_overlap(self, boxes):
+        scores = np.linspace(1.0, 0.5, len(boxes))
+        kept, _ = nms(boxes, scores, iou_threshold=0.5)
+        ious = iou_matrix(kept, kept)
+        np.fill_diagonal(ious, 0.0)
+        assert ious.max(initial=0.0) < 0.5 + 1e-9
+
+    @given(boxes=box_arrays())
+    @settings(max_examples=60)
+    def test_nms_scores_descending(self, boxes):
+        scores = np.linspace(0.5, 1.0, len(boxes))
+        _, kept_scores = nms(boxes, scores)
+        assert np.all(np.diff(kept_scores) <= 0)

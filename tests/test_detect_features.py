@@ -1,0 +1,122 @@
+"""Tests for grid feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.detect import (
+    FEATURE_DIM,
+    FeatureConfig,
+    cell_bounds,
+    cell_centers,
+    extract_features,
+)
+
+
+@pytest.fixture()
+def gray_image():
+    return np.full((128, 128, 3), 128, dtype=np.uint8)
+
+
+class TestGridGeometry:
+    def test_cell_centers_count_and_range(self):
+        centers = cell_centers(8)
+        assert centers.shape == (64, 2)
+        assert centers.min() > 0.0 and centers.max() < 1.0
+
+    def test_cell_centers_row_major(self):
+        centers = cell_centers(4)
+        # First cell is top-left; second moves right (x grows).
+        assert centers[1][0] > centers[0][0]
+        assert centers[1][1] == centers[0][1]
+
+    def test_cell_bounds_tile_canvas(self):
+        bounds = cell_bounds(4)
+        areas = (bounds[:, 2] - bounds[:, 0]) * (bounds[:, 3] - bounds[:, 1])
+        assert areas.sum() == pytest.approx(1.0)
+
+
+class TestExtractFeatures:
+    def test_shape(self, gray_image):
+        features = extract_features(gray_image, FeatureConfig(grid=16))
+        assert features.shape == (256, FEATURE_DIM)
+
+    def test_accepts_float_images(self):
+        image = np.random.default_rng(0).uniform(size=(64, 64, 3))
+        features = extract_features(image, FeatureConfig(grid=8))
+        assert features.shape == (64, FEATURE_DIM)
+
+    def test_rejects_grayscale(self):
+        with pytest.raises(ValueError):
+            extract_features(np.zeros((64, 64)), FeatureConfig(grid=8))
+
+    def test_rejects_image_smaller_than_grid(self):
+        with pytest.raises(ValueError):
+            extract_features(np.zeros((8, 8, 3)), FeatureConfig(grid=16))
+
+    def test_uniform_image_has_zero_gradients(self, gray_image):
+        features = extract_features(gray_image, FeatureConfig(grid=8))
+        # Gradient-energy channels (indices 6..10) are all zero on a
+        # flat image, except possibly boundary padding effects.
+        assert features[:, 6:8].max() == pytest.approx(0.0, abs=1e-9)
+
+    def test_color_means_reflect_image(self):
+        image = np.zeros((64, 64, 3), dtype=np.uint8)
+        image[:, :, 0] = 255  # pure red
+        features = extract_features(image, FeatureConfig(grid=8))
+        assert features[:, 0].mean() == pytest.approx(1.0)
+        assert features[:, 1].mean() == pytest.approx(0.0)
+
+    def test_position_channels_last(self):
+        image = np.zeros((64, 64, 3), dtype=np.uint8)
+        features = extract_features(image, FeatureConfig(grid=8))
+        rows = features[:, -2].reshape(8, 8)
+        cols = features[:, -1].reshape(8, 8)
+        assert rows[0, 0] == 0.0 and rows[-1, 0] == 1.0
+        assert cols[0, 0] == 0.0 and cols[0, -1] == 1.0
+
+    def test_vertical_edge_activates_gx(self):
+        image = np.zeros((64, 64, 3), dtype=np.uint8)
+        image[:, 32:] = 255  # vertical boundary
+        features = extract_features(image, FeatureConfig(grid=8))
+        cells = features.reshape(8, 8, FEATURE_DIM)
+        # |gx| mean (channel 6) on the boundary column far exceeds others.
+        assert cells[4, 4, 6] > cells[4, 1, 6] + 0.1
+
+    def test_subcell_centroid_tracks_edge_position(self):
+        config = FeatureConfig(grid=4)
+        left = np.zeros((64, 64, 3), dtype=np.uint8)
+        left[:, 2:4] = 255  # thin vertical line near cell's left edge
+        right = np.zeros((64, 64, 3), dtype=np.uint8)
+        right[:, 12:14] = 255  # near the cell's right edge
+        f_left = extract_features(left, config).reshape(4, 4, FEATURE_DIM)
+        f_right = extract_features(right, config).reshape(4, 4, FEATURE_DIM)
+        # Channel -6 is the vertical-edge x centroid.
+        assert f_left[2, 0, -6] < f_right[2, 0, -6]
+
+    def test_context_channels_mix_neighbors(self):
+        image = np.zeros((64, 64, 3), dtype=np.uint8)
+        image[0:8, 0:8] = 255  # bright top-left cell only
+        # smooth=False keeps the block crisp so locality is testable.
+        features = extract_features(
+            image, FeatureConfig(grid=8, smooth=False)
+        )
+        cells = features.reshape(8, 8, FEATURE_DIM)
+        local_dim = (FEATURE_DIM - 2) // 2
+        # Neighbor of the bright cell sees it through context channels
+        # (red-mean context at offset local_dim + 0).
+        assert cells[0, 1, local_dim] > 0.05
+        # But its own local red mean stays zero.
+        assert cells[0, 1, 0] == pytest.approx(0.0)
+
+    def test_smoothing_reduces_noise_response(self):
+        rng = np.random.default_rng(0)
+        noisy = (rng.uniform(size=(64, 64, 3)) * 255).astype(np.uint8)
+        sharp = extract_features(noisy, FeatureConfig(grid=8, smooth=False))
+        smooth = extract_features(noisy, FeatureConfig(grid=8, smooth=True))
+        # Gradient-energy channels shrink under pre-smoothing.
+        assert smooth[:, 6].mean() < sharp[:, 6].mean()
+
+    def test_deterministic(self, gray_image):
+        a = extract_features(gray_image)
+        b = extract_features(gray_image)
+        assert np.array_equal(a, b)

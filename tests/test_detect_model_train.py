@@ -1,0 +1,194 @@
+"""Tests for the NanoDetector model, target assignment, and training."""
+
+import numpy as np
+import pytest
+
+from repro.core.indicators import ALL_INDICATORS, Indicator
+from repro.detect import (
+    CELL_COVER_THRESHOLD,
+    ModelConfig,
+    NanoDetector,
+    TrainConfig,
+    assign_targets,
+    build_training_tensors,
+    evaluate_detector,
+    sigmoid,
+    train_detector,
+)
+from repro.detect.model import _label_components
+from repro.scene import BoundingBox
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_stable(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(1.0)
+        assert not np.isnan(values).any()
+
+    def test_monotone(self):
+        xs = np.linspace(-5, 5, 101)
+        assert np.all(np.diff(sigmoid(xs)) > 0)
+
+
+class TestComponentLabeling:
+    def test_single_blob(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1:3, 1:3] = True
+        labels, n = _label_components(mask)
+        assert n == 1
+        assert (labels >= 0).sum() == 4
+
+    def test_two_blobs(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[0, 0] = True
+        mask[5, 5] = True
+        labels, n = _label_components(mask)
+        assert n == 2
+
+    def test_diagonal_connectivity(self):
+        mask = np.zeros((3, 3), dtype=bool)
+        mask[0, 0] = mask[1, 1] = mask[2, 2] = True
+        _, n = _label_components(mask)
+        assert n == 1  # 8-connectivity joins diagonals
+
+    def test_empty(self):
+        _, n = _label_components(np.zeros((3, 3), dtype=bool))
+        assert n == 0
+
+
+class TestAssignTargets:
+    def test_empty_annotations(self):
+        obj, box = assign_targets([], grid=8)
+        assert obj.sum() == 0
+        assert box.sum() == 0
+
+    def test_large_box_covers_many_cells(self):
+        annotations = [
+            (Indicator.MULTILANE_ROAD, BoundingBox(0.0, 0.5, 1.0, 1.0))
+        ]
+        obj, _ = assign_targets(annotations, grid=8)
+        class_index = list(ALL_INDICATORS).index(Indicator.MULTILANE_ROAD)
+        assert obj[:, class_index].sum() == 32  # bottom half of 64 cells
+
+    def test_tiny_box_claims_one_cell(self):
+        annotations = [
+            (Indicator.STREETLIGHT, BoundingBox(0.50, 0.50, 0.52, 0.52))
+        ]
+        obj, _ = assign_targets(annotations, grid=8)
+        class_index = list(ALL_INDICATORS).index(Indicator.STREETLIGHT)
+        assert obj[:, class_index].sum() == 1
+
+    def test_box_target_is_full_bbox(self):
+        bbox = BoundingBox(0.2, 0.4, 0.8, 0.9)
+        annotations = [(Indicator.SIDEWALK, bbox)]
+        obj, box = assign_targets(annotations, grid=8)
+        class_index = list(ALL_INDICATORS).index(Indicator.SIDEWALK)
+        positives = obj[:, class_index] > 0.5
+        targets = box[positives, class_index, :]
+        assert np.allclose(targets[:, 0], 0.5)  # cx
+        assert np.allclose(targets[:, 2], 0.6)  # w
+
+    def test_occupancy_restricts_positives(self):
+        bbox = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        sliver = BoundingBox(0.0, 0.0, 0.126, 1.0)  # leftmost column
+        with_occ = [(Indicator.SIDEWALK, bbox, [sliver])]
+        without = [(Indicator.SIDEWALK, bbox)]
+        class_index = list(ALL_INDICATORS).index(Indicator.SIDEWALK)
+        obj_occ, _ = assign_targets(with_occ, grid=8)
+        obj_box, _ = assign_targets(without, grid=8)
+        assert obj_occ[:, class_index].sum() < obj_box[:, class_index].sum()
+        assert obj_occ[:, class_index].sum() == 8
+
+    def test_overlapping_objects_larger_cover_wins(self):
+        big = BoundingBox(0.0, 0.0, 0.5, 0.5)
+        small = BoundingBox(0.0, 0.0, 0.13, 0.13)
+        annotations = [
+            (Indicator.APARTMENT, big),
+            (Indicator.APARTMENT, small),
+        ]
+        obj, box = assign_targets(annotations, grid=8)
+        class_index = list(ALL_INDICATORS).index(Indicator.APARTMENT)
+        # Cell (0,0) fully covered by both; both cover it 100%, big
+        # assigned first wins ties (strictly-greater comparison).
+        target_w = box[0, class_index, 2]
+        assert target_w == pytest.approx(0.5)
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def trained(self, small_dataset):
+        splits = small_dataset.split(seed=0)
+        result = train_detector(
+            splits.train,
+            model_config=ModelConfig(hidden=64),
+            train_config=TrainConfig(epochs=6, seed=0),
+        )
+        return result, splits
+
+    def test_loss_decreases(self, trained):
+        result, _ = trained
+        assert result.loss_history[-1] < result.loss_history[0] * 0.8
+
+    def test_detects_roads_after_training(self, trained):
+        result, splits = trained
+        report = evaluate_detector(result.model, splits.test)
+        road_f1 = report.per_class[Indicator.MULTILANE_ROAD].f1
+        assert road_f1 > 0.5
+
+    def test_rejects_empty_training_set(self):
+        with pytest.raises(ValueError):
+            train_detector([])
+
+    def test_precomputed_tensors_reused(self, small_dataset):
+        splits = small_dataset.split(seed=0)
+        tensors = build_training_tensors(splits.train[:20], 16)
+        result = train_detector(
+            splits.train[:20],
+            train_config=TrainConfig(epochs=2, seed=0),
+            precomputed=tensors,
+        )
+        assert result.model.is_initialized
+
+    def test_training_deterministic(self, small_dataset):
+        splits = small_dataset.split(seed=0)
+        tensors = build_training_tensors(splits.train[:16], 16)
+        a = train_detector(
+            splits.train[:16],
+            train_config=TrainConfig(epochs=2, seed=3),
+            precomputed=tensors,
+        )
+        b = train_detector(
+            splits.train[:16],
+            train_config=TrainConfig(epochs=2, seed=3),
+            precomputed=tensors,
+        )
+        assert np.array_equal(a.model.w1, b.model.w1)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, small_dataset, tmp_path):
+        splits = small_dataset.split(seed=0)
+        result = train_detector(
+            splits.train[:16],
+            model_config=ModelConfig(hidden=32),
+            train_config=TrainConfig(epochs=1, seed=0),
+        )
+        path = tmp_path / "model.json"
+        result.model.save(path)
+        loaded = NanoDetector.load(path)
+        image = splits.test[0].render()
+        original = result.model.detect(image)
+        recovered = loaded.detect(image)
+        assert len(original) == len(recovered)
+        for a, b in zip(original, recovered):
+            assert a.indicator == b.indicator
+            assert a.score == pytest.approx(b.score)
+
+    def test_untrained_model_raises(self):
+        model = NanoDetector()
+        with pytest.raises(RuntimeError):
+            model.detect(np.zeros((64, 64, 3), dtype=np.uint8))

@@ -1,0 +1,133 @@
+"""Tests for the experiment harness (configs, results, suite wiring)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentSuite,
+    paper_config,
+    ratio,
+    smoke_config,
+)
+
+
+class TestConfig:
+    def test_paper_scale(self):
+        config = paper_config()
+        assert config.n_images == 1200
+        assert config.image_size == 640
+        assert config.detector_train.epochs == 20
+        assert config.detector_train.batch_size == 16
+
+    def test_smoke_is_smaller(self):
+        assert smoke_config().n_images < paper_config().n_images
+
+    def test_rejects_shared_seeds(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(dataset_seed=5, calibration_seed=5)
+
+    def test_rejects_bad_image_count(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_images=13)
+
+
+class TestExperimentResult:
+    def test_add_row_validates_columns(self):
+        result = ExperimentResult("X", "t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            result.add_row(a=1)
+
+    def test_render_contains_values(self):
+        result = ExperimentResult("Fig. 9", "demo", columns=["name", "value"])
+        result.add_row(name="x", value=0.5)
+        text = result.render()
+        assert "Fig. 9" in text
+        assert "0.500" in text
+
+    def test_row_lookup(self):
+        result = ExperimentResult("X", "t", columns=["name", "value"])
+        result.add_row(name="a", value=1)
+        assert result.row_by("name", "a")["value"] == 1
+        with pytest.raises(KeyError):
+            result.row_by("name", "zzz")
+
+    def test_ratio(self):
+        assert ratio(0.5, 1.0) == 0.5
+        assert np.isnan(ratio(0.5, 0.0))
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """A tiny suite: enough to exercise every runner end to end."""
+    from repro.detect.train import TrainConfig
+
+    return ExperimentSuite(
+        config=ExperimentConfig(
+            n_images=96,
+            image_size=256,
+            n_calibration_images=160,
+            detector_train=TrainConfig(epochs=4, batch_size=16),
+        )
+    )
+
+
+class TestSuiteLLMExperiments:
+    def test_table2_rows(self, suite):
+        result = suite.run_table2()
+        assert len(result.rows) == 6
+        for row in result.rows:
+            assert row["Gemini 1.5 Pro"] in (
+                "Yes", "No", "Yes.", "No.",
+            ) or isinstance(row["Gemini 1.5 Pro"], str)
+
+    def test_fig4_shape(self, suite):
+        result = suite.run_fig4()
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["parallel"] >= row["sequential"] - 0.05
+
+    def test_fig5_has_vote_row(self, suite):
+        result = suite.run_fig5()
+        assert result.rows[-1]["model"] == "Majority vote (top 3)"
+        assert len(result.rows) == 5
+
+    def test_tables3to6_all_models(self, suite):
+        tables = suite.run_tables3to6()
+        assert len(tables) == 4
+        for table in tables.values():
+            assert len(table.rows) == 7
+
+    def test_fig6_language_ordering(self, suite):
+        result = suite.run_fig6()
+        recalls = {row["language"]: row["recall"] for row in result.rows}
+        assert recalls["en"] > recalls["zh"]
+
+    def test_param_is_flat(self, suite):
+        result = suite.run_param()
+        f1s = [row["f1"] for row in result.rows]
+        assert max(f1s) - min(f1s) < 0.12
+
+    def test_predictions_cached(self, suite):
+        first = suite.model_predictions("gemini-1.5-pro")
+        second = suite.model_predictions("gemini-1.5-pro")
+        assert first is second
+
+
+class TestSuiteDetectorExperiments:
+    def test_table1_rows(self, suite):
+        result = suite.run_table1()
+        assert len(result.rows) == 7
+        average = result.row_by("label", "Average")
+        assert 0.0 <= average["f1"] <= 1.0
+
+    def test_fig3_degrades_with_noise(self, suite):
+        result = suite.run_fig3()
+        f1_by_snr = {row["snr_db"]: row["f1"] for row in result.rows}
+        assert f1_by_snr[30] > f1_by_snr[5]
+
+    def test_prior_work_table(self, suite):
+        result = suite.run_prior()
+        ours = [r for r in result.rows if "ours" in str(r["model"])]
+        assert len(ours) == 1

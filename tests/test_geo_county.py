@@ -1,0 +1,107 @@
+"""Tests for the synthetic county and zoning models."""
+
+import pytest
+
+from repro.core.indicators import ALL_INDICATORS
+from repro.geo import (
+    ZONE_PRIORS,
+    County,
+    LatLon,
+    Zone,
+    ZoneKind,
+    make_durham_like,
+    make_robeson_like,
+    study_counties,
+)
+
+
+class TestZone:
+    def test_rejects_inverted_extent(self):
+        with pytest.raises(ValueError):
+            Zone(ZoneKind.RURAL, south=35.0, west=-79.0, north=34.0, east=-78.0)
+        with pytest.raises(ValueError):
+            Zone(ZoneKind.RURAL, south=34.0, west=-78.0, north=35.0, east=-79.0)
+
+    def test_contains_center(self):
+        zone = Zone(ZoneKind.URBAN, 35.0, -79.0, 35.1, -78.9)
+        assert zone.contains(zone.center)
+
+    def test_does_not_contain_outside_point(self):
+        zone = Zone(ZoneKind.URBAN, 35.0, -79.0, 35.1, -78.9)
+        assert not zone.contains(LatLon(36.0, -79.0))
+
+
+class TestCounty:
+    def test_zone_at_falls_back_to_nearest(self):
+        county = make_robeson_like()
+        outside = LatLon(county.north + 0.01, county.west)
+        zone = county.zone_at(outside)  # must not raise
+        assert isinstance(zone, Zone)
+
+    def test_zone_at_requires_zones(self):
+        empty = County("Empty", 34.0, -79.0, 35.0, -78.0, [])
+        with pytest.raises(ValueError):
+            empty.zone_at(LatLon(34.5, -78.5))
+
+    def test_every_interior_point_has_a_zone(self):
+        county = make_durham_like()
+        for frac in (0.1, 0.5, 0.9):
+            point = LatLon(
+                county.south + frac * (county.north - county.south),
+                county.west + frac * (county.east - county.west),
+            )
+            assert county.zone_at(point).contains(point)
+
+
+class TestStudyCounties:
+    def test_two_counties(self):
+        counties = study_counties()
+        assert [c.name for c in counties] == ["Robeson", "Durham"]
+
+    def test_robeson_is_predominantly_rural(self):
+        mix = make_robeson_like().zone_mix()
+        assert mix[ZoneKind.RURAL] > 0.5
+
+    def test_durham_is_predominantly_urban(self):
+        mix = make_durham_like().zone_mix()
+        urbanized = mix.get(ZoneKind.URBAN, 0) + mix.get(
+            ZoneKind.COMMERCIAL, 0
+        )
+        assert urbanized > mix.get(ZoneKind.RURAL, 0)
+
+    def test_deterministic_in_seed(self):
+        a = make_robeson_like(seed=3)
+        b = make_robeson_like(seed=3)
+        assert [z.kind for z in a.zones] == [z.kind for z in b.zones]
+
+    def test_different_seeds_differ(self):
+        a = make_robeson_like(seed=3)
+        b = make_robeson_like(seed=4)
+        assert [z.kind for z in a.zones] != [z.kind for z in b.zones]
+
+
+class TestZonePriors:
+    def test_all_zone_kinds_covered(self):
+        assert set(ZONE_PRIORS) == set(ZoneKind)
+
+    def test_all_indicators_covered(self):
+        indicator_names = {ind.value for ind in ALL_INDICATORS}
+        for priors in ZONE_PRIORS.values():
+            assert set(priors) == indicator_names
+
+    def test_priors_are_probabilities(self):
+        for priors in ZONE_PRIORS.values():
+            for value in priors.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_urban_has_more_sidewalks_than_rural(self):
+        assert (
+            ZONE_PRIORS[ZoneKind.URBAN]["sidewalk"]
+            > ZONE_PRIORS[ZoneKind.RURAL]["sidewalk"]
+        )
+
+    def test_rural_has_more_powerlines_than_commercial(self):
+        assert (
+            ZONE_PRIORS[ZoneKind.RURAL]["powerline"]
+            > ZONE_PRIORS[ZoneKind.COMMERCIAL]["powerline"]
+        )

@@ -1,0 +1,110 @@
+"""Tests for road-network generation and the sampling frame."""
+
+import networkx as nx
+import pytest
+
+from repro.geo import (
+    CARDINAL_HEADINGS,
+    RoadClass,
+    build_road_network,
+    build_sampling_frame,
+    expand_to_captures,
+    frame_statistics,
+    iter_edges,
+    make_durham_like,
+    make_robeson_like,
+    multilane_fraction,
+    select_survey_locations,
+    total_length_m,
+)
+
+
+@pytest.fixture(scope="module")
+def county():
+    return make_robeson_like(seed=2)
+
+
+@pytest.fixture(scope="module")
+def graph(county):
+    return build_road_network(county, seed=9)
+
+
+class TestRoadNetwork:
+    def test_connected(self, graph):
+        assert nx.is_connected(graph)
+
+    def test_has_edges_with_attributes(self, graph):
+        for _, _, data in graph.edges(data=True):
+            assert isinstance(data["road_class"], RoadClass)
+            assert data["length_m"] > 0
+
+    def test_deterministic(self, county):
+        a = build_road_network(county, seed=4)
+        b = build_road_network(county, seed=4)
+        assert set(a.edges) == set(b.edges)
+
+    def test_rejects_tiny_lattice(self, county):
+        with pytest.raises(ValueError):
+            build_road_network(county, lattice_rows=1, lattice_cols=5)
+
+    def test_total_length_positive(self, graph):
+        assert total_length_m(graph) > 100_000  # county-scale network
+
+    def test_multilane_fraction_in_range(self, graph):
+        assert 0.0 < multilane_fraction(graph) < 1.0
+
+    def test_urban_county_has_more_multilane(self):
+        rural = build_road_network(make_robeson_like(seed=2), seed=3)
+        urban = build_road_network(make_durham_like(seed=2), seed=3)
+        assert multilane_fraction(urban) > multilane_fraction(rural)
+
+    def test_iter_edges_deterministic_order(self, graph):
+        first = iter_edges(graph)
+        second = iter_edges(graph)
+        assert first == second
+
+
+class TestSamplingFrame:
+    def test_frame_covers_all_edges(self, county, graph):
+        frame = build_sampling_frame(county, graph)
+        # Every edge contributes at least one sample point.
+        assert len(frame) >= graph.number_of_edges()
+
+    def test_frame_statistics_fractions_sum(self, county, graph):
+        frame = build_sampling_frame(county, graph)
+        stats = frame_statistics(frame)
+        zone_total = sum(
+            value for key, value in stats.items() if key.startswith("zone_")
+        )
+        road_total = sum(
+            value for key, value in stats.items() if key.startswith("road_")
+        )
+        assert zone_total == pytest.approx(1.0)
+        assert road_total == pytest.approx(1.0)
+
+    def test_empty_frame_statistics(self):
+        assert frame_statistics([]) == {"n_points": 0}
+
+    def test_select_is_deterministic(self, county, graph):
+        frame = build_sampling_frame(county, graph)
+        a = select_survey_locations({"X": frame}, 50, seed=1)
+        b = select_survey_locations({"X": frame}, 50, seed=1)
+        assert a == b
+
+    def test_select_without_replacement(self, county, graph):
+        frame = build_sampling_frame(county, graph)
+        chosen = select_survey_locations({"X": frame}, 100, seed=1)
+        assert len({p.location for p in chosen}) == len(chosen)
+
+    def test_select_rejects_oversized_request(self, county, graph):
+        frame = build_sampling_frame(county, graph)[:10]
+        with pytest.raises(ValueError):
+            select_survey_locations({"X": frame}, 11, seed=0)
+
+    def test_expand_to_captures_four_headings(self, county, graph):
+        frame = build_sampling_frame(county, graph)
+        points = select_survey_locations({"X": frame}, 5, seed=0)
+        captures = expand_to_captures(points)
+        assert len(captures) == 20
+        headings = {c.heading for c in captures}
+        assert headings == set(CARDINAL_HEADINGS)

@@ -1,0 +1,71 @@
+"""Tests for the chat API types and request validation."""
+
+import pytest
+
+from repro.llm import (
+    ChatMessage,
+    ChatRequest,
+    ImageAttachment,
+    Usage,
+    estimate_prompt_tokens,
+)
+
+
+@pytest.fixture()
+def attachment(urban_scene):
+    return ImageAttachment(scene=urban_scene)
+
+
+class TestChatTypes:
+    def test_message_rejects_unknown_role(self):
+        with pytest.raises(ValueError):
+            ChatMessage(role="robot", text="hi")
+
+    def test_request_requires_messages(self):
+        with pytest.raises(ValueError):
+            ChatRequest(model="m", messages=())
+
+    def test_request_validates_temperature(self, attachment):
+        message = ChatMessage(role="user", text="hi", images=(attachment,))
+        with pytest.raises(ValueError):
+            ChatRequest(model="m", messages=(message,), temperature=3.0)
+
+    def test_request_validates_top_p(self, attachment):
+        message = ChatMessage(role="user", text="hi", images=(attachment,))
+        with pytest.raises(ValueError):
+            ChatRequest(model="m", messages=(message,), top_p=0.0)
+
+    def test_user_text_concatenates(self, attachment):
+        request = ChatRequest(
+            model="m",
+            messages=(
+                ChatMessage(role="system", text="be brief"),
+                ChatMessage(role="user", text="first"),
+                ChatMessage(role="user", text="second", images=(attachment,)),
+            ),
+        )
+        assert request.user_text == "first\nsecond"
+        assert len(request.images) == 1
+
+    def test_usage_total(self):
+        usage = Usage(prompt_tokens=10, completion_tokens=5)
+        assert usage.total_tokens == 15
+
+    def test_image_tokens_in_estimate(self, attachment):
+        with_image = ChatRequest(
+            model="m",
+            messages=(
+                ChatMessage(role="user", text="x" * 400, images=(attachment,)),
+            ),
+        )
+        without = ChatRequest(
+            model="m",
+            messages=(ChatMessage(role="user", text="x" * 400),),
+        )
+        assert (
+            estimate_prompt_tokens(with_image)
+            == estimate_prompt_tokens(without) + 85
+        )
+
+    def test_attachment_image_id(self, attachment, urban_scene):
+        assert attachment.image_id == urban_scene.scene_id

@@ -1,0 +1,129 @@
+"""Tests for prompt parsing: language detection, question extraction."""
+
+import pytest
+
+from repro.core import (
+    PromptStyle,
+    build_parallel_prompt,
+    build_sequential_prompt,
+    build_single_prompt,
+    prompt_for_style,
+)
+from repro.core.indicators import Indicator
+from repro.core.languages import PAPER_QUESTION_ORDER
+from repro.llm import (
+    Language,
+    detect_language,
+    format_answers,
+    identify_indicators,
+    parse_prompt,
+)
+
+ALL_LANGUAGES = list(Language)
+
+
+class TestLanguageDetection:
+    @pytest.mark.parametrize("language", ALL_LANGUAGES)
+    def test_detects_parallel_prompt_language(self, language):
+        prompt = build_parallel_prompt(language)
+        assert detect_language(prompt) is language
+
+    @pytest.mark.parametrize("language", ALL_LANGUAGES)
+    def test_detects_sequential_prompt_language(self, language):
+        prompt = build_sequential_prompt(language)
+        assert detect_language(prompt) is language
+
+    def test_plain_english_default(self):
+        assert detect_language("hello there") is Language.ENGLISH
+
+
+class TestIndicatorIdentification:
+    @pytest.mark.parametrize("language", ALL_LANGUAGES)
+    @pytest.mark.parametrize("indicator", list(Indicator))
+    def test_single_question_identified(self, language, indicator):
+        question = build_single_prompt(indicator, language)
+        found = identify_indicators(question, language)
+        assert found == [indicator]
+
+    def test_multilane_question_does_not_match_single_lane(self):
+        question = build_single_prompt(Indicator.MULTILANE_ROAD)
+        found = identify_indicators(question, Language.ENGLISH)
+        assert Indicator.SINGLE_LANE_ROAD not in found
+
+    def test_unknown_text_matches_nothing(self):
+        assert identify_indicators("is there a dog", Language.ENGLISH) == []
+
+
+class TestParsePrompt:
+    @pytest.mark.parametrize("language", ALL_LANGUAGES)
+    def test_parallel_prompt_six_questions_in_order(self, language):
+        parsed = parse_prompt(build_parallel_prompt(language))
+        assert parsed.indicators == PAPER_QUESTION_ORDER
+        assert not parsed.complex_structure
+
+    @pytest.mark.parametrize("language", ALL_LANGUAGES)
+    def test_sequential_prompt_is_complex(self, language):
+        parsed = parse_prompt(build_sequential_prompt(language))
+        assert parsed.complex_structure
+        assert set(parsed.indicators) == set(PAPER_QUESTION_ORDER)
+
+    def test_subset_prompt(self):
+        prompt = build_parallel_prompt(
+            indicators=[Indicator.SIDEWALK, Indicator.POWERLINE]
+        )
+        parsed = parse_prompt(prompt)
+        assert parsed.indicators == (
+            Indicator.SIDEWALK,
+            Indicator.POWERLINE,
+        )
+
+    def test_empty_prompt_no_questions(self):
+        parsed = parse_prompt("describe the weather")
+        assert parsed.questions == ()
+
+
+class TestPromptBuilders:
+    def test_parallel_contains_format_header(self):
+        prompt = build_parallel_prompt()
+        assert "Respond exactly in this format" in prompt
+
+    def test_parallel_without_header(self):
+        prompt = build_parallel_prompt(include_format_header=False)
+        assert "Respond exactly in this format" not in prompt
+
+    def test_duplicate_indicators_rejected(self):
+        with pytest.raises(ValueError):
+            build_parallel_prompt(
+                indicators=[Indicator.SIDEWALK, Indicator.SIDEWALK]
+            )
+
+    def test_empty_indicators_rejected(self):
+        with pytest.raises(ValueError):
+            build_sequential_prompt(indicators=[])
+
+    def test_prompt_for_style_dispatch(self):
+        assert prompt_for_style(PromptStyle.PARALLEL) == build_parallel_prompt()
+        assert (
+            prompt_for_style(PromptStyle.SEQUENTIAL)
+            == build_sequential_prompt()
+        )
+
+    def test_sequential_single_sentence(self):
+        prompt = build_sequential_prompt()
+        # No question marks until the end: a run-on construction.
+        assert prompt.count("?") == 0
+
+
+class TestFormatAnswers:
+    def test_english(self):
+        assert format_answers([True, False], Language.ENGLISH) == "Yes, No"
+
+    def test_spanish(self):
+        assert format_answers([True, False], Language.SPANISH) == "Sí, No"
+
+    def test_chinese(self):
+        assert format_answers([True, False], Language.CHINESE) == "是, 否"
+
+    def test_bengali(self):
+        out = format_answers([True, False], Language.BENGALI)
+        assert out.split(", ")[0] == "হ্যাঁ"

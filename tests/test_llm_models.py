@@ -1,0 +1,154 @@
+"""Tests for the simulated VLM clients."""
+
+import pytest
+
+from repro.core import build_parallel_prompt
+from repro.core.languages import PAPER_QUESTION_ORDER
+from repro.core.parsing import extract_decisions
+from repro.llm import (
+    ALL_MODEL_IDS,
+    ChatMessage,
+    ChatRequest,
+    ImageAttachment,
+    InvalidRequestError,
+    Language,
+    ModelNotFoundError,
+    RateLimitError,
+    ServerError,
+    build_clients,
+)
+
+
+@pytest.fixture()
+def attachment(urban_scene):
+    return ImageAttachment(scene=urban_scene)
+
+
+class TestRequestValidation:
+    def test_missing_image_rejected(self, clients):
+        client = clients["gpt-4o-mini"]
+        request = ChatRequest(
+            model="gpt-4o-mini",
+            messages=(ChatMessage(role="user", text="is there a sidewalk?"),),
+        )
+        with pytest.raises(InvalidRequestError):
+            client.complete(request)
+
+    def test_empty_prompt_rejected(self, clients, attachment):
+        client = clients["gpt-4o-mini"]
+        request = ChatRequest(
+            model="gpt-4o-mini",
+            messages=(
+                ChatMessage(role="user", text="  ", images=(attachment,)),
+            ),
+        )
+        with pytest.raises(InvalidRequestError):
+            client.complete(request)
+
+    def test_model_mismatch_rejected(self, clients, attachment):
+        client = clients["gpt-4o-mini"]
+        request = ChatRequest(
+            model="grok-2",
+            messages=(
+                ChatMessage(role="user", text="hello?", images=(attachment,)),
+            ),
+        )
+        with pytest.raises(InvalidRequestError):
+            client.complete(request)
+
+    def test_unknown_model_in_registry(self, calibration_dataset):
+        with pytest.raises(ModelNotFoundError):
+            build_clients(
+                [calibration_dataset[0].scene], model_ids=("gpt-99",)
+            )
+
+
+class TestResponses:
+    @pytest.mark.parametrize("model_id", ALL_MODEL_IDS)
+    def test_six_answers_for_parallel_prompt(
+        self, clients, attachment, model_id
+    ):
+        text = clients[model_id].ask(build_parallel_prompt(), attachment)
+        assert len(extract_decisions(text)) == len(PAPER_QUESTION_ORDER)
+
+    @pytest.mark.parametrize("language", list(Language))
+    def test_answers_in_prompt_language(self, clients, attachment, language):
+        text = clients["gemini-1.5-pro"].ask(
+            build_parallel_prompt(language), attachment
+        )
+        decisions = extract_decisions(text)
+        assert len(decisions) == 6
+
+    def test_deterministic_per_request(self, clients, attachment):
+        client = clients["claude-3.7"]
+        prompt = build_parallel_prompt()
+        assert client.ask(prompt, attachment) == client.ask(
+            prompt, attachment
+        )
+
+    def test_models_disagree_somewhere(self, clients, small_dataset):
+        prompt = build_parallel_prompt()
+        differs = False
+        for image in small_dataset.images[:30]:
+            attachment = ImageAttachment(scene=image.scene)
+            answers = {
+                model_id: extract_decisions(
+                    clients[model_id].ask(prompt, attachment)
+                )
+                for model_id in ALL_MODEL_IDS
+            }
+            if len({tuple(a) for a in answers.values()}) > 1:
+                differs = True
+                break
+        assert differs
+
+    def test_non_question_prompt_gets_fallback(self, clients, attachment):
+        text = clients["grok-2"].ask("Describe the scenery.", attachment)
+        assert extract_decisions(text) == []
+        assert len(text) > 10
+
+    def test_usage_accounted(self, clients, attachment):
+        client = clients["gpt-4o-mini"]
+        before = client.stats.requests
+        client.ask(build_parallel_prompt(), attachment)
+        assert client.stats.requests == before + 1
+        assert client.stats.prompt_tokens > 0
+
+    def test_claude_quirk_trailing_period(self, clients, attachment):
+        text = clients["claude-3.7"].ask(build_parallel_prompt(), attachment)
+        assert text.endswith(".")
+
+
+class TestFailureInjection:
+    def test_rate_limit_every_n(self, calibration_dataset, urban_scene):
+        clients = build_clients(
+            [im.scene for im in calibration_dataset.images[:60]],
+            model_ids=("gpt-4o-mini",),
+            rate_limit_every=3,
+        )
+        client = clients["gpt-4o-mini"]
+        attachment = ImageAttachment(scene=urban_scene)
+        prompt = build_parallel_prompt()
+        outcomes = []
+        for _ in range(6):
+            try:
+                client.ask(prompt, attachment)
+                outcomes.append("ok")
+            except RateLimitError:
+                outcomes.append("limited")
+        assert outcomes.count("limited") == 2
+
+    def test_server_error_every_n(self, calibration_dataset, urban_scene):
+        from repro.llm import EvidenceModel, SimulatedVLM, calibrate_profiles
+
+        profiles = calibrate_profiles(
+            [im.scene for im in calibration_dataset.images[:60]],
+            model_ids=("grok-2",),
+        )
+        client = SimulatedVLM(
+            profiles["grok-2"], EvidenceModel(), server_error_every=2
+        )
+        attachment = ImageAttachment(scene=urban_scene)
+        with pytest.raises(ServerError):
+            for _ in range(2):
+                client.ask(build_parallel_prompt(), attachment)

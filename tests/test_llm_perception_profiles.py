@@ -1,0 +1,157 @@
+"""Tests for the evidence model and profile calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.indicators import ALL_INDICATORS, Indicator
+from repro.geo import RoadClass, ZoneKind
+from repro.llm import (
+    ALL_MODEL_IDS,
+    EvidenceModel,
+    PAPER_LLM_METRICS,
+    calibrate_profiles,
+)
+from repro.llm.language import Language
+from repro.scene import SceneGenerator
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    gen = SceneGenerator(seed=21)
+    out = []
+    for i in range(400):
+        zone = list(ZoneKind)[i % 4]
+        road = RoadClass.ARTERIAL if i % 3 == 0 else RoadClass.LOCAL
+        out.append(
+            gen.generate(
+                f"cal{i}",
+                zone,
+                road_class=road,
+                heading=(i % 4) * 90,
+                road_bearing=float((i * 37) % 180),
+            )
+        )
+    return out
+
+
+class TestEvidenceModel:
+    def test_deterministic(self, urban_scene):
+        model = EvidenceModel(seed=4)
+        assert model.evidence(urban_scene) == model.evidence(urban_scene)
+
+    def test_covers_all_indicators(self, urban_scene):
+        evidence = EvidenceModel().evidence(urban_scene)
+        assert set(evidence) == set(ALL_INDICATORS)
+        for value in evidence.values():
+            assert 0.0 < value < 1.0
+
+    def test_present_evidence_exceeds_absent(self, scenes):
+        model = EvidenceModel(seed=0)
+        samples = model.evidence_samples(scenes)
+        for indicator in ALL_INDICATORS:
+            present, absent = samples[indicator]
+            assert present.mean() > absent.mean() + 0.2, indicator
+
+    def test_road_confusion_single_lane(self, scenes):
+        """Multilane-road scenes yield elevated single-lane evidence."""
+        model = EvidenceModel(seed=0)
+        with_mr = []
+        without_road = []
+        for scene in scenes:
+            if scene.presence[Indicator.SINGLE_LANE_ROAD]:
+                continue
+            ev = model.evidence(scene)[Indicator.SINGLE_LANE_ROAD]
+            if scene.presence[Indicator.MULTILANE_ROAD]:
+                with_mr.append(ev)
+            else:
+                without_road.append(ev)
+        assert np.mean(with_mr) > np.mean(without_road) + 0.25
+
+    def test_bare_pole_raises_streetlight_evidence(self, scenes):
+        model = EvidenceModel(seed=0)
+        pole, clean = [], []
+        for scene in scenes:
+            if scene.presence[Indicator.STREETLIGHT]:
+                continue
+            if scene.presence[Indicator.POWERLINE]:
+                continue
+            ev = model.evidence(scene)[Indicator.STREETLIGHT]
+            kinds = {d.kind for d in scene.distractors}
+            (pole if "bare_pole" in kinds else clean).append(ev)
+        assert pole and clean
+        assert np.mean(pole) > np.mean(clean)
+
+    def test_shared_across_consumers(self, urban_scene):
+        a = EvidenceModel(seed=9)
+        b = EvidenceModel(seed=9)
+        assert a.evidence(urban_scene) == b.evidence(urban_scene)
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def profiles(self, scenes):
+        return calibrate_profiles(scenes)
+
+    def test_all_models_calibrated(self, profiles):
+        assert set(profiles) == set(ALL_MODEL_IDS)
+
+    def test_policies_cover_all_indicators(self, profiles):
+        for profile in profiles.values():
+            assert set(profile.policies) == set(ALL_INDICATORS)
+
+    def test_fits_achieve_tpr_targets(self, profiles):
+        for model_id, profile in profiles.items():
+            for indicator, fit in profile.fits.items():
+                target = min(
+                    PAPER_LLM_METRICS[model_id][indicator].recall, 0.985
+                )
+                assert fit.achieved_tpr == pytest.approx(
+                    target, abs=0.04
+                ), (model_id, indicator)
+
+    def test_sequential_shifts_nonnegative(self, profiles):
+        for profile in profiles.values():
+            for shift in profile.sequential_shifts.values():
+                assert shift >= 0.0
+
+    def test_language_shifts_exist_for_non_english(self, profiles):
+        profile = profiles["gemini-1.5-pro"]
+        languages = {lang for lang, _ in profile.language_shifts}
+        assert languages == {
+            Language.SPANISH,
+            Language.CHINESE,
+            Language.BENGALI,
+        }
+
+    def test_chinese_sidewalk_shift_is_catastrophic(self, profiles):
+        profile = profiles["gemini-1.5-pro"]
+        shift = profile.language_shifts[
+            (Language.CHINESE, Indicator.SIDEWALK)
+        ]
+        ordinary = profile.language_shifts[
+            (Language.CHINESE, Indicator.POWERLINE)
+        ]
+        assert shift > ordinary + 0.1
+
+    def test_calibration_requires_scenes(self):
+        with pytest.raises(ValueError):
+            calibrate_profiles([])
+
+    def test_idio_evidence_bounded_and_deterministic(self, profiles, urban_scene):
+        profile = profiles["grok-2"]
+        a = profile.idio_evidence(urban_scene.scene_id, Indicator.SIDEWALK, 0.5)
+        b = profile.idio_evidence(urban_scene.scene_id, Indicator.SIDEWALK, 0.5)
+        assert a == b
+        assert 0.0 < a < 1.0
+
+    def test_effective_policy_applies_shifts(self, profiles):
+        profile = profiles["gemini-1.5-pro"]
+        base = profile.effective_policy(Indicator.SIDEWALK)
+        complex_ = profile.effective_policy(
+            Indicator.SIDEWALK, complex_structure=True
+        )
+        chinese = profile.effective_policy(
+            Indicator.SIDEWALK, language=Language.CHINESE
+        )
+        assert complex_.threshold >= base.threshold
+        assert chinese.threshold > base.threshold

@@ -1,0 +1,107 @@
+"""Tests for label-efficiency, weather robustness, and the ASCII map."""
+
+import pytest
+
+from repro.core import LLMIndicatorClassifier, NeighborhoodDecoder
+from repro.core.indicators import Indicator
+from repro.detect.train import TrainConfig
+from repro.experiments import ExperimentConfig, ExperimentSuite
+from repro.experiments.extensions import (
+    run_label_efficiency,
+    run_weather_robustness,
+)
+from repro.geo import make_durham_like
+from repro.gsv import StreetViewClient
+from repro.reporting import survey_to_ascii_map
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return ExperimentSuite(
+        config=ExperimentConfig(
+            n_images=96,
+            image_size=256,
+            n_calibration_images=160,
+            detector_train=TrainConfig(epochs=4, batch_size=16),
+        )
+    )
+
+
+class TestLabelEfficiency:
+    def test_learning_curve_shape(self, tiny_suite):
+        result = run_label_efficiency(tiny_suite, fractions=(0.25, 1.0))
+        assert len(result.rows) == 2
+        budgets = result.column("labeled_images")
+        assert budgets[0] < budgets[1]
+        # More labels never hurt by a large margin.
+        f1s = result.column("detector_f1")
+        assert f1s[1] >= f1s[0] - 0.10
+
+    def test_llm_reference_constant(self, tiny_suite):
+        result = run_label_efficiency(tiny_suite, fractions=(0.25, 1.0))
+        references = set(result.column("llm_f1_zero_labels"))
+        assert len(references) == 1
+
+    def test_rejects_bad_fractions(self, tiny_suite):
+        with pytest.raises(ValueError):
+            run_label_efficiency(tiny_suite, fractions=(0.0, 1.5))
+
+
+class TestWeatherRobustness:
+    def test_severe_fog_and_dusk_hurt(self, tiny_suite):
+        """At full severity the global-appearance shifts must cost F1.
+
+        (Rain is excluded here: at this tiny training scale the weak
+        detector's F1 is noisy enough that local streak overlays can
+        swing either way; the full-scale behaviour is covered by the
+        `python -m repro weather` experiment.)
+        """
+        result = run_weather_robustness(tiny_suite, severity=1.0)
+        clear = result.row_by("condition", "clear")["f1"]
+        assert result.row_by("condition", "fog")["f1"] < clear
+        assert result.row_by("condition", "dusk")["f1"] < clear
+
+    def test_f1_values_valid(self, tiny_suite):
+        result = run_weather_robustness(tiny_suite, severity=0.75)
+        for row in result.rows:
+            assert 0.0 <= row["f1"] <= 1.0
+
+    def test_all_conditions_present(self, tiny_suite):
+        result = run_weather_robustness(tiny_suite)
+        conditions = set(result.column("condition"))
+        assert conditions == {"clear", "fog", "rain", "dusk"}
+
+
+class TestAsciiMap:
+    @pytest.fixture(scope="class")
+    def report(self, clients):
+        county = make_durham_like(seed=3)
+        decoder = NeighborhoodDecoder(
+            street_view=StreetViewClient(counties=[county], api_key="x"),
+            classifier=LLMIndicatorClassifier(clients["gemini-1.5-pro"]),
+        )
+        return decoder.survey(county, n_locations=20, seed=4)
+
+    def test_map_dimensions(self, report):
+        text = survey_to_ascii_map(
+            report, Indicator.SIDEWALK, columns=30, rows=10
+        )
+        lines = text.split("\n")
+        assert len(lines) == 12  # title + 10 rows + legend
+        assert all(len(line) == 30 for line in lines[1:-1])
+
+    def test_map_marks_surveyed_cells(self, report):
+        text = survey_to_ascii_map(report, Indicator.SINGLE_LANE_ROAD)
+        body = "\n".join(text.split("\n")[1:-1])
+        marked = sum(1 for ch in body if ch not in " \n")
+        assert marked >= 5
+
+    def test_empty_report(self):
+        from repro.core.pipeline import SurveyReport
+
+        text = survey_to_ascii_map(SurveyReport(), Indicator.SIDEWALK)
+        assert "no surveyed locations" in text
+
+    def test_validates_grid(self, report):
+        with pytest.raises(ValueError):
+            survey_to_ascii_map(report, Indicator.SIDEWALK, columns=2)

@@ -1,0 +1,154 @@
+"""Tests for route planning and detection error analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.indicators import ALL_INDICATORS
+from repro.detect import (
+    ModelConfig,
+    TrainConfig,
+    analyze_errors,
+    train_detector,
+)
+from repro.geo import (
+    LatLon,
+    NoRouteError,
+    build_road_network,
+    make_robeson_like,
+    nearest_node,
+    plan_route,
+    route_captures,
+    route_sample_points,
+)
+
+
+@pytest.fixture(scope="module")
+def county():
+    return make_robeson_like(seed=2)
+
+
+@pytest.fixture(scope="module")
+def graph(county):
+    return build_road_network(county, seed=9)
+
+
+class TestRoutePlanning:
+    def test_nearest_node_snaps(self, graph):
+        node = next(iter(graph.nodes))
+        assert nearest_node(graph, node) == node
+
+    def test_route_between_corners(self, county, graph):
+        route = plan_route(
+            graph,
+            LatLon(county.south + 0.01, county.west + 0.01),
+            LatLon(county.north - 0.01, county.east - 0.01),
+        )
+        assert len(route.nodes) >= 2
+        assert route.length_m > 10_000
+
+    def test_route_start_end_properties(self, county, graph):
+        route = plan_route(graph, county.center, county.center)
+        assert route.start == route.end
+        assert route.length_m == 0.0
+
+    def test_route_length_matches_edges(self, county, graph):
+        route = plan_route(
+            graph,
+            LatLon(county.south + 0.02, county.west + 0.02),
+            county.center,
+        )
+        recomputed = sum(
+            a.distance_m(b) for a, b in zip(route.nodes, route.nodes[1:])
+        )
+        assert route.length_m == pytest.approx(recomputed, rel=0.01)
+
+    def test_no_route_raises(self, county, graph):
+        import networkx as nx
+
+        disconnected = nx.Graph()
+        a, b = LatLon(34.5, -79.0), LatLon(34.6, -79.1)
+        disconnected.add_node(a)
+        disconnected.add_node(b)
+        with pytest.raises(NoRouteError):
+            plan_route(disconnected, a, b)
+
+    def test_sample_points_spacing(self, county, graph):
+        route = plan_route(
+            graph,
+            LatLon(county.south + 0.02, county.west + 0.02),
+            county.center,
+        )
+        points = route_sample_points(county, graph, route)
+        assert len(points) > 10
+        gaps = [
+            points[i].location.distance_m(points[i + 1].location)
+            for i in range(min(20, len(points) - 1))
+        ]
+        # Intra-edge spacing is the 50-ft interval (~15.24 m); node
+        # boundaries may produce a shorter seam gap.
+        assert max(gaps) < 16.0
+
+    def test_captures_per_point(self, county, graph):
+        route = plan_route(
+            graph,
+            LatLon(county.south + 0.02, county.west + 0.02),
+            county.center,
+        )
+        points = route_sample_points(county, graph, route)
+        captures = route_captures(county, graph, route)
+        assert len(captures) == 4 * len(points)
+
+
+class TestErrorAnalysis:
+    @pytest.fixture(scope="class")
+    def trained(self, small_dataset):
+        splits = small_dataset.split(seed=0)
+        result = train_detector(
+            splits.train,
+            model_config=ModelConfig(hidden=64),
+            train_config=TrainConfig(epochs=6, seed=0),
+        )
+        return result.model, splits
+
+    def test_taxonomy_partitions_ground_truth(self, trained):
+        model, splits = trained
+        report = analyze_errors(model, splits.test)
+        for indicator in ALL_INDICATORS:
+            breakdown = report.per_class[indicator]
+            expected = sum(
+                image.count_of(indicator) for image in splits.test
+            )
+            assert breakdown.n_ground_truth == expected
+
+    def test_render_contains_all_classes(self, trained):
+        model, splits = trained
+        text = analyze_errors(model, splits.test).render()
+        for indicator in ALL_INDICATORS:
+            assert indicator.display_name in text
+
+    def test_dominant_error_labels(self, trained):
+        model, splits = trained
+        report = analyze_errors(model, splits.test)
+        valid = {
+            "none", "missed", "mislocalized", "background_fp", "duplicates",
+        }
+        for row in report.rows():
+            assert row["dominant_error"] in valid
+
+    def test_threshold_validation(self, trained):
+        model, splits = trained
+        with pytest.raises(ValueError):
+            analyze_errors(model, splits.test, hit_iou=0.1, loc_iou=0.5)
+
+    def test_counts_nonnegative(self, trained):
+        model, splits = trained
+        report = analyze_errors(model, splits.test)
+        for breakdown in report.per_class.values():
+            for value in (
+                breakdown.detected,
+                breakdown.mislocalized,
+                breakdown.missed,
+                breakdown.duplicates,
+                breakdown.background_fp,
+            ):
+                assert value >= 0

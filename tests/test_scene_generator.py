@@ -1,0 +1,159 @@
+"""Tests for procedural scene generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.indicators import ALL_INDICATORS, Indicator
+from repro.geo import RoadClass, ZoneKind
+from repro.scene import GeneratorConfig, RoadView, SceneGenerator
+
+
+@pytest.fixture()
+def gen():
+    return SceneGenerator(seed=3)
+
+
+class TestDeterminism:
+    def test_same_id_same_scene(self, gen):
+        a = gen.generate("abc", ZoneKind.URBAN)
+        b = gen.generate("abc", ZoneKind.URBAN)
+        assert a == b
+
+    def test_different_ids_differ(self, gen):
+        scenes = [
+            gen.generate(f"s{i}", ZoneKind.URBAN) for i in range(20)
+        ]
+        signatures = {s.presence for s in scenes}
+        assert len(signatures) > 1
+
+    def test_generation_order_independent(self, gen):
+        first = gen.generate("x1", ZoneKind.RURAL)
+        gen.generate("noise", ZoneKind.URBAN)
+        second = gen.generate("x1", ZoneKind.RURAL)
+        assert first == second
+
+
+class TestRoadView:
+    def test_heading_along_road_shows_full_road(self, gen):
+        scene = gen.generate(
+            "r1",
+            ZoneKind.SUBURBAN,
+            road_class=RoadClass.ARTERIAL,
+            heading=0,
+            road_bearing=10.0,
+        )
+        assert scene.road_view is RoadView.ALONG
+        assert scene.presence[Indicator.MULTILANE_ROAD]
+
+    def test_reverse_heading_also_along(self, gen):
+        scene = gen.generate(
+            "r2",
+            ZoneKind.SUBURBAN,
+            road_class=RoadClass.LOCAL,
+            heading=180,
+            road_bearing=10.0,
+        )
+        assert scene.road_view is RoadView.ALONG
+        assert scene.presence[Indicator.SINGLE_LANE_ROAD]
+
+    def test_road_class_decides_lane_count(self, gen):
+        for i in range(10):
+            scene = gen.generate(
+                f"lanes{i}",
+                ZoneKind.URBAN,
+                road_class=RoadClass.ARTERIAL,
+                heading=0,
+                road_bearing=0.0,
+            )
+            assert scene.presence[Indicator.MULTILANE_ROAD]
+            assert not scene.presence[Indicator.SINGLE_LANE_ROAD]
+
+    def test_perpendicular_heading_sometimes_no_road(self, gen):
+        views = set()
+        for i in range(40):
+            scene = gen.generate(
+                f"p{i}",
+                ZoneKind.RURAL,
+                road_class=RoadClass.LOCAL,
+                heading=0,
+                road_bearing=90.0,
+            )
+            views.add(scene.road_view)
+        assert RoadView.NONE in views
+        assert RoadView.ACROSS in views
+        assert RoadView.ALONG not in views
+
+    def test_across_road_is_partial(self, gen):
+        for i in range(40):
+            scene = gen.generate(
+                f"q{i}",
+                ZoneKind.SUBURBAN,
+                road_class=RoadClass.ARTERIAL,
+                heading=90,
+                road_bearing=0.0,
+            )
+            if scene.road_view is RoadView.ACROSS:
+                road = scene.objects_of(Indicator.MULTILANE_ROAD)[0]
+                assert road.attributes.get("partial")
+                return
+        pytest.fail("no across view in 40 draws")
+
+
+class TestComposition:
+    def test_prevalence_tracks_zone_priors(self, gen):
+        urban = [
+            gen.generate(f"u{i}", ZoneKind.URBAN) for i in range(300)
+        ]
+        rural = [
+            gen.generate(f"r{i}", ZoneKind.RURAL) for i in range(300)
+        ]
+        urban_sidewalks = np.mean(
+            [s.presence[Indicator.SIDEWALK] for s in urban]
+        )
+        rural_sidewalks = np.mean(
+            [s.presence[Indicator.SIDEWALK] for s in rural]
+        )
+        assert urban_sidewalks > rural_sidewalks + 0.2
+
+    def test_boxes_valid_for_all_objects(self, gen):
+        for i in range(100):
+            scene = gen.generate(f"b{i}", ZoneKind.SUBURBAN)
+            for obj in scene.objects:
+                assert 0.0 <= obj.box.x_min < obj.box.x_max <= 1.0
+                assert 0.0 <= obj.box.y_min < obj.box.y_max <= 1.0
+
+    def test_prior_scale_zero_empties_scene(self):
+        config = GeneratorConfig(
+            prior_scale=0.0,
+            bare_pole_probability=0.0,
+            house_probability=0.0,
+            across_road_probability=0.0,
+        )
+        gen = SceneGenerator(config=config, seed=1)
+        scene = gen.generate(
+            "empty", ZoneKind.URBAN, heading=90, road_bearing=0.0
+        )
+        assert not scene.presence.present
+
+    def test_distractors_only_without_object(self, gen):
+        # A bare-pole distractor never coexists with a powerline.
+        for i in range(200):
+            scene = gen.generate(f"d{i}", ZoneKind.RURAL)
+            kinds = {d.kind for d in scene.distractors}
+            if "bare_pole" in kinds:
+                assert not scene.presence[Indicator.POWERLINE]
+
+    def test_streetlight_attributes_complete(self, gen):
+        for i in range(200):
+            scene = gen.generate(f"sl{i}", ZoneKind.COMMERCIAL)
+            for obj in scene.objects_of(Indicator.STREETLIGHT):
+                for key in ("pole_x", "y_top", "y_base", "arm_x", "scale"):
+                    assert key in obj.attributes
+
+    def test_all_indicators_reachable(self, gen):
+        seen = set()
+        for i in range(400):
+            zone = list(ZoneKind)[i % 4]
+            scene = gen.generate(f"all{i}", zone, road_class=RoadClass.ARTERIAL if i % 2 else RoadClass.LOCAL, heading=0, road_bearing=(i % 4) * 45.0)
+            seen |= scene.presence.present
+        assert seen == set(ALL_INDICATORS)

@@ -1,0 +1,149 @@
+"""Tests for the scene graph types (BoundingBox, SceneObject, Scene)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.indicators import Indicator, IndicatorPresence
+from repro.scene import BoundingBox, RoadView, Scene, SceneObject
+
+BOX_COORD = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def boxes(draw):
+    x0 = draw(st.floats(0.0, 0.9))
+    y0 = draw(st.floats(0.0, 0.9))
+    x1 = draw(st.floats(x0 + 0.01, 1.0))
+    y1 = draw(st.floats(y0 + 0.01, 1.0))
+    return BoundingBox(x0, y0, x1, y1)
+
+
+class TestBoundingBox:
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0.5, 0.1, 0.4, 0.9)
+
+    def test_rejects_out_of_canvas(self):
+        with pytest.raises(ValueError):
+            BoundingBox(-0.1, 0.0, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            BoundingBox(0.0, 0.0, 1.2, 0.5)
+
+    def test_area_and_center(self):
+        box = BoundingBox(0.2, 0.2, 0.6, 0.7)
+        assert box.area == pytest.approx(0.2)
+        assert box.center == (pytest.approx(0.4), pytest.approx(0.45))
+
+    def test_iou_identical_is_one(self):
+        box = BoundingBox(0.1, 0.1, 0.5, 0.5)
+        assert box.iou(box) == pytest.approx(1.0)
+
+    def test_iou_disjoint_is_zero(self):
+        a = BoundingBox(0.0, 0.0, 0.2, 0.2)
+        b = BoundingBox(0.8, 0.8, 1.0, 1.0)
+        assert a.iou(b) == 0.0
+
+    def test_iou_half_overlap(self):
+        a = BoundingBox(0.0, 0.0, 0.4, 0.4)
+        b = BoundingBox(0.2, 0.0, 0.6, 0.4)
+        # intersection 0.08, union 0.24
+        assert a.iou(b) == pytest.approx(1.0 / 3.0)
+
+    def test_to_pixels(self):
+        box = BoundingBox(0.25, 0.5, 0.75, 1.0)
+        assert box.to_pixels(640, 640) == (160, 320, 480, 640)
+
+    def test_to_pixels_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0.1, 0.1, 0.5, 0.5).to_pixels(0, 640)
+
+    def test_from_pixels_clamps(self):
+        box = BoundingBox.from_pixels(-10, 0, 650, 320, 640, 640)
+        assert box.x_min == 0.0
+        assert box.x_max == 1.0
+
+    @given(a=boxes(), b=boxes())
+    def test_iou_symmetric(self, a, b):
+        assert a.iou(b) == pytest.approx(b.iou(a))
+
+    @given(a=boxes(), b=boxes())
+    def test_iou_in_unit_interval(self, a, b):
+        assert 0.0 <= a.iou(b) <= 1.0
+
+    @given(box=boxes())
+    def test_shift_stays_on_canvas(self, box):
+        shifted = box.clamped_shift(0.5, -0.5)
+        assert 0.0 <= shifted.x_min < shifted.x_max <= 1.0
+        assert 0.0 <= shifted.y_min < shifted.y_max <= 1.0
+
+
+class TestSceneObject:
+    def test_rejects_bad_occlusion(self):
+        with pytest.raises(ValueError):
+            SceneObject(
+                indicator=Indicator.SIDEWALK,
+                box=BoundingBox(0.1, 0.1, 0.5, 0.5),
+                occlusion=1.5,
+            )
+
+    def test_rejects_zero_contrast(self):
+        with pytest.raises(ValueError):
+            SceneObject(
+                indicator=Indicator.SIDEWALK,
+                box=BoundingBox(0.1, 0.1, 0.5, 0.5),
+                contrast=0.0,
+            )
+
+
+class TestScene:
+    def _scene(self, objects):
+        return Scene(scene_id="s", objects=tuple(objects))
+
+    def test_presence_from_objects(self):
+        scene = self._scene(
+            [
+                SceneObject(
+                    Indicator.SIDEWALK, BoundingBox(0.1, 0.1, 0.5, 0.5)
+                ),
+                SceneObject(
+                    Indicator.POWERLINE, BoundingBox(0.0, 0.1, 1.0, 0.4)
+                ),
+            ]
+        )
+        assert scene.presence == IndicatorPresence(
+            [Indicator.SIDEWALK, Indicator.POWERLINE]
+        )
+
+    def test_count_of(self):
+        scene = self._scene(
+            [
+                SceneObject(
+                    Indicator.STREETLIGHT, BoundingBox(0.1, 0.1, 0.2, 0.8)
+                ),
+                SceneObject(
+                    Indicator.STREETLIGHT, BoundingBox(0.7, 0.1, 0.8, 0.8)
+                ),
+            ]
+        )
+        assert scene.count_of(Indicator.STREETLIGHT) == 2
+        assert scene.count_of(Indicator.SIDEWALK) == 0
+
+    def test_rejects_bad_daylight(self):
+        with pytest.raises(ValueError):
+            Scene(scene_id="s", objects=(), daylight=0.0)
+
+    def test_with_objects_replaces(self):
+        scene = self._scene([])
+        updated = scene.with_objects(
+            (
+                SceneObject(
+                    Indicator.APARTMENT, BoundingBox(0.1, 0.1, 0.5, 0.6)
+                ),
+            )
+        )
+        assert updated.presence[Indicator.APARTMENT]
+        assert not scene.presence[Indicator.APARTMENT]
+        assert updated.scene_id == scene.scene_id
+
+    def test_default_road_view(self):
+        assert self._scene([]).road_view is RoadView.NONE

@@ -1,0 +1,118 @@
+"""Tests for occupancy footprints and stable seeding."""
+
+import numpy as np
+import pytest
+
+from repro.core.indicators import Indicator
+from repro.geo import RoadClass, ZoneKind
+from repro.scene import BoundingBox, SceneGenerator, stable_seed
+from repro.scene.model import SceneObject
+from repro.scene.occupancy import occupancy_boxes
+
+
+@pytest.fixture(scope="module")
+def many_scenes():
+    gen = SceneGenerator(seed=13)
+    scenes = []
+    for i in range(200):
+        zone = list(ZoneKind)[i % 4]
+        scenes.append(
+            gen.generate(
+                f"occ{i}",
+                zone,
+                road_class=RoadClass.ARTERIAL if i % 2 else RoadClass.LOCAL,
+                heading=0,
+                road_bearing=float((i * 53) % 180),
+            )
+        )
+    return scenes
+
+
+class TestOccupancyBoxes:
+    def test_every_object_has_occupancy(self, many_scenes):
+        for scene in many_scenes:
+            for obj in scene.objects:
+                parts = occupancy_boxes(obj)
+                assert parts, obj.indicator
+
+    def test_occupancy_boxes_valid(self, many_scenes):
+        for scene in many_scenes:
+            for obj in scene.objects:
+                for part in occupancy_boxes(obj):
+                    assert 0.0 <= part.x_min < part.x_max <= 1.0
+                    assert 0.0 <= part.y_min < part.y_max <= 1.0
+
+    def test_occupancy_overlaps_bbox(self, many_scenes):
+        """Every occupancy part must intersect the object's box."""
+        for scene in many_scenes:
+            for obj in scene.objects:
+                for part in occupancy_boxes(obj):
+                    ix = min(part.x_max, obj.box.x_max) - max(
+                        part.x_min, obj.box.x_min
+                    )
+                    iy = min(part.y_max, obj.box.y_max) - max(
+                        part.y_min, obj.box.y_min
+                    )
+                    assert ix > -0.06 and iy > -0.06, obj.indicator
+
+    def test_sidewalk_along_occupancy_smaller_than_bbox(self, many_scenes):
+        found = False
+        for scene in many_scenes:
+            for obj in scene.objects_of(Indicator.SIDEWALK):
+                if obj.attributes.get("view") != "along":
+                    continue
+                found = True
+                area = sum(p.area for p in occupancy_boxes(obj))
+                assert area < obj.box.area * 0.9
+        assert found
+
+    def test_across_objects_use_bbox(self, many_scenes):
+        for scene in many_scenes:
+            for obj in scene.objects_of(Indicator.SIDEWALK):
+                if obj.attributes.get("view") == "across":
+                    assert occupancy_boxes(obj) == [obj.box]
+                    return
+
+    def test_missing_attributes_fall_back_to_bbox(self):
+        bare = SceneObject(
+            indicator=Indicator.STREETLIGHT,
+            box=BoundingBox(0.4, 0.2, 0.5, 0.8),
+        )
+        assert occupancy_boxes(bare) == [bare.box]
+
+    def test_apartment_is_boxlike(self):
+        obj = SceneObject(
+            indicator=Indicator.APARTMENT,
+            box=BoundingBox(0.1, 0.2, 0.5, 0.6),
+            attributes={"floors": 5},
+        )
+        assert occupancy_boxes(obj) == [obj.box]
+
+    def test_powerline_band_spans_width(self, many_scenes):
+        for scene in many_scenes:
+            for obj in scene.objects_of(Indicator.POWERLINE):
+                band = occupancy_boxes(obj)[0]
+                assert band.x_min == 0.0 and band.x_max == 1.0
+                return
+        pytest.fail("no powerline generated")
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", 1, "b") == stable_seed("a", 1, "b")
+
+    def test_order_sensitive(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+
+    def test_type_sensitive(self):
+        assert stable_seed(1) != stable_seed("1")
+
+    def test_in_numpy_seed_range(self):
+        for parts in (("x",), (1, 2, 3), ("scene", 99, "id")):
+            seed = stable_seed(*parts)
+            assert 0 <= seed < 2**63
+            np.random.default_rng(seed)  # must not raise
+
+    def test_distribution_no_collisions(self):
+        seeds = {stable_seed("s", i) for i in range(10_000)}
+        assert len(seeds) == 10_000

@@ -1,0 +1,93 @@
+"""Tests for weather/lighting corruptions."""
+
+import numpy as np
+import pytest
+
+from repro.scene import render_scene
+from repro.scene.weather import (
+    CONDITIONS,
+    SEVERITY_LEVELS,
+    apply_condition,
+    apply_dusk,
+    apply_fog,
+    apply_rain,
+)
+
+
+@pytest.fixture(scope="module")
+def image():
+    rng = np.random.default_rng(3)
+    return (rng.uniform(0.1, 0.9, size=(96, 96, 3)) * 255).astype(np.uint8)
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", sorted(CONDITIONS))
+    def test_preserves_shape_and_dtype(self, image, name):
+        out = apply_condition(image, name, 0.5)
+        assert out.shape == image.shape
+        assert out.dtype == image.dtype
+
+    @pytest.mark.parametrize("name", sorted(CONDITIONS))
+    def test_zero_severity_near_identity(self, image, name):
+        out = apply_condition(image, name, 0.0)
+        diff = np.abs(out.astype(float) - image.astype(float)).mean()
+        assert diff < 3.0
+
+    @pytest.mark.parametrize("name", sorted(CONDITIONS))
+    def test_severity_monotone_distortion(self, image, name):
+        mild = apply_condition(image, name, 0.25).astype(float)
+        harsh = apply_condition(image, name, 1.0).astype(float)
+        base = image.astype(float)
+        assert np.abs(harsh - base).mean() > np.abs(mild - base).mean()
+
+    def test_unknown_condition_rejected(self, image):
+        with pytest.raises(ValueError):
+            apply_condition(image, "blizzard")
+
+    def test_severity_validated(self, image):
+        with pytest.raises(ValueError):
+            apply_fog(image, 1.5)
+
+    def test_float_images_supported(self):
+        image = np.full((32, 32, 3), 0.5)
+        out = apply_fog(image, 0.5)
+        assert out.dtype == image.dtype
+        assert 0.0 <= out.min() and out.max() <= 1.0
+
+    def test_severity_levels_constant(self):
+        assert all(0.0 < s <= 1.0 for s in SEVERITY_LEVELS)
+
+
+class TestPhysicalStructure:
+    def test_fog_brightens_dark_scenes_toward_airlight(self):
+        dark = np.full((64, 64, 3), 20, dtype=np.uint8)
+        fogged = apply_fog(dark, 1.0)
+        assert fogged.mean() > dark.mean()
+
+    def test_fog_stronger_near_top(self, image):
+        fogged = apply_fog(image, 1.0).astype(float)
+        base = image.astype(float)
+        top_change = np.abs(fogged[:10] - base[:10]).mean()
+        bottom_change = np.abs(fogged[-10:] - base[-10:]).mean()
+        assert top_change > bottom_change
+
+    def test_rain_reduces_contrast(self, image):
+        rained = apply_rain(image, 1.0)
+        assert rained.astype(float).std() < image.astype(float).std()
+
+    def test_rain_deterministic_in_seed(self, image):
+        a = apply_rain(image, 0.7, seed=5)
+        b = apply_rain(image, 0.7, seed=5)
+        assert np.array_equal(a, b)
+        c = apply_rain(image, 0.7, seed=6)
+        assert not np.array_equal(a, c)
+
+    def test_dusk_darkens(self, image):
+        dusked = apply_dusk(image, 1.0)
+        assert dusked.mean() < image.mean()
+
+    def test_on_rendered_scene(self, urban_scene):
+        pixels = render_scene(urban_scene, 128)
+        for name in CONDITIONS:
+            out = apply_condition(pixels, name, 0.5)
+            assert out.shape == pixels.shape

@@ -1,0 +1,180 @@
+"""Tests for dataset persistence and the batch runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_parallel_prompt
+from repro.gsv.storage import (
+    load_dataset,
+    save_dataset,
+    scene_from_json,
+    scene_to_json,
+)
+from repro.llm import ImageAttachment, InvalidRequestError
+from repro.llm.base import ChatMessage, ChatRequest
+from repro.llm.batch import (
+    BatchRunner,
+    TokenBucket,
+    VirtualClock,
+)
+
+
+class TestSceneSerialization:
+    def test_round_trip_equality(self, urban_scene):
+        assert scene_from_json(scene_to_json(urban_scene)) == urban_scene
+
+    def test_round_trip_through_json_text(self, rural_scene):
+        import json
+
+        blob = json.dumps(scene_to_json(rural_scene))
+        assert scene_from_json(json.loads(blob)) == rural_scene
+
+    def test_renders_identically(self, urban_scene):
+        recovered = scene_from_json(scene_to_json(urban_scene))
+        from repro.scene import render_scene
+
+        assert np.array_equal(
+            render_scene(urban_scene, 128), render_scene(recovered, 128)
+        )
+
+
+class TestDatasetPersistence:
+    def test_save_load_round_trip(self, small_dataset, tmp_path):
+        save_dataset(small_dataset, tmp_path / "survey")
+        loaded = load_dataset(tmp_path / "survey")
+        assert len(loaded) == len(small_dataset)
+        assert loaded.counties == small_dataset.counties
+        for a, b in zip(small_dataset, loaded):
+            assert a.image_id == b.image_id
+            assert a.scene == b.scene
+            assert a.annotations == b.annotations
+
+    def test_labelme_files_written(self, small_dataset, tmp_path):
+        save_dataset(small_dataset, tmp_path / "survey")
+        annotation_files = list((tmp_path / "survey" / "annotations").glob("*.json"))
+        assert len(annotation_files) == len(small_dataset)
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nowhere")
+
+    def test_version_check(self, small_dataset, tmp_path):
+        import json
+
+        manifest_path = save_dataset(small_dataset, tmp_path / "survey")
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            load_dataset(tmp_path / "survey")
+
+
+class TestTokenBucket:
+    def test_burst_within_capacity_is_free(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=1.0, capacity=5.0, clock=clock)
+        waits = [bucket.acquire() for _ in range(5)]
+        assert sum(waits) == 0.0
+
+    def test_sustained_rate_enforced(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=2.0, capacity=1.0, clock=clock)
+        bucket.acquire()
+        wait = bucket.acquire()
+        assert wait == pytest.approx(0.5)  # 2 req/s → 0.5 s apart
+
+    def test_refills_over_time(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=1.0, capacity=2.0, clock=clock)
+        bucket.acquire()
+        bucket.acquire()
+        clock.sleep(2.0)
+        assert bucket.acquire() == 0.0
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, capacity=1.0)
+
+
+class TestBatchRunner:
+    def _requests(self, clients, scenes, n=6):
+        prompt = build_parallel_prompt()
+        return [
+            ChatRequest(
+                model="gpt-4o-mini",
+                messages=(
+                    ChatMessage(
+                        role="user",
+                        text=prompt,
+                        images=(ImageAttachment(scene=scenes[i % len(scenes)]),),
+                    ),
+                ),
+            )
+            for i in range(n)
+        ]
+
+    def test_all_succeed_without_failures(self, clients, small_dataset):
+        scenes = [image.scene for image in small_dataset.images[:6]]
+        runner = BatchRunner(clients["gpt-4o-mini"])
+        outcomes, stats = runner.run(self._requests(clients, scenes))
+        assert stats.succeeded == 6
+        assert stats.failed == 0
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_retries_rate_limits(self, calibration_dataset, small_dataset):
+        from repro.llm import build_clients
+
+        limited = build_clients(
+            [im.scene for im in calibration_dataset.images[:40]],
+            model_ids=("gpt-4o-mini",),
+            rate_limit_every=3,
+        )["gpt-4o-mini"]
+        scenes = [image.scene for image in small_dataset.images[:6]]
+        clock = VirtualClock()
+        runner = BatchRunner(limited, clock=clock, backoff_base_s=0.1)
+        outcomes, stats = runner.run(self._requests(None, scenes))
+        assert stats.succeeded == 6
+        assert stats.retries >= 1
+        assert clock.sleeps  # backoff happened on the virtual clock
+
+    def test_non_retryable_recorded_not_raised(self, clients, urban_scene):
+        bad = ChatRequest(
+            model="grok-2",  # wrong client below → InvalidRequestError
+            messages=(
+                ChatMessage(
+                    role="user",
+                    text="Is there a sidewalk visible in the image?",
+                    images=(ImageAttachment(scene=urban_scene),),
+                ),
+            ),
+        )
+        runner = BatchRunner(clients["gpt-4o-mini"])
+        outcomes, stats = runner.run([bad])
+        assert stats.failed == 1
+        assert isinstance(outcomes[0].error, InvalidRequestError)
+        assert outcomes[0].attempts == 1
+
+    def test_rate_limited_batch_timing(self, clients, small_dataset):
+        scenes = [image.scene for image in small_dataset.images[:4]]
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=2.0, capacity=1.0, clock=clock)
+        runner = BatchRunner(
+            clients["gpt-4o-mini"], limiter=bucket, clock=clock
+        )
+        _, stats = runner.run(self._requests(None, scenes, n=4))
+        # 4 requests at 2/s with burst 1 → ≥1.5 s of waiting.
+        assert stats.rate_limit_waits == pytest.approx(1.5, abs=0.01)
+
+    def test_progress_callback(self, clients, small_dataset):
+        scenes = [image.scene for image in small_dataset.images[:3]]
+        seen = []
+        runner = BatchRunner(
+            clients["gpt-4o-mini"],
+            on_progress=lambda done, total: seen.append((done, total)),
+        )
+        runner.run(self._requests(None, scenes, n=3))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_validates_attempts(self, clients):
+        with pytest.raises(ValueError):
+            BatchRunner(clients["gpt-4o-mini"], max_attempts=0)
