@@ -1,0 +1,106 @@
+"""Resilient survey: surviving a mid-run outage, then resuming.
+
+Runs a checkpointed county survey against a street-view client that is
+scripted to fail — a transient burst the retry policy absorbs, then a
+daily quota cliff that kills the last locations.  The first pass ends
+with partial coverage; a second pass with the same checkpoint fetches
+only the missing locations and never re-bills completed ones.  A
+``VirtualClock`` drives all backoff, so the demo is instantaneous.
+
+Run:  python examples/resilient_survey.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import build_survey_dataset
+from repro.core import LLMIndicatorClassifier, NeighborhoodDecoder
+from repro.geo import make_durham_like
+from repro.gsv import StreetViewClient
+from repro.gsv.api import FEE_PER_IMAGE_USD, TransientNetworkError
+from repro.llm import build_clients
+from repro.llm.paper_targets import GEMINI_15_PRO
+from repro.resilience import (
+    CircuitBreaker,
+    FaultSchedule,
+    RetryPolicy,
+    VirtualClock,
+)
+
+N_LOCATIONS = 10
+
+
+def make_decoder(street_view, classifier, clock):
+    return NeighborhoodDecoder(
+        street_view=street_view,
+        classifier=classifier,
+        retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.5),
+        gsv_breaker=CircuitBreaker(
+            name="gsv", failure_threshold=10, recovery_time_s=60.0,
+            clock=clock,
+        ),
+        clock=clock,
+    )
+
+
+def describe(label, report):
+    print(f"\n{label}")
+    print(
+        f"  coverage {report.coverage:.0%} "
+        f"({len(report.locations)}/{report.requested_locations} locations), "
+        f"fees ${report.fees_usd:.3f}"
+    )
+    stats = report.retry_stats.as_dict()
+    print(
+        f"  fault handling: {stats['retries']} retries, "
+        f"{stats['failures']} failures"
+    )
+    for failed in report.failed_locations:
+        print(f"  failed location {failed.index}: {failed.reason}")
+
+
+def main() -> None:
+    county = make_durham_like(seed=3)
+    print("Calibrating LLM client...")
+    calibration = build_survey_dataset(n_images=120, size=256, seed=50)
+    clients = build_clients(
+        [image.scene for image in calibration], model_ids=(GEMINI_15_PRO,)
+    )
+    classifier = LLMIndicatorClassifier(clients[GEMINI_15_PRO])
+    clock = VirtualClock()
+    checkpoint = Path(tempfile.mkdtemp()) / "survey.json"
+
+    # Day 1: a transient network burst mid-run, then the daily quota
+    # runs out at 70% of the requested locations.
+    outage = StreetViewClient(
+        counties=[county],
+        api_key="demo-key",
+        daily_quota=int(0.7 * N_LOCATIONS) * 4,
+        fault_schedule=FaultSchedule().burst(
+            TransientNetworkError("backbone blip"), start=5, length=3
+        ),
+    )
+    report = make_decoder(outage, classifier, clock).survey(
+        county, N_LOCATIONS, seed=7, checkpoint=checkpoint
+    )
+    describe("Day 1 (burst + quota cliff):", report)
+    print(f"  virtual seconds spent backing off: {sum(clock.sleeps):.1f}")
+
+    # Day 2: quota reset, network healthy.  Same checkpoint — only the
+    # missing locations are fetched, so nothing is billed twice.
+    recovered = StreetViewClient(counties=[county], api_key="demo-key")
+    report2 = make_decoder(recovered, classifier, clock).survey(
+        county, N_LOCATIONS, seed=7, checkpoint=checkpoint
+    )
+    describe("Day 2 (resumed from checkpoint):", report2)
+    print(
+        f"  day-2 billing covered only "
+        f"{int(round(report2.fees_usd / FEE_PER_IMAGE_USD))} images"
+    )
+    print("\nIndicator rates over the completed survey:")
+    for indicator, rate in report2.indicator_rates().items():
+        print(f"  {indicator.display_name:20s} {rate:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -78,6 +78,12 @@ from .reporting import (
     survey_to_geojson,
     survey_to_markdown,
 )
+from .resilience import (
+    CircuitBreaker,
+    FaultSchedule,
+    RetryPolicy,
+    SurveyCheckpoint,
+)
 
 __version__ = "1.0.0"
 
@@ -118,5 +124,9 @@ __all__ = [
     "survey_to_csv",
     "survey_to_geojson",
     "survey_to_markdown",
+    "CircuitBreaker",
+    "FaultSchedule",
+    "RetryPolicy",
+    "SurveyCheckpoint",
     "__version__",
 ]

@@ -6,8 +6,11 @@ Usage::
     python -m repro table1               # one experiment
     python -m repro fig5 --scale paper   # full paper scale
     python -m repro all --scale smoke    # everything, fast
+    python -m repro survey --locations 20 --min-coverage 0.9
 
-Results render as plain-text tables on stdout.
+Results render as plain-text tables on stdout.  ``survey`` runs the
+deployable decoder end-to-end, prints a coverage/degradation summary,
+and exits nonzero only when coverage falls below ``--min-coverage``.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from .experiments import (
 from .experiments.extensions import (
     run_correlation_ablation,
     run_cost_accounting,
+    run_fault_drill,
     run_few_shot_languages,
     run_label_efficiency,
     run_label_noise,
@@ -61,6 +65,7 @@ EXPERIMENTS = {
         run_label_efficiency,
     ),
     "weather": ("Ext. H: weather robustness", run_weather_robustness),
+    "resilience": ("Ext. I: fault-tolerant survey drill", run_fault_drill),
 }
 
 
@@ -79,6 +84,85 @@ def _config_for(scale: str) -> ExperimentConfig:
     raise SystemExit(f"unknown scale: {scale!r}")
 
 
+def _run_survey(args: argparse.Namespace) -> int:
+    """Run one fault-tolerant survey and summarize its outcome.
+
+    Exit status is 0 when coverage meets ``--min-coverage`` and 1
+    otherwise — partial results are reported either way, so an
+    operator can rerun with the same ``--checkpoint`` to resume.
+    """
+    from .core.classifier import LLMIndicatorClassifier
+    from .core.pipeline import NeighborhoodDecoder
+    from .geo.county import make_durham_like, make_robeson_like
+    from .gsv.api import StreetViewClient
+    from .gsv.dataset import build_survey_dataset
+    from .llm.paper_targets import GEMINI_15_PRO
+    from .llm.registry import build_clients
+    from .resilience import CircuitBreaker, RetryPolicy
+
+    county = (
+        make_durham_like(seed=3)
+        if args.county == "durham"
+        else make_robeson_like(seed=2)
+    )
+    street_view = StreetViewClient(
+        counties=[county],
+        api_key="cli-survey",
+        failure_rate=args.gsv_failure_rate,
+        daily_quota=args.daily_quota,
+    )
+    calibration = build_survey_dataset(n_images=60, size=256, seed=77)
+    clients = build_clients(
+        [image.scene for image in calibration], model_ids=(GEMINI_15_PRO,)
+    )
+    decoder = NeighborhoodDecoder(
+        street_view=street_view,
+        classifier=LLMIndicatorClassifier(clients[GEMINI_15_PRO]),
+        retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.05,
+                                 max_delay_s=0.5),
+        gsv_breaker=CircuitBreaker(name="gsv", failure_threshold=12,
+                                   recovery_time_s=1.0),
+    )
+    report = decoder.survey(
+        county, args.locations, seed=args.seed, checkpoint=args.checkpoint
+    )
+
+    print(f"\n=== survey of {county.name} ===")
+    print(
+        f"coverage       {report.coverage:.1%} "
+        f"({len(report.locations)}/{report.requested_locations} locations)"
+    )
+    print(f"images         {report.images_classified}")
+    print(f"fees           ${report.fees_usd:.3f}")
+    print(f"degraded votes {report.degraded_votes}")
+    stats = report.retry_stats.as_dict()
+    print(
+        f"fault handling {stats['retries']} retries, "
+        f"{stats['failures']} failures, "
+        f"{stats['breaker_blocks']} breaker blocks"
+    )
+    for failed in report.failed_locations:
+        print(
+            f"  FAILED location {failed.index} "
+            f"({failed.latitude:.4f}, {failed.longitude:.4f}): "
+            f"{failed.reason}"
+        )
+    for indicator, rate in report.indicator_rates().items():
+        print(f"  {indicator.value:18s} {rate:.2f}")
+    if report.coverage < args.min_coverage:
+        print(
+            f"coverage {report.coverage:.1%} below required "
+            f"{args.min_coverage:.1%}"
+            + (
+                " — rerun with the same --checkpoint to resume"
+                if args.checkpoint
+                else ""
+            )
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -89,8 +173,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="which experiment to run",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "survey"],
+        help="which experiment to run ('survey' runs the decoder itself)",
     )
     parser.add_argument(
         "--scale",
@@ -98,12 +182,53 @@ def main(argv: list[str] | None = None) -> int:
         choices=["smoke", "bench", "paper"],
         help="input scale (default: bench = 600 images at 640 px)",
     )
+    survey_group = parser.add_argument_group("survey options")
+    survey_group.add_argument(
+        "--county",
+        default="durham",
+        choices=["durham", "robeson"],
+        help="county to survey (default: durham)",
+    )
+    survey_group.add_argument(
+        "--locations",
+        type=int,
+        default=12,
+        help="number of survey locations (default: 12)",
+    )
+    survey_group.add_argument(
+        "--seed", type=int, default=0, help="survey seed (default: 0)"
+    )
+    survey_group.add_argument(
+        "--min-coverage",
+        type=float,
+        default=1.0,
+        help="exit nonzero when coverage falls below this (default: 1.0)",
+    )
+    survey_group.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSON checkpoint path; reruns resume completed locations",
+    )
+    survey_group.add_argument(
+        "--gsv-failure-rate",
+        type=float,
+        default=0.0,
+        help="injected transient-failure probability (default: 0)",
+    )
+    survey_group.add_argument(
+        "--daily-quota",
+        type=int,
+        default=None,
+        help="simulated GSV daily image quota (default: unlimited)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for name, (description, _) in sorted(EXPERIMENTS.items()):
             print(f"  {name:12s} {description}")
         return 0
+    if args.experiment == "survey":
+        return _run_survey(args)
 
     suite = ExperimentSuite(config=_config_for(args.scale))
     names = (

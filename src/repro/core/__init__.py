@@ -1,6 +1,7 @@
 """Core contribution: LLM-based neighborhood environment decoding."""
 
 from .classifier import (
+    ClassificationError,
     ClassificationOutcome,
     ClassifierConfig,
     LLMIndicatorClassifier,
@@ -39,6 +40,7 @@ from .parsing import (
     presence_to_answer_text,
 )
 from .pipeline import (
+    FailedLocation,
     LocationResult,
     NeighborhoodDecoder,
     SurveyReport,
@@ -51,6 +53,7 @@ from .prompts import (
     prompt_for_style,
 )
 from .voting import (
+    VoteRecord,
     VotingEnsemble,
     agreement_rate,
     majority_vote,
@@ -62,6 +65,7 @@ __all__ = [
     "build_few_shot_messages",
     "build_few_shot_request",
     "count_exemplars",
+    "ClassificationError",
     "ClassificationOutcome",
     "ClassifierConfig",
     "LLMIndicatorClassifier",
@@ -84,6 +88,7 @@ __all__ = [
     "extract_decisions",
     "parse_answers",
     "presence_to_answer_text",
+    "FailedLocation",
     "LocationResult",
     "NeighborhoodDecoder",
     "SurveyReport",
@@ -92,6 +97,7 @@ __all__ = [
     "build_sequential_prompt",
     "build_single_prompt",
     "prompt_for_style",
+    "VoteRecord",
     "VotingEnsemble",
     "agreement_rate",
     "majority_vote",

@@ -6,11 +6,15 @@ image, calls the chat client with bounded retry (rate limits and
 transient server errors are real failure modes of the commercial
 APIs), parses the Yes/No answers, and returns per-image
 :class:`~repro.core.indicators.IndicatorPresence` predictions.
+
+Retry is delegated to the shared
+:class:`~repro.resilience.retry.RetryPolicy`, so backoff never sleeps
+after the final failed attempt and all waiting goes through an
+injectable clock.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -23,10 +27,16 @@ from ..llm.base import (
 )
 from ..llm.errors import RateLimitError, ServerError
 from ..llm.language import Language
+from ..resilience.clock import Clock, WallClock
+from ..resilience.retry import RetryPolicy, RetryStats
 from .indicators import Indicator, IndicatorPresence
 from .languages import PAPER_QUESTION_ORDER
 from .parsing import ResponseParseError, answers_to_presence, parse_answers
 from .prompts import PromptStyle, prompt_for_style
+
+
+class ClassificationError(RuntimeError):
+    """An image could not be classified within the retry budget."""
 
 
 @dataclass
@@ -36,6 +46,10 @@ class ClassifierConfig:
     ``few_shot_exemplars`` prepends labeled example images to every
     request (the §V cross-lingual mitigation); it requires the
     parallel prompt style.
+
+    ``retry`` overrides ``max_attempts``/``backoff_s`` with a fully
+    configured policy; when absent a policy is derived from them
+    (full-jitter exponential backoff scaled by ``backoff_s``).
     """
 
     style: PromptStyle = PromptStyle.PARALLEL
@@ -46,6 +60,7 @@ class ClassifierConfig:
     max_attempts: int = 4
     backoff_s: float = 0.0  # keep zero in tests/benches; >0 in production
     few_shot_exemplars: tuple = ()
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -54,6 +69,14 @@ class ClassifierConfig:
             raise ValueError(
                 "few-shot exemplars require the parallel prompt style"
             )
+
+    def retry_policy(self) -> RetryPolicy:
+        """The configured policy, or one derived from the legacy knobs."""
+        if self.retry is not None:
+            return self.retry
+        return RetryPolicy(
+            max_attempts=self.max_attempts, base_delay_s=self.backoff_s
+        )
 
 
 @dataclass
@@ -72,6 +95,10 @@ class LLMIndicatorClassifier:
 
     client: ChatClient
     config: ClassifierConfig = field(default_factory=ClassifierConfig)
+    clock: Clock = field(default_factory=WallClock)
+    retry_stats: RetryStats = field(default_factory=RetryStats)
+
+    RETRYABLE = (RateLimitError, ServerError, ResponseParseError)
 
     @property
     def prompt(self) -> str:
@@ -80,33 +107,39 @@ class LLMIndicatorClassifier:
         )
 
     def classify_image(self, image: LabeledImage) -> ClassificationOutcome:
-        """Classify a single image, retrying transient failures."""
-        last_error: Exception | None = None
-        for attempt in range(1, self.config.max_attempts + 1):
-            try:
-                text = self._request(image)
-                parsed = parse_answers(
-                    text,
-                    expected=len(self.config.indicators),
-                    language=self.config.language,
-                )
-                presence = answers_to_presence(
-                    parsed, self.config.indicators
-                )
-                return ClassificationOutcome(
-                    image_id=image.image_id,
-                    presence=presence,
-                    raw_response=text,
-                    attempts=attempt,
-                )
-            except (RateLimitError, ServerError, ResponseParseError) as err:
-                last_error = err
-                if self.config.backoff_s > 0:
-                    time.sleep(self.config.backoff_s * attempt)
-        raise RuntimeError(
-            f"classification of {image.image_id} failed after "
-            f"{self.config.max_attempts} attempts"
-        ) from last_error
+        """Classify a single image, retrying transient failures.
+
+        Raises :class:`ClassificationError` (a ``RuntimeError``) when
+        the retry budget is exhausted.
+        """
+
+        def attempt() -> tuple[str, IndicatorPresence]:
+            text = self._request(image)
+            parsed = parse_answers(
+                text,
+                expected=len(self.config.indicators),
+                language=self.config.language,
+            )
+            return text, answers_to_presence(parsed, self.config.indicators)
+
+        outcome = self.config.retry_policy().execute(
+            attempt,
+            retryable=self.RETRYABLE,
+            clock=self.clock,
+            stats=self.retry_stats,
+        )
+        if not outcome.ok:
+            raise ClassificationError(
+                f"classification of {image.image_id} failed after "
+                f"{outcome.attempts} attempts"
+            ) from outcome.error
+        text, presence = outcome.value
+        return ClassificationOutcome(
+            image_id=image.image_id,
+            presence=presence,
+            raw_response=text,
+            attempts=outcome.attempts,
+        )
 
     def _request(self, image: LabeledImage) -> str:
         """Issue one chat request for ``image`` (zero- or few-shot)."""

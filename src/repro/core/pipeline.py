@@ -6,25 +6,43 @@ classify every capture with an LLM (or a majority-voting ensemble),
 and aggregate per-location results into neighborhood-level indicator
 statistics — the kind of output public-health studies correlate with
 obesity/diabetes prevalence in the work the paper builds on.
+
+The survey path is fault tolerant: street-view fetches run under the
+shared :class:`~repro.resilience.retry.RetryPolicy` (optionally behind
+a :class:`~repro.resilience.breaker.CircuitBreaker`), ensemble voting
+degrades to the surviving quorum when a member is down, a failed
+location is recorded and skipped instead of aborting the survey, and
+per-location progress can be checkpointed to disk so a rerun resumes
+after the last completed location without re-billing fetched imagery.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
-from ..gsv.api import StreetViewClient
+from ..gsv.api import (
+    StreetViewClient,
+    StreetViewError,
+    TransientNetworkError,
+)
 from ..gsv.dataset import LabeledImage
 from ..geo.county import County
 from ..geo.roadnet import build_road_network
 from ..geo.sampling import (
+    SamplePoint,
     build_sampling_frame,
     expand_to_captures,
     select_survey_locations,
 )
-from .classifier import LLMIndicatorClassifier
+from ..resilience.breaker import CircuitBreaker, CircuitOpenError
+from ..resilience.checkpoint import SurveyCheckpoint
+from ..resilience.clock import Clock, WallClock
+from ..resilience.retry import RetryPolicy, RetryStats
+from .classifier import ClassificationError, LLMIndicatorClassifier
 from .indicators import ALL_INDICATORS, Indicator, IndicatorPresence
 from .voting import VotingEnsemble
 
@@ -40,13 +58,34 @@ class LocationResult:
     presence: IndicatorPresence  # union over the four headings
 
 
+@dataclass(frozen=True)
+class FailedLocation:
+    """A survey location that could not be completed."""
+
+    index: int
+    latitude: float
+    longitude: float
+    reason: str
+
+
 @dataclass
 class SurveyReport:
-    """Aggregated neighborhood survey output."""
+    """Aggregated neighborhood survey output.
+
+    Partial results are first-class: ``coverage`` is the fraction of
+    requested locations completed, ``failed_locations`` names the
+    rest, ``degraded_votes`` counts images voted on a reduced quorum,
+    and ``retry_stats`` totals the fault handling performed.
+    """
 
     locations: list[LocationResult] = field(default_factory=list)
     images_classified: int = 0
     fees_usd: float = 0.0
+    requested_locations: int = 0
+    coverage: float = 1.0
+    failed_locations: list[FailedLocation] = field(default_factory=list)
+    degraded_votes: int = 0
+    retry_stats: RetryStats = field(default_factory=RetryStats)
 
     def indicator_rates(self) -> dict[Indicator, float]:
         """Fraction of locations where each indicator was decoded."""
@@ -80,11 +119,17 @@ class NeighborhoodDecoder:
     """Survey a county with an LLM classifier or voting ensemble.
 
     Exactly one of ``classifier`` / ``ensemble`` must be provided.
+    ``retry_policy`` governs street-view fetches (classifier retry is
+    configured on the classifiers themselves); ``gsv_breaker``
+    short-circuits a hard-down imagery endpoint.
     """
 
     street_view: StreetViewClient
     classifier: LLMIndicatorClassifier | None = None
     ensemble: VotingEnsemble | None = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    gsv_breaker: CircuitBreaker | None = None
+    clock: Clock = field(default_factory=WallClock)
 
     def __post_init__(self) -> None:
         if (self.classifier is None) == (self.ensemble is None):
@@ -92,27 +137,126 @@ class NeighborhoodDecoder:
                 "provide exactly one of classifier or ensemble"
             )
 
+    # ------------------------------------------------------------------
+
     def survey(
         self,
         county: County,
         n_locations: int,
         seed: int = 0,
+        checkpoint: str | Path | None = None,
     ) -> SurveyReport:
-        """Decode ``n_locations`` random roadway locations in a county."""
+        """Decode ``n_locations`` random roadway locations in a county.
+
+        A failed location (exhausted retries, quota, open circuit, all
+        ensemble members down) is recorded in ``failed_locations`` and
+        the survey continues.  With ``checkpoint`` set, completed
+        locations persist to disk and a rerun with the same arguments
+        resumes after them — already-billed imagery is never refetched.
+        """
+        report = SurveyReport(requested_locations=max(n_locations, 0))
+        if n_locations <= 0:
+            report.coverage = 0.0
+            return report
         graph = build_road_network(county, seed=seed + 17)
         frame = build_sampling_frame(county, graph)
+        if not frame:
+            report.coverage = 0.0
+            return report
         points = select_survey_locations(
             {county.name: frame}, n_locations, seed=seed + 23
         )
-        captures = expand_to_captures(points)
 
+        store: SurveyCheckpoint | None = None
+        if checkpoint is not None:
+            store = SurveyCheckpoint(
+                checkpoint,
+                key={
+                    "county": county.name,
+                    "n_locations": n_locations,
+                    "seed": seed,
+                },
+            )
+
+        baselines = {
+            id(clf): replace(clf.retry_stats)
+            for clf in self._classifiers()
+        }
         fees_before = self.street_view.usage().fees_usd
+        for index, point in enumerate(points):
+            if store is not None and store.has(index):
+                self._restore_location(report, store.get(index))
+                continue
+            try:
+                images = self._fetch_location(index, point, report)
+                presences, degraded = self._predict_location(images)
+            except (StreetViewError, CircuitOpenError, ClassificationError) as err:
+                report.failed_locations.append(
+                    FailedLocation(
+                        index=index,
+                        latitude=point.location.lat,
+                        longitude=point.location.lon,
+                        reason=f"{type(err).__name__}: {err}",
+                    )
+                )
+                continue
+            union = [
+                ind
+                for ind in ALL_INDICATORS
+                if any(presence[ind] for presence in presences)
+            ]
+            result = LocationResult(
+                latitude=point.location.lat,
+                longitude=point.location.lon,
+                county=point.county,
+                zone_kind=point.zone_kind.value,
+                presence=IndicatorPresence(union),
+            )
+            report.locations.append(result)
+            report.images_classified += len(images)
+            report.degraded_votes += degraded
+            if store is not None:
+                store.record(
+                    index,
+                    self._location_payload(result, len(images), degraded),
+                )
+
+        report.fees_usd = self.street_view.usage().fees_usd - fees_before
+        report.coverage = len(report.locations) / n_locations
+        for clf in self._classifiers():
+            report.retry_stats.merge(
+                _stats_since(clf.retry_stats, baselines[id(clf)])
+            )
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _classifiers(self) -> list[LLMIndicatorClassifier]:
+        if self.classifier is not None:
+            return [self.classifier]
+        assert self.ensemble is not None
+        return list(self.ensemble.classifiers.values())
+
+    def _fetch_location(
+        self, index: int, point: SamplePoint, report: SurveyReport
+    ) -> list[LabeledImage]:
+        """Fetch all headings of one location under the retry policy."""
         images: list[LabeledImage] = []
-        for index, capture in enumerate(captures):
-            served = self.street_view.fetch_capture(capture, render=False)
+        for offset, capture in enumerate(expand_to_captures([point])):
+            outcome = self.retry_policy.execute(
+                lambda capture=capture: self.street_view.fetch_capture(
+                    capture, render=False
+                ),
+                retryable=(TransientNetworkError,),
+                giveup=(StreetViewError,),
+                clock=self.clock,
+                breaker=self.gsv_breaker,
+                stats=report.retry_stats,
+            )
+            served = outcome.result()
             images.append(
                 LabeledImage(
-                    image_id=f"survey_{index:05d}",
+                    image_id=f"survey_{index:05d}_{offset}",
                     scene=served.scene,
                     annotations=tuple(
                         (obj.indicator, obj.box)
@@ -120,39 +264,60 @@ class NeighborhoodDecoder:
                     ),
                 )
             )
+        return images
 
-        predictions = self._predict(images)
-
-        report = SurveyReport(
-            images_classified=len(images),
-            fees_usd=self.street_view.usage().fees_usd - fees_before,
-        )
-        headings_per_point = len(captures) // len(points)
-        for point_index, point in enumerate(points):
-            start = point_index * headings_per_point
-            union = [
-                ind
-                for ind in ALL_INDICATORS
-                if any(
-                    predictions[start + offset][ind]
-                    for offset in range(headings_per_point)
-                )
-            ]
-            report.locations.append(
-                LocationResult(
-                    latitude=point.location.lat,
-                    longitude=point.location.lon,
-                    county=point.county,
-                    zone_kind=point.zone_kind.value,
-                    presence=IndicatorPresence(union),
-                )
-            )
-        return report
-
-    def _predict(
+    def _predict_location(
         self, images: Sequence[LabeledImage]
-    ) -> list[IndicatorPresence]:
+    ) -> tuple[list[IndicatorPresence], int]:
+        """Predict one location's images; returns (presences, degraded)."""
         if self.classifier is not None:
-            return self.classifier.predictions(images)
+            return self.classifier.predictions(images), 0
         assert self.ensemble is not None
-        return self.ensemble.predictions(images)
+        records = self.ensemble.resilient_predictions(images)
+        return (
+            [record.presence for record in records],
+            sum(1 for record in records if record.degraded),
+        )
+
+    @staticmethod
+    def _location_payload(
+        result: LocationResult, images: int, degraded: int
+    ) -> dict:
+        return {
+            "latitude": result.latitude,
+            "longitude": result.longitude,
+            "county": result.county,
+            "zone_kind": result.zone_kind,
+            "present": sorted(ind.value for ind in result.presence.present),
+            "images": images,
+            "degraded_votes": degraded,
+        }
+
+    @staticmethod
+    def _restore_location(report: SurveyReport, payload: dict) -> None:
+        report.locations.append(
+            LocationResult(
+                latitude=payload["latitude"],
+                longitude=payload["longitude"],
+                county=payload["county"],
+                zone_kind=payload["zone_kind"],
+                presence=IndicatorPresence(
+                    Indicator.from_string(value)
+                    for value in payload["present"]
+                ),
+            )
+        )
+        report.images_classified += payload["images"]
+        report.degraded_votes += payload["degraded_votes"]
+
+
+def _stats_since(current: RetryStats, baseline: RetryStats) -> RetryStats:
+    """The portion of ``current`` accumulated after ``baseline``."""
+    return RetryStats(
+        operations=current.operations - baseline.operations,
+        attempts=current.attempts - baseline.attempts,
+        retries=current.retries - baseline.retries,
+        failures=current.failures - baseline.failures,
+        slept_s=current.slept_s - baseline.slept_s,
+        breaker_blocks=current.breaker_blocks - baseline.breaker_blocks,
+    )

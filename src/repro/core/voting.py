@@ -15,7 +15,8 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from ..gsv.dataset import LabeledImage
-from .classifier import LLMIndicatorClassifier
+from ..resilience.breaker import CircuitBreaker
+from .classifier import ClassificationError, LLMIndicatorClassifier
 from .indicators import ALL_INDICATORS, Indicator, IndicatorPresence
 
 
@@ -64,16 +65,49 @@ def vote_predictions(
     ]
 
 
+@dataclass(frozen=True)
+class VoteRecord:
+    """One image's vote with degradation provenance.
+
+    ``members_failed`` lists members whose classification failed (or
+    whose circuit was open); the vote then proceeded on the surviving
+    quorum — the graceful-degradation path a production survey needs
+    when one of three commercial APIs is down.
+    """
+
+    image_id: str
+    presence: IndicatorPresence
+    members_voted: tuple[str, ...]
+    members_failed: tuple[str, ...]
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.members_failed)
+
+
 @dataclass
 class VotingEnsemble:
-    """Drive several classifiers and majority-vote their predictions."""
+    """Drive several classifiers and majority-vote their predictions.
+
+    ``breakers`` optionally maps member names to per-endpoint
+    :class:`~repro.resilience.breaker.CircuitBreaker` instances; a
+    member whose circuit is open is skipped without burning attempts,
+    and repeated member failures trip it.
+    """
 
     classifiers: dict[str, LLMIndicatorClassifier]
     quorum: int | None = None
+    breakers: dict[str, CircuitBreaker] | None = None
 
     def __post_init__(self) -> None:
         if len(self.classifiers) < 2:
             raise ValueError("an ensemble needs at least two classifiers")
+        if self.breakers:
+            unknown = set(self.breakers) - set(self.classifiers)
+            if unknown:
+                raise ValueError(
+                    f"breakers for unknown members: {sorted(unknown)}"
+                )
 
     def predictions(
         self, images: Sequence[LabeledImage]
@@ -93,6 +127,59 @@ class VotingEnsemble:
             for name, classifier in self.classifiers.items()
         }
         return vote_predictions(per_model, quorum=self.quorum), per_model
+
+    # -- graceful degradation ------------------------------------------
+
+    def vote_image(self, image: LabeledImage) -> VoteRecord:
+        """Vote one image, dropping members that fail.
+
+        The quorum adapts to the survivors: the configured ``quorum``
+        applies while enough members voted, otherwise it falls back to
+        a strict majority of the survivors.  Raises
+        :class:`~repro.core.classifier.ClassificationError` only when
+        *every* member fails.
+        """
+        votes: dict[str, IndicatorPresence] = {}
+        failed: list[str] = []
+        for name in sorted(self.classifiers):
+            classifier = self.classifiers[name]
+            breaker = (self.breakers or {}).get(name)
+            if breaker is not None and not breaker.allow():
+                failed.append(name)
+                continue
+            try:
+                outcome = classifier.classify_image(image)
+            except ClassificationError:
+                failed.append(name)
+                if breaker is not None:
+                    breaker.record_failure()
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            votes[name] = outcome.presence
+        if not votes:
+            raise ClassificationError(
+                f"all {len(self.classifiers)} ensemble members failed "
+                f"on {image.image_id}"
+            )
+        threshold = len(votes) // 2 + 1
+        if self.quorum is not None and self.quorum <= len(votes):
+            threshold = self.quorum
+        presence = majority_vote(
+            [votes[name] for name in sorted(votes)], quorum=threshold
+        )
+        return VoteRecord(
+            image_id=image.image_id,
+            presence=presence,
+            members_voted=tuple(sorted(votes)),
+            members_failed=tuple(failed),
+        )
+
+    def resilient_predictions(
+        self, images: Sequence[LabeledImage]
+    ) -> list[VoteRecord]:
+        """Vote a batch image-by-image, surviving member outages."""
+        return [self.vote_image(image) for image in images]
 
 
 def agreement_rate(

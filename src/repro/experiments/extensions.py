@@ -381,3 +381,122 @@ def run_cost_accounting(suite: ExperimentSuite) -> ExperimentResult:
         notes="needs ~1,200 labeled images + training compute",
     )
     return result
+
+
+def run_fault_drill(
+    suite: ExperimentSuite,
+    n_locations: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Survey resilience under scripted outages (Ext. I).
+
+    Exercises the :mod:`repro.resilience` layer end-to-end: a clean
+    survey, a transient GSV burst absorbed by retry, an LLM ensemble
+    member hard-down (voting degrades to the surviving quorum behind a
+    circuit breaker), and a quota cliff that yields an honest partial
+    result instead of an aborted survey.
+    """
+    from ..core.pipeline import NeighborhoodDecoder
+    from ..core.voting import VotingEnsemble
+    from ..geo.county import make_durham_like
+    from ..gsv.api import StreetViewClient, TransientNetworkError
+    from ..llm.errors import ServerError
+    from ..resilience import (
+        CircuitBreaker,
+        FaultSchedule,
+        FaultyChatClient,
+        RetryPolicy,
+        VirtualClock,
+    )
+
+    result = ExperimentResult(
+        experiment_id="Ext. I",
+        title="Fault-tolerant survey drill",
+        columns=[
+            "scenario", "coverage", "failed", "degraded", "retries", "fees_usd"
+        ],
+    )
+    county = make_durham_like(seed=3)
+
+    def decoder_for(street_view, ensemble=None):
+        clock = VirtualClock()
+        predictor = (
+            {"ensemble": ensemble}
+            if ensemble is not None
+            else {
+                "classifier": LLMIndicatorClassifier(
+                    suite.clients[GEMINI_15_PRO]
+                )
+            }
+        )
+        return NeighborhoodDecoder(
+            street_view=street_view,
+            retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.2),
+            gsv_breaker=CircuitBreaker(
+                name="gsv", failure_threshold=8, clock=clock
+            ),
+            clock=clock,
+            **predictor,
+        )
+
+    def record(scenario, report):
+        result.add_row(
+            scenario=scenario,
+            coverage=report.coverage,
+            failed=len(report.failed_locations),
+            degraded=report.degraded_votes,
+            retries=report.retry_stats.retries,
+            fees_usd=report.fees_usd,
+        )
+
+    # Clean run: every location completes, no fault handling needed.
+    clean = decoder_for(StreetViewClient(counties=[county], api_key="drill"))
+    record("no faults", clean.survey(county, n_locations, seed=seed))
+
+    # Transient GSV burst: retries absorb it, full coverage.
+    burst_client = StreetViewClient(
+        counties=[county],
+        api_key="drill",
+        fault_schedule=FaultSchedule().burst(
+            TransientNetworkError("injected outage"), start=3, length=2
+        ),
+    )
+    record("GSV burst", decoder_for(burst_client).survey(
+        county, n_locations, seed=seed
+    ))
+
+    # One voting member hard-down: quorum degrades, survey completes.
+    down = FaultSchedule().after(ServerError("model offline"), start=1)
+    members = {}
+    breakers = {}
+    for model_id in VOTING_MODEL_IDS:
+        client = suite.clients[model_id]
+        if model_id == VOTING_MODEL_IDS[-1]:
+            client = FaultyChatClient(client, down)
+            breakers[model_id] = CircuitBreaker(
+                name=model_id, failure_threshold=2, clock=VirtualClock()
+            )
+        members[model_id] = LLMIndicatorClassifier(
+            client, ClassifierConfig(max_attempts=2)
+        )
+    ensemble = VotingEnsemble(members, breakers=breakers)
+    record("1 LLM down", decoder_for(
+        StreetViewClient(counties=[county], api_key="drill"),
+        ensemble=ensemble,
+    ).survey(county, n_locations, seed=seed))
+
+    # Quota cliff at 80% of the imagery budget: partial coverage,
+    # failed locations reported instead of an aborted survey.
+    quota_client = StreetViewClient(
+        counties=[county],
+        api_key="drill",
+        daily_quota=int(0.8 * n_locations) * 4,
+    )
+    record("quota cliff", decoder_for(quota_client).survey(
+        county, n_locations, seed=seed
+    ))
+    result.notes.append(
+        "coverage < 1.0 rows are recoverable: rerunning with a "
+        "checkpoint resumes after the last completed location"
+    )
+    return result

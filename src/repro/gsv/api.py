@@ -22,6 +22,7 @@ from ..geo.coordinates import CARDINAL_HEADINGS, LatLon, normalize_heading
 from ..geo.county import County, ZoneKind
 from ..geo.roadnet import RoadClass
 from ..geo.sampling import CaptureRequest, SamplePoint
+from ..resilience.faults import FaultSchedule
 from ..scene.generator import SceneGenerator
 from ..scene.model import Scene
 from ..scene.render import DEFAULT_SIZE, render_scene
@@ -104,6 +105,10 @@ class StreetViewClient:
     failure_rate:
         Probability that a request raises ``TransientNetworkError``
         before being served; exercises caller retry logic.
+    fault_schedule:
+        Optional scripted faults (deterministic bursts, sustained
+        outages, quota cliffs) consulted before ``failure_rate``; see
+        :class:`~repro.resilience.faults.FaultSchedule`.
     generator_seed:
         Seed for the procedural world behind the camera.
     """
@@ -112,6 +117,7 @@ class StreetViewClient:
     api_key: str = "test-key"
     daily_quota: int | None = None
     failure_rate: float = 0.0
+    fault_schedule: FaultSchedule | None = None
     generator_seed: int = 0
     _meters: dict[str, UsageMeter] = field(default_factory=dict)
     _generator: SceneGenerator = field(init=False)
@@ -236,6 +242,8 @@ class StreetViewClient:
             )
 
     def _maybe_fail(self) -> None:
+        if self.fault_schedule is not None:
+            self.fault_schedule.check()
         if self.failure_rate > 0 and self._failure_rng.random() < self.failure_rate:
             raise TransientNetworkError("simulated transport failure")
 

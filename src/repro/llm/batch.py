@@ -7,47 +7,35 @@ standard client-side machinery:
 * a **token-bucket rate limiter** on a pluggable clock (tests inject a
   virtual clock, production uses wall time),
 * a **batch runner** that executes many requests through a client,
-  retrying rate-limit and transient server errors with exponential
-  backoff and collecting per-request outcomes instead of dying on the
-  first failure.
+  delegating retry to the shared
+  :class:`~repro.resilience.retry.RetryPolicy` (exponential backoff,
+  full jitter, ``Retry-After`` awareness) and collecting per-request
+  outcomes instead of dying on the first failure.
+
+The clocks themselves live in :mod:`repro.resilience.clock`; the
+``VirtualClock``/``WallClock`` names are re-exported here for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.clock import Clock, VirtualClock, WallClock
+from ..resilience.retry import RetryPolicy, RetryStats
 from .base import ChatClient, ChatRequest, ChatResponse
 from .errors import LLMError, RateLimitError, ServerError
 
-
-class VirtualClock:
-    """A manually advanced clock for deterministic tests."""
-
-    def __init__(self, start: float = 0.0) -> None:
-        self._now = start
-        self.sleeps: list[float] = []
-
-    def now(self) -> float:
-        return self._now
-
-    def sleep(self, seconds: float) -> None:
-        if seconds < 0:
-            raise ValueError(f"cannot sleep {seconds}s")
-        self.sleeps.append(seconds)
-        self._now += seconds
-
-
-@dataclass
-class WallClock:
-    """The real clock."""
-
-    def now(self) -> float:
-        return time.monotonic()
-
-    def sleep(self, seconds: float) -> None:
-        time.sleep(seconds)
+__all__ = [
+    "BatchOutcome",
+    "BatchRunner",
+    "BatchStats",
+    "TokenBucket",
+    "VirtualClock",
+    "WallClock",
+]
 
 
 @dataclass
@@ -57,7 +45,7 @@ class TokenBucket:
 
     rate: float
     capacity: float
-    clock: VirtualClock | WallClock = field(default_factory=VirtualClock)
+    clock: Clock = field(default_factory=VirtualClock)
 
     def __post_init__(self) -> None:
         if self.rate <= 0 or self.capacity <= 0:
@@ -91,7 +79,7 @@ class BatchOutcome:
 
     index: int
     response: ChatResponse | None
-    error: LLMError | None
+    error: Exception | None
     attempts: int
 
     @property
@@ -101,7 +89,12 @@ class BatchOutcome:
 
 @dataclass
 class BatchStats:
-    """Aggregate view of a finished batch."""
+    """Aggregate view of a finished batch.
+
+    ``retries`` counts *actual* re-attempts: a request that fails
+    terminally on its final attempt (or fails on a non-retryable
+    error) contributes nothing for that attempt.
+    """
 
     total: int
     succeeded: int
@@ -125,15 +118,19 @@ class BatchRunner:
         limiter: TokenBucket | None = None,
         max_attempts: int = 4,
         backoff_base_s: float = 0.5,
-        clock: VirtualClock | WallClock | None = None,
+        clock: Clock | None = None,
         on_progress: Callable[[int, int], None] | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
-        if max_attempts < 1:
-            raise ValueError("max_attempts must be at least 1")
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                max_attempts=max_attempts, base_delay_s=backoff_base_s
+            )
         self.client = client
         self.limiter = limiter
-        self.max_attempts = max_attempts
-        self.backoff_base_s = backoff_base_s
+        self.policy = retry_policy
+        self.breaker = breaker
         self.clock = clock or (limiter.clock if limiter else VirtualClock())
         self.on_progress = on_progress
 
@@ -142,45 +139,41 @@ class BatchRunner:
     ) -> tuple[list[BatchOutcome], BatchStats]:
         """Execute all requests; never raises on per-request failures."""
         outcomes: list[BatchOutcome] = []
-        retries = 0
+        stats = RetryStats()
         waits = 0.0
+
         for index, request in enumerate(requests):
-            response = None
-            error: LLMError | None = None
-            attempt = 0
-            for attempt in range(1, self.max_attempts + 1):
+
+            def attempt(request: ChatRequest = request) -> ChatResponse:
+                nonlocal waits
                 if self.limiter is not None:
                     waits += self.limiter.acquire()
-                try:
-                    response = self.client.complete(request)
-                    error = None
-                    break
-                except self.RETRYABLE as err:
-                    error = err
-                    retries += 1
-                    delay = self.backoff_base_s * (2 ** (attempt - 1))
-                    if isinstance(err, RateLimitError):
-                        delay = max(delay, err.retry_after_s)
-                    if attempt < self.max_attempts:
-                        self.clock.sleep(delay)
-                except LLMError as err:
-                    error = err  # not retryable
-                    break
+                return self.client.complete(request)
+
+            retried = self.policy.execute(
+                attempt,
+                retryable=self.RETRYABLE,
+                giveup=(LLMError,),
+                clock=self.clock,
+                breaker=self.breaker,
+                stats=stats,
+            )
             outcomes.append(
                 BatchOutcome(
                     index=index,
-                    response=response,
-                    error=error,
-                    attempts=attempt,
+                    response=retried.value if retried.ok else None,
+                    error=retried.error,
+                    attempts=retried.attempts,
                 )
             )
             if self.on_progress is not None:
                 self.on_progress(index + 1, len(requests))
-        stats = BatchStats(
+
+        batch_stats = BatchStats(
             total=len(requests),
             succeeded=sum(1 for o in outcomes if o.ok),
             failed=sum(1 for o in outcomes if not o.ok),
-            retries=retries,
+            retries=stats.retries,
             rate_limit_waits=waits,
         )
-        return outcomes, stats
+        return outcomes, batch_stats

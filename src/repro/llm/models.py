@@ -86,6 +86,9 @@ class SimulatedVLM(ChatClient):
         being served (exercises caller retry logic).
     server_error_every:
         If set, every Nth request raises ``ServerError``.
+    retry_after_s:
+        The ``Retry-After`` hint carried by injected rate-limit
+        errors; the shared retry policy honors it as a delay floor.
     """
 
     def __init__(
@@ -94,12 +97,14 @@ class SimulatedVLM(ChatClient):
         evidence_model: EvidenceModel,
         rate_limit_every: int | None = None,
         server_error_every: int | None = None,
+        retry_after_s: float = 0.0,
     ) -> None:
         super().__init__(model_name=profile.model_id)
         self.profile = profile
         self.evidence_model = evidence_model
         self.rate_limit_every = rate_limit_every
         self.server_error_every = server_error_every
+        self.retry_after_s = retry_after_s
         self._request_counter = 0
 
     # ------------------------------------------------------------------
@@ -179,7 +184,8 @@ class SimulatedVLM(ChatClient):
         ):
             self.stats.errors += 1
             raise RateLimitError(
-                f"{self.model_name}: rate limit exceeded", retry_after_s=0.0
+                f"{self.model_name}: rate limit exceeded",
+                retry_after_s=self.retry_after_s,
             )
         if (
             self.server_error_every

@@ -1,0 +1,112 @@
+"""Per-endpoint circuit breaker: closed → open → half-open.
+
+When a simulated model or GSV key is hard-down, retrying every request
+burns the full attempt budget (and, for billed endpoints, fees) on an
+endpoint that cannot answer.  A :class:`CircuitBreaker` counts
+consecutive failures; at the threshold it *opens* and rejects calls
+instantly for ``recovery_time_s``, then *half-opens* to let a single
+probe through — success closes the circuit, failure re-opens it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .clock import Clock, WallClock
+
+
+class CircuitState(enum.Enum):
+    """Lifecycle of a circuit breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(Exception):
+    """The call was rejected because the circuit is open."""
+
+    def __init__(self, endpoint: str, remaining_s: float = 0.0) -> None:
+        super().__init__(
+            f"circuit for {endpoint!r} is open "
+            f"({remaining_s:.1f}s until half-open probe)"
+        )
+        self.endpoint = endpoint
+        self.remaining_s = remaining_s
+
+
+@dataclass
+class CircuitBreaker:
+    """Trip after ``failure_threshold`` consecutive failures.
+
+    Callers ask :meth:`allow` before attempting and report the result
+    via :meth:`record_success` / :meth:`record_failure`;
+    :meth:`~repro.resilience.retry.RetryPolicy.execute` does all three
+    automatically when handed a breaker.
+    """
+
+    name: str = "endpoint"
+    failure_threshold: int = 5
+    recovery_time_s: float = 30.0
+    clock: Clock = field(default_factory=WallClock)
+    _state: CircuitState = field(default=CircuitState.CLOSED, init=False)
+    _consecutive_failures: int = field(default=0, init=False)
+    _opened_at: float = field(default=0.0, init=False)
+    opens: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.recovery_time_s < 0:
+            raise ValueError("recovery_time_s must be non-negative")
+
+    @property
+    def state(self) -> CircuitState:
+        """Current state, promoting open → half-open when recovery elapses."""
+        if (
+            self._state is CircuitState.OPEN
+            and self.clock.now() - self._opened_at >= self.recovery_time_s
+        ):
+            self._state = CircuitState.HALF_OPEN
+        return self._state
+
+    def remaining_open_s(self) -> float:
+        """Seconds until the next half-open probe (0 unless open)."""
+        if self.state is not CircuitState.OPEN:
+            return 0.0
+        elapsed = self.clock.now() - self._opened_at
+        return max(0.0, self.recovery_time_s - elapsed)
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        Closed and half-open circuits admit calls (half-open admits
+        the recovery probe); open circuits reject instantly.
+        """
+        return self.state is not CircuitState.OPEN
+
+    def raise_if_open(self) -> None:
+        if not self.allow():
+            raise CircuitOpenError(self.name, self.remaining_open_s())
+
+    def record_success(self) -> None:
+        """A call succeeded: close the circuit and reset the count."""
+        self._consecutive_failures = 0
+        self._state = CircuitState.CLOSED
+
+    def record_failure(self) -> None:
+        """A call failed: trip at the threshold, re-open a failed probe."""
+        self._consecutive_failures += 1
+        if self.state is CircuitState.HALF_OPEN:
+            self._trip()
+        elif (
+            self._state is CircuitState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = CircuitState.OPEN
+        self._opened_at = self.clock.now()
+        self.opens += 1

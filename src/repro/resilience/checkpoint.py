@@ -1,0 +1,105 @@
+"""Per-location survey progress on disk: resume instead of re-bill.
+
+A survey is an expensive artifact — every fetched image is billed —
+so aborting at location 812 of 1,000 must not forfeit the first 811.
+:class:`SurveyCheckpoint` persists one JSON document (following the
+:mod:`repro.gsv.storage` conventions: a versioned manifest written
+atomically) keyed by the survey's identity; a rerun with the same
+identity skips every completed location.
+
+The payload stored per location is an opaque JSON dict owned by the
+caller (:class:`~repro.core.pipeline.NeighborhoodDecoder` stores the
+decoded indicators plus billing provenance), which keeps this module
+free of pipeline imports.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+FORMAT_VERSION = 1
+
+
+class CheckpointMismatchError(ValueError):
+    """The checkpoint on disk belongs to a different survey."""
+
+
+class SurveyCheckpoint:
+    """Append-mostly per-location progress store.
+
+    Parameters
+    ----------
+    path:
+        The JSON file.  Parent directories are created on first save.
+    key:
+        The survey's identity (county, n_locations, seed, ...).  A
+        file whose key differs raises :class:`CheckpointMismatchError`
+        instead of silently mixing two surveys' billing.
+    """
+
+    def __init__(self, path: str | Path, key: dict) -> None:
+        self.path = Path(path)
+        self.key = {k: key[k] for k in sorted(key)}
+        self._records: dict[int, dict] = {}
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        payload = json.loads(self.path.read_text())
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format version: {version!r}"
+            )
+        stored_key = payload.get("key", {})
+        if stored_key != self.key:
+            raise CheckpointMismatchError(
+                f"checkpoint at {self.path} is for survey {stored_key!r}, "
+                f"not {self.key!r}"
+            )
+        self._records = {
+            int(index): record
+            for index, record in payload.get("locations", {}).items()
+        }
+
+    def save(self) -> None:
+        """Write atomically (temp file + rename), like a real pipeline."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "key": self.key,
+            "locations": {
+                str(index): record
+                for index, record in sorted(self._records.items())
+            },
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(self.path)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def has(self, index: int) -> bool:
+        return index in self._records
+
+    def get(self, index: int) -> dict:
+        return self._records[index]
+
+    @property
+    def completed_indices(self) -> tuple[int, ...]:
+        return tuple(sorted(self._records))
+
+    def record(self, index: int, payload: dict) -> None:
+        """Store one completed location and persist immediately.
+
+        Persisting per location (not per survey) is the point: a crash
+        between locations loses at most the in-flight location.
+        """
+        self._records[index] = payload
+        self.save()

@@ -1,0 +1,134 @@
+"""Deterministic fault injection: scripted outages you can replay.
+
+The street-view client's ``failure_rate`` gives *statistical* faults;
+testing a resilience layer needs *scripted* ones — "calls 5–7 fail
+transiently", "every 3rd call is rate limited", "everything after
+call 40 hits the quota cliff" — that replay identically on every run.
+
+:class:`FaultSchedule` is that script: a set of :class:`FaultRule`
+windows over a 1-based call counter.  It plugs into
+:class:`~repro.gsv.api.StreetViewClient` (``fault_schedule=``) and
+wraps any chat client via :class:`FaultyChatClient`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..llm.base import ChatClient, ChatRequest, ChatResponse
+
+#: A fault is an exception instance or a zero-arg factory producing one.
+FaultSpec = Exception | Callable[[], Exception]
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Inject ``fault`` on calls in ``[start, end]`` (1-based, inclusive).
+
+    ``end=None`` means forever (sustained outage / quota cliff);
+    ``every`` fires only every Nth call inside the window (sustained
+    rate limiting).
+    """
+
+    fault: FaultSpec
+    start: int = 1
+    end: int | None = None
+    every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.start < 1:
+            raise ValueError(f"start must be >= 1: {self.start}")
+        if self.end is not None and self.end < self.start:
+            raise ValueError(f"end {self.end} before start {self.start}")
+        if self.every < 1:
+            raise ValueError(f"every must be >= 1: {self.every}")
+
+    def matches(self, call_index: int) -> bool:
+        if call_index < self.start:
+            return False
+        if self.end is not None and call_index > self.end:
+            return False
+        return (call_index - self.start) % self.every == 0
+
+    def build(self) -> Exception:
+        return self.fault() if callable(self.fault) else self.fault
+
+
+class FaultSchedule:
+    """An ordered fault script consulted once per call.
+
+    Builders return ``self`` so scripts chain::
+
+        schedule = (
+            FaultSchedule()
+            .burst(TransientNetworkError("outage"), start=5, length=3)
+            .every_nth(RateLimitError("429"), n=7)
+            .after(QuotaExceededError("cliff"), start=40)
+        )
+    """
+
+    def __init__(self, rules: tuple[FaultRule, ...] = ()) -> None:
+        self._rules: list[FaultRule] = list(rules)
+        self.calls = 0
+        self.injected = 0
+
+    # -- builders ------------------------------------------------------
+
+    def add(self, rule: FaultRule) -> "FaultSchedule":
+        self._rules.append(rule)
+        return self
+
+    def burst(
+        self, fault: FaultSpec, *, start: int, length: int
+    ) -> "FaultSchedule":
+        """``length`` consecutive failing calls beginning at ``start``."""
+        return self.add(FaultRule(fault, start=start, end=start + length - 1))
+
+    def every_nth(
+        self, fault: FaultSpec, *, n: int, start: int = 1
+    ) -> "FaultSchedule":
+        """Fail every ``n``-th call from ``start`` on, indefinitely."""
+        return self.add(FaultRule(fault, start=start, every=n))
+
+    def after(self, fault: FaultSpec, *, start: int) -> "FaultSchedule":
+        """Fail every call from ``start`` on (hard-down / quota cliff)."""
+        return self.add(FaultRule(fault, start=start))
+
+    # -- consumption ---------------------------------------------------
+
+    def check(self) -> None:
+        """Count one call and raise its scheduled fault, if any.
+
+        The first matching rule wins (rules are consulted in insertion
+        order).
+        """
+        self.calls += 1
+        for rule in self._rules:
+            if rule.matches(self.calls):
+                self.injected += 1
+                raise rule.build()
+
+
+class FaultyChatClient(ChatClient):
+    """Wrap a chat client with a fault schedule.
+
+    Scheduled faults are raised *before* the inner client is invoked,
+    so an injected outage burns no inner-model work — exactly like a
+    transport-level failure.
+    """
+
+    def __init__(self, inner: ChatClient, schedule: FaultSchedule) -> None:
+        super().__init__(model_name=inner.model_name)
+        self.inner = inner
+        self.schedule = schedule
+
+    def complete(self, request: ChatRequest) -> ChatResponse:
+        try:
+            self.schedule.check()
+        except Exception:
+            self.stats.errors += 1
+            raise
+        response = self.inner.complete(request)
+        self.stats.record(response.usage)
+        return response

@@ -1,0 +1,503 @@
+"""Tests for the unified resilience layer.
+
+Deterministic (``VirtualClock``) coverage of the retry policy, the
+circuit breaker, quorum-degraded voting, checkpoint/resume, and the
+scripted acceptance scenario: a survey that survives a GSV transient
+burst, one hard-down LLM member, and a quota cliff at 80% of its
+locations — then resumes to full coverage without re-billing.
+"""
+
+import pytest
+
+from repro.core import (
+    ClassificationError,
+    ClassifierConfig,
+    LLMIndicatorClassifier,
+    NeighborhoodDecoder,
+    VotingEnsemble,
+    majority_vote,
+)
+from repro.geo import make_robeson_like
+from repro.gsv.api import (
+    FEE_PER_IMAGE_USD,
+    StreetViewClient,
+    TransientNetworkError,
+)
+from repro.llm.batch import BatchRunner
+from repro.llm.errors import InvalidRequestError, RateLimitError, ServerError
+from repro.resilience import (
+    CheckpointMismatchError,
+    CircuitBreaker,
+    CircuitOpenError,
+    CircuitState,
+    FaultSchedule,
+    FaultyChatClient,
+    RetryPolicy,
+    SurveyCheckpoint,
+    VirtualClock,
+)
+
+
+def _always(error):
+    """A schedule that injects ``error`` on every call."""
+    return FaultSchedule().after(error, start=1)
+
+
+def _hard_down(client, error=None):
+    return FaultyChatClient(
+        client, _always(error or ServerError("model offline"))
+    )
+
+
+class TestRetryPolicy:
+    def test_jittered_delays_within_backoff_cap(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_s=1.0, max_delay_s=8.0)
+        for attempt in range(1, 6):
+            cap = min(8.0, 1.0 * 2 ** (attempt - 1))
+            delays = [policy.delay_for(attempt) for _ in range(200)]
+            assert all(0.0 <= d <= cap for d in delays)
+            # Full jitter actually spreads over the interval.
+            assert max(delays) > 0.5 * cap
+            assert min(delays) < 0.5 * cap
+
+    def test_jitter_deterministic_under_seed(self):
+        a = RetryPolicy(seed=42)
+        b = RetryPolicy(seed=42)
+        assert [a.delay_for(3) for _ in range(10)] == [
+            b.delay_for(3) for _ in range(10)
+        ]
+
+    def test_retry_after_is_a_floor(self):
+        policy = RetryPolicy(base_delay_s=0.01, max_delay_s=0.01)
+        err = RateLimitError("429", retry_after_s=4.5)
+        assert policy.delay_for(1, err) == pytest.approx(4.5)
+
+    def test_no_sleep_after_final_attempt(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=3, base_delay_s=1.0)
+        outcome = policy.execute(
+            lambda: (_ for _ in ()).throw(ServerError("boom")),
+            retryable=(ServerError,),
+            clock=clock,
+        )
+        assert not outcome.ok
+        assert outcome.attempts == 3
+        assert outcome.retries == 2
+        assert len(clock.sleeps) == 2  # never sleeps into the RuntimeError
+
+    def test_giveup_captured_without_retry(self):
+        clock = VirtualClock()
+        outcome = RetryPolicy(max_attempts=4).execute(
+            lambda: (_ for _ in ()).throw(InvalidRequestError("bad")),
+            retryable=(ServerError,),
+            giveup=(InvalidRequestError,),
+            clock=clock,
+        )
+        assert isinstance(outcome.error, InvalidRequestError)
+        assert outcome.attempts == 1
+        assert clock.sleeps == []
+
+    def test_retryable_wins_over_giveup_base_class(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise RateLimitError("429", retry_after_s=0.0)
+            return "ok"
+
+        outcome = RetryPolicy(max_attempts=3, base_delay_s=0.0).execute(
+            flaky,
+            retryable=(RateLimitError, ServerError),
+            giveup=(Exception,),
+            clock=VirtualClock(),
+        )
+        assert outcome.ok and outcome.value == "ok"
+        assert outcome.attempts == 2
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=3, recovery=10.0):
+        return CircuitBreaker(
+            name="test",
+            failure_threshold=threshold,
+            recovery_time_s=recovery,
+            clock=clock,
+        )
+
+    def test_opens_at_threshold(self):
+        clock = VirtualClock()
+        breaker = self._breaker(clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is CircuitState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = self._breaker(VirtualClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_half_open_probe_recovers(self):
+        clock = VirtualClock()
+        breaker = self._breaker(clock, threshold=1, recovery=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.sleep(5.0)
+        assert breaker.state is CircuitState.HALF_OPEN
+        assert breaker.allow()  # the probe
+        breaker.record_success()
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_failed_probe_reopens(self):
+        clock = VirtualClock()
+        breaker = self._breaker(clock, threshold=1, recovery=5.0)
+        breaker.record_failure()
+        clock.sleep(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+        assert breaker.opens == 2
+        assert breaker.remaining_open_s() == pytest.approx(5.0)
+
+    def test_retry_policy_short_circuits_when_open(self):
+        clock = VirtualClock()
+        breaker = self._breaker(clock, threshold=1, recovery=100.0)
+        breaker.record_failure()
+        outcome = RetryPolicy(max_attempts=4).execute(
+            lambda: "never runs",
+            retryable=(ServerError,),
+            clock=clock,
+            breaker=breaker,
+        )
+        assert outcome.breaker_blocked
+        assert outcome.attempts == 0
+        assert isinstance(outcome.error, CircuitOpenError)
+
+
+class TestClassifierRetryDelegation:
+    def test_terminal_failure_does_not_sleep_final_backoff(self, small_dataset):
+        clock = VirtualClock()
+        classifier = LLMIndicatorClassifier(
+            _hard_down_client(),
+            ClassifierConfig(max_attempts=3, backoff_s=1.0),
+            clock=clock,
+        )
+        with pytest.raises(ClassificationError):
+            classifier.classify_image(small_dataset[0])
+        # Two backoffs between three attempts; none after the last.
+        assert len(clock.sleeps) == 2
+        assert classifier.retry_stats.failures == 1
+
+    def test_retry_after_floor_respected(self, small_dataset):
+        clock = VirtualClock()
+        classifier = LLMIndicatorClassifier(
+            _hard_down_client(RateLimitError("429", retry_after_s=7.0)),
+            ClassifierConfig(max_attempts=2, backoff_s=0.001),
+            clock=clock,
+        )
+        with pytest.raises(ClassificationError):
+            classifier.classify_image(small_dataset[0])
+        assert clock.sleeps == [pytest.approx(7.0)]
+
+
+def _hard_down_client(error=None):
+    from repro.llm.base import ChatClient
+
+    class Down(ChatClient):
+        def complete(self, request):
+            raise error or ServerError("offline")
+
+    return Down("gpt-4o-mini")
+
+
+class TestBatchRunnerRetryTally:
+    def _request(self, scene):
+        from repro.core import build_parallel_prompt
+        from repro.llm.base import ChatMessage, ChatRequest, ImageAttachment
+
+        return ChatRequest(
+            model="gpt-4o-mini",
+            messages=(
+                ChatMessage(
+                    role="user",
+                    text=build_parallel_prompt(),
+                    images=(ImageAttachment(scene=scene),),
+                ),
+            ),
+        )
+
+    def test_exhausted_request_counts_only_real_retries(self, urban_scene):
+        clock = VirtualClock()
+        runner = BatchRunner(
+            _hard_down_client(), max_attempts=3, clock=clock
+        )
+        outcomes, stats = runner.run([self._request(urban_scene)])
+        assert stats.failed == 1
+        assert outcomes[0].attempts == 3
+        assert stats.retries == 2  # not 3: the terminal failure isn't a retry
+
+    def test_non_retryable_counts_zero_retries(self, clients, urban_scene):
+        request = self._request(urban_scene)
+        # Wrong client for the model → InvalidRequestError, never retried.
+        bad = request.__class__(model="grok-2", messages=request.messages)
+        runner = BatchRunner(clients["gpt-4o-mini"])
+        outcomes, stats = runner.run([bad])
+        assert stats.failed == 1
+        assert stats.retries == 0
+        assert outcomes[0].attempts == 1
+
+    def test_breaker_stops_burning_attempts(self, urban_scene):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            name="llm", failure_threshold=3, recovery_time_s=1e9, clock=clock
+        )
+        runner = BatchRunner(
+            _hard_down_client(), max_attempts=3, clock=clock, breaker=breaker
+        )
+        requests = [self._request(urban_scene) for _ in range(4)]
+        outcomes, stats = runner.run(requests)
+        assert stats.failed == 4
+        # First request trips the breaker; the rest are rejected instantly.
+        assert outcomes[0].attempts == 3
+        assert all(o.attempts == 0 for o in outcomes[1:])
+        assert all(
+            isinstance(o.error, CircuitOpenError) for o in outcomes[1:]
+        )
+
+
+class TestQuorumDegradation:
+    def _members(self, clients, names, down=()):
+        members = {}
+        for name in names:
+            client = clients[name]
+            if name in down:
+                client = _hard_down(client)
+            members[name] = LLMIndicatorClassifier(
+                client, ClassifierConfig(max_attempts=2)
+            )
+        return members
+
+    def test_one_of_three_down(self, clients, small_dataset):
+        names = ("gemini-1.5-pro", "claude-3.7", "grok-2")
+        images = small_dataset.images[:4]
+        degraded = VotingEnsemble(
+            self._members(clients, names, down=("grok-2",))
+        )
+        records = degraded.resilient_predictions(images)
+        assert all(r.degraded for r in records)
+        assert all(r.members_failed == ("grok-2",) for r in records)
+        # The degraded vote equals a 2-member majority of the survivors.
+        healthy = VotingEnsemble(self._members(clients, names[:2]))
+        for record, image in zip(records, images):
+            survivors = [
+                healthy.classifiers[name].classify_image(image).presence
+                for name in sorted(names[:2])
+            ]
+            assert record.presence == majority_vote(survivors, quorum=2)
+
+    def test_two_of_four_down(self, clients, small_dataset):
+        names = ("gemini-1.5-pro", "claude-3.7", "grok-2", "gpt-4o-mini")
+        ensemble = VotingEnsemble(
+            self._members(clients, names, down=("grok-2", "gpt-4o-mini"))
+        )
+        records = ensemble.resilient_predictions(small_dataset.images[:3])
+        for record in records:
+            assert set(record.members_failed) == {"grok-2", "gpt-4o-mini"}
+            assert set(record.members_voted) == {"gemini-1.5-pro", "claude-3.7"}
+
+    def test_all_members_down_raises(self, clients, small_dataset):
+        ensemble = VotingEnsemble(
+            self._members(
+                clients,
+                ("gemini-1.5-pro", "claude-3.7"),
+                down=("gemini-1.5-pro", "claude-3.7"),
+            )
+        )
+        with pytest.raises(ClassificationError):
+            ensemble.vote_image(small_dataset[0])
+
+    def test_member_breaker_stops_burning_attempts(self, clients, small_dataset):
+        schedule = _always(ServerError("offline"))
+        down = FaultyChatClient(clients["grok-2"], schedule)
+        members = self._members(clients, ("gemini-1.5-pro", "claude-3.7"))
+        members["grok-2"] = LLMIndicatorClassifier(
+            down, ClassifierConfig(max_attempts=2)
+        )
+        ensemble = VotingEnsemble(
+            members,
+            breakers={
+                "grok-2": CircuitBreaker(
+                    name="grok-2",
+                    failure_threshold=1,
+                    recovery_time_s=1e9,
+                    clock=VirtualClock(),
+                )
+            },
+        )
+        ensemble.resilient_predictions(small_dataset.images[:5])
+        # Only the first image reaches the dead client (2 attempts);
+        # the open circuit absorbs the remaining four images.
+        assert schedule.calls == 2
+
+    def test_breakers_validate_member_names(self, clients):
+        with pytest.raises(ValueError):
+            VotingEnsemble(
+                self._members(clients, ("gemini-1.5-pro", "claude-3.7")),
+                breakers={"nope": CircuitBreaker()},
+            )
+
+
+class TestSurveyGuards:
+    def test_zero_locations(self, clients):
+        county = make_robeson_like(seed=2)
+        decoder = NeighborhoodDecoder(
+            street_view=StreetViewClient(counties=[county], api_key="k"),
+            classifier=LLMIndicatorClassifier(clients["gemini-1.5-pro"]),
+        )
+        report = decoder.survey(county, n_locations=0)
+        assert report.coverage == 0.0
+        assert report.locations == []
+        assert report.images_classified == 0
+
+    def test_negative_locations(self, clients):
+        county = make_robeson_like(seed=2)
+        decoder = NeighborhoodDecoder(
+            street_view=StreetViewClient(counties=[county], api_key="k"),
+            classifier=LLMIndicatorClassifier(clients["gemini-1.5-pro"]),
+        )
+        report = decoder.survey(county, n_locations=-3)
+        assert report.coverage == 0.0
+        assert report.requested_locations == 0
+
+    def test_empty_sampling_frame(self, clients, monkeypatch):
+        county = make_robeson_like(seed=2)
+        monkeypatch.setattr(
+            "repro.core.pipeline.build_sampling_frame",
+            lambda county, graph: [],
+        )
+        decoder = NeighborhoodDecoder(
+            street_view=StreetViewClient(counties=[county], api_key="k"),
+            classifier=LLMIndicatorClassifier(clients["gemini-1.5-pro"]),
+        )
+        report = decoder.survey(county, n_locations=5)
+        assert report.coverage == 0.0
+        assert report.locations == []
+
+
+class TestSurveyCheckpoint:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        key = {"county": "Robeson", "n_locations": 5, "seed": 0}
+        store = SurveyCheckpoint(path, key)
+        store.record(0, {"present": ["sidewalk"], "images": 4})
+        store.record(2, {"present": [], "images": 4})
+        reloaded = SurveyCheckpoint(path, key)
+        assert reloaded.completed_indices == (0, 2)
+        assert reloaded.get(0)["present"] == ["sidewalk"]
+        assert not reloaded.has(1)
+
+    def test_key_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        SurveyCheckpoint(path, {"seed": 0}).record(0, {})
+        with pytest.raises(CheckpointMismatchError):
+            SurveyCheckpoint(path, {"seed": 1})
+
+
+class TestScriptedOutageScenario:
+    """The acceptance scenario: GSV burst + one LLM hard-down + quota
+    cliff at 80% of locations, then checkpoint resume at full coverage
+    with no double billing."""
+
+    N_LOCATIONS = 5  # 20 images; quota cliff at 16 = 80%
+
+    def _ensemble(self, clients, clock):
+        names = ("gemini-1.5-pro", "claude-3.7", "grok-2")
+        members = {
+            name: LLMIndicatorClassifier(
+                clients[name], ClassifierConfig(max_attempts=2)
+            )
+            for name in names[:2]
+        }
+        members["grok-2"] = LLMIndicatorClassifier(
+            _hard_down(clients["grok-2"]),
+            ClassifierConfig(max_attempts=2),
+        )
+        return VotingEnsemble(
+            members,
+            breakers={
+                "grok-2": CircuitBreaker(
+                    name="grok-2",
+                    failure_threshold=2,
+                    recovery_time_s=1e9,
+                    clock=clock,
+                )
+            },
+        )
+
+    def test_survives_and_resumes_without_rebilling(self, clients, tmp_path):
+        county = make_robeson_like(seed=2)
+        checkpoint = tmp_path / "survey.json"
+        clock = VirtualClock()
+        outage = StreetViewClient(
+            counties=[county],
+            api_key="scenario",
+            daily_quota=int(0.8 * self.N_LOCATIONS) * 4,
+            fault_schedule=FaultSchedule().burst(
+                TransientNetworkError("transient burst"), start=3, length=2
+            ),
+        )
+        decoder = NeighborhoodDecoder(
+            street_view=outage,
+            ensemble=self._ensemble(clients, clock),
+            retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.2),
+            clock=clock,
+        )
+        report = decoder.survey(
+            county, self.N_LOCATIONS, seed=0, checkpoint=checkpoint
+        )
+
+        assert report.coverage >= 0.8
+        assert len(report.failed_locations) == 1
+        assert "QuotaExceededError" in report.failed_locations[0].reason
+        assert report.degraded_votes == report.images_classified  # grok down
+        assert report.retry_stats.retries >= 2  # the transient burst
+        assert clock.sleeps  # backoff actually waited (on the virtual clock)
+        fees_first = outage.usage().fees_usd
+        assert fees_first == pytest.approx(16 * FEE_PER_IMAGE_USD)
+
+        # Resume next day: fresh quota, no faults, same checkpoint.
+        recovered = StreetViewClient(counties=[county], api_key="scenario")
+        resumed = NeighborhoodDecoder(
+            street_view=recovered,
+            ensemble=self._ensemble(clients, clock),
+            retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.2),
+            clock=clock,
+        )
+        report2 = resumed.survey(
+            county, self.N_LOCATIONS, seed=0, checkpoint=checkpoint
+        )
+        assert report2.coverage == 1.0
+        assert not report2.failed_locations
+        assert len(report2.locations) == self.N_LOCATIONS
+        # Only the one missing location was fetched and billed.
+        assert recovered.usage().fees_usd == pytest.approx(
+            4 * FEE_PER_IMAGE_USD
+        )
+        assert report2.fees_usd == pytest.approx(4 * FEE_PER_IMAGE_USD)
+        assert fees_first + recovered.usage().fees_usd == pytest.approx(
+            self.N_LOCATIONS * 4 * FEE_PER_IMAGE_USD
+        )

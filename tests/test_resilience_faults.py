@@ -1,0 +1,179 @@
+"""Longer fault-injection drills, gated behind ``-m faults``.
+
+These push the resilience layer harder than tier-1 needs: sustained
+rate limiting with Retry-After floors, a GSV endpoint that stays hard
+down behind its breaker, breaker recovery over virtual time, and a
+larger quota-cliff survey resumed to full coverage.  Run with::
+
+    PYTHONPATH=src python -m pytest -m faults
+"""
+
+import pytest
+
+from repro.core import (
+    ClassifierConfig,
+    LLMIndicatorClassifier,
+    NeighborhoodDecoder,
+)
+from repro.geo import make_durham_like
+from repro.gsv.api import (
+    FEE_PER_IMAGE_USD,
+    StreetViewClient,
+    TransientNetworkError,
+)
+from repro.llm.errors import RateLimitError, ServerError
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitState,
+    FaultSchedule,
+    FaultyChatClient,
+    RetryPolicy,
+    VirtualClock,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestSustainedRateLimiting:
+    def test_retry_after_floor_dominates_backoff(self, clients, small_dataset):
+        # Every other call is rate limited with a 3 s Retry-After; the
+        # configured base backoff (1 ms) must never undercut it.
+        flaky = FaultyChatClient(
+            clients["gemini-1.5-pro"],
+            FaultSchedule().every_nth(
+                lambda: RateLimitError("429", retry_after_s=3.0), n=2
+            ),
+        )
+        clock = VirtualClock()
+        classifier = LLMIndicatorClassifier(
+            flaky,
+            ClassifierConfig(max_attempts=3, backoff_s=0.001),
+            clock=clock,
+        )
+        outcomes = classifier.classify(small_dataset.images[:6])
+        assert len(outcomes) == 6
+        assert classifier.retry_stats.retries >= 3
+        assert clock.sleeps  # backoff happened
+        assert all(s >= 3.0 for s in clock.sleeps)
+
+    def test_sustained_limiting_still_converges(self, clients, small_dataset):
+        flaky = FaultyChatClient(
+            clients["claude-3.7"],
+            FaultSchedule().every_nth(ServerError("503"), n=3),
+        )
+        clock = VirtualClock()
+        classifier = LLMIndicatorClassifier(
+            flaky,
+            ClassifierConfig(max_attempts=4, backoff_s=0.01),
+            clock=clock,
+        )
+        outcomes = classifier.classify(small_dataset.images[:9])
+        assert len(outcomes) == 9
+        assert classifier.retry_stats.failures == 0
+
+
+class TestGsvHardDownBehindBreaker:
+    def test_breaker_caps_wasted_calls(self, clients):
+        county = make_durham_like(seed=3)
+        schedule = FaultSchedule().after(
+            TransientNetworkError("regional outage"), start=1
+        )
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            name="gsv", failure_threshold=4, recovery_time_s=1e9, clock=clock
+        )
+        decoder = NeighborhoodDecoder(
+            street_view=StreetViewClient(
+                counties=[county], api_key="down", fault_schedule=schedule
+            ),
+            classifier=LLMIndicatorClassifier(clients["gemini-1.5-pro"]),
+            retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.1),
+            gsv_breaker=breaker,
+            clock=clock,
+        )
+        report = decoder.survey(county, n_locations=10, seed=0)
+        assert report.coverage == 0.0
+        assert len(report.failed_locations) == 10
+        assert breaker.state is CircuitState.OPEN
+        # Once open, no further network calls leak through: the total
+        # attempts stay bounded by the trip threshold, not 10 locations
+        # x 4 captures x 3 attempts = 120.
+        assert schedule.calls <= breaker.failure_threshold
+        assert report.retry_stats.breaker_blocks > 0
+
+    def test_breaker_recovers_after_outage_window(self, clients):
+        county = make_durham_like(seed=3)
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            name="gsv", failure_threshold=2, recovery_time_s=30.0, clock=clock
+        )
+        outage = StreetViewClient(
+            counties=[county],
+            api_key="flappy",
+            fault_schedule=FaultSchedule().burst(
+                TransientNetworkError("blip"), start=1, length=2
+            ),
+        )
+        decoder = NeighborhoodDecoder(
+            street_view=outage,
+            classifier=LLMIndicatorClassifier(clients["gemini-1.5-pro"]),
+            # max_attempts=1 so the two blips trip the breaker outright.
+            retry_policy=RetryPolicy(max_attempts=1),
+            gsv_breaker=breaker,
+            clock=clock,
+        )
+        report = decoder.survey(county, n_locations=2, seed=0)
+        assert report.coverage < 1.0
+        assert breaker.state is CircuitState.OPEN
+        # The outage window passes; a half-open probe succeeds and the
+        # same decoder finishes a fresh survey cleanly.
+        clock.sleep(30.0)
+        assert breaker.state is CircuitState.HALF_OPEN
+        report2 = decoder.survey(county, n_locations=2, seed=1)
+        assert report2.coverage == 1.0
+        assert breaker.state is CircuitState.CLOSED
+
+
+class TestLargeQuotaCliffResume:
+    N_LOCATIONS = 20
+
+    def _decoder(self, clients, street_view, clock):
+        return NeighborhoodDecoder(
+            street_view=street_view,
+            classifier=LLMIndicatorClassifier(
+                clients["gemini-1.5-pro"], ClassifierConfig(max_attempts=2)
+            ),
+            retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.05),
+            clock=clock,
+        )
+
+    def test_resume_after_quota_cliff(self, clients, tmp_path):
+        county = make_durham_like(seed=3)
+        checkpoint = tmp_path / "big-survey.json"
+        clock = VirtualClock()
+        quota_images = int(0.6 * self.N_LOCATIONS) * 4
+        capped = StreetViewClient(
+            counties=[county], api_key="cliff", daily_quota=quota_images
+        )
+        report = self._decoder(clients, capped, clock).survey(
+            county, self.N_LOCATIONS, seed=0, checkpoint=checkpoint
+        )
+        assert report.coverage == pytest.approx(0.6)
+        assert len(report.failed_locations) == 8
+        assert capped.usage().fees_usd == pytest.approx(
+            quota_images * FEE_PER_IMAGE_USD
+        )
+
+        fresh = StreetViewClient(counties=[county], api_key="cliff")
+        report2 = self._decoder(clients, fresh, clock).survey(
+            county, self.N_LOCATIONS, seed=0, checkpoint=checkpoint
+        )
+        assert report2.coverage == 1.0
+        assert len(report2.locations) == self.N_LOCATIONS
+        # Only the 8 missing locations were re-fetched and billed.
+        assert fresh.usage().fees_usd == pytest.approx(
+            8 * 4 * FEE_PER_IMAGE_USD
+        )
+        # Restored locations count their original imagery, so the
+        # resumed report accounts for all 20 locations' captures.
+        assert report2.images_classified == self.N_LOCATIONS * 4
