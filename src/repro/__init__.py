@@ -72,6 +72,7 @@ from .llm import (
     build_clients,
     calibrate_profiles,
 )
+from .parallel import ParallelExecutor
 from .reporting import (
     export_survey,
     survey_to_csv,
@@ -120,6 +121,7 @@ __all__ = [
     "build_tract_survey",
     "fit_logistic",
     "run_association_study",
+    "ParallelExecutor",
     "export_survey",
     "survey_to_csv",
     "survey_to_geojson",

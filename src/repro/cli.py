@@ -7,6 +7,7 @@ Usage::
     python -m repro fig5 --scale paper   # full paper scale
     python -m repro all --scale smoke    # everything, fast
     python -m repro survey --locations 20 --min-coverage 0.9
+    python -m repro survey --locations 64 --workers 4   # parallel decode
 
 Results render as plain-text tables on stdout.  ``survey`` runs the
 deployable decoder end-to-end, prints a coverage/degradation summary,
@@ -124,10 +125,15 @@ def _run_survey(args: argparse.Namespace) -> int:
                                    recovery_time_s=1.0),
     )
     report = decoder.survey(
-        county, args.locations, seed=args.seed, checkpoint=args.checkpoint
+        county,
+        args.locations,
+        seed=args.seed,
+        checkpoint=args.checkpoint,
+        workers=args.workers,
     )
 
     print(f"\n=== survey of {county.name} ===")
+    print(f"workers        {args.workers if args.workers else 'auto'}")
     print(
         f"coverage       {report.coverage:.1%} "
         f"({len(report.locations)}/{report.requested_locations} locations)"
@@ -197,6 +203,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     survey_group.add_argument(
         "--seed", type=int, default=0, help="survey seed (default: 0)"
+    )
+    survey_group.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "parallel fetch+classify workers; 0 = one per CPU "
+            "(default: 1, strictly serial)"
+        ),
     )
     survey_group.add_argument(
         "--min-coverage",

@@ -18,6 +18,7 @@ after the last completed location without re-billing fetched imagery.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -38,6 +39,7 @@ from ..geo.sampling import (
     expand_to_captures,
     select_survey_locations,
 )
+from ..parallel.executor import ParallelExecutor
 from ..resilience.breaker import CircuitBreaker, CircuitOpenError
 from ..resilience.checkpoint import SurveyCheckpoint
 from ..resilience.clock import Clock, WallClock
@@ -98,6 +100,45 @@ class SurveyReport:
             for ind in ALL_INDICATORS
         }
 
+    def payload(self) -> dict:
+        """Canonical JSON-ready dict of the full report.
+
+        The representation is deliberately exhaustive and ordered so
+        that two runs of the same survey — serial or parallel — can be
+        compared byte-for-byte via :meth:`to_json`.
+        """
+        return {
+            "requested_locations": self.requested_locations,
+            "coverage": self.coverage,
+            "images_classified": self.images_classified,
+            "fees_usd": round(self.fees_usd, 9),
+            "degraded_votes": self.degraded_votes,
+            "locations": [
+                {
+                    "latitude": loc.latitude,
+                    "longitude": loc.longitude,
+                    "county": loc.county,
+                    "zone_kind": loc.zone_kind,
+                    "present": sorted(ind.value for ind in loc.presence.present),
+                }
+                for loc in self.locations
+            ],
+            "failed_locations": [
+                {
+                    "index": failed.index,
+                    "latitude": failed.latitude,
+                    "longitude": failed.longitude,
+                    "reason": failed.reason,
+                }
+                for failed in self.failed_locations
+            ],
+            "retry_stats": self.retry_stats.as_dict(),
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON serialization of :meth:`payload`."""
+        return json.dumps(self.payload(), sort_keys=True)
+
     def rates_by_zone(self) -> dict[str, dict[Indicator, float]]:
         """Indicator rates broken out by land-use zone."""
         zones: dict[str, list[LocationResult]] = {}
@@ -145,6 +186,7 @@ class NeighborhoodDecoder:
         n_locations: int,
         seed: int = 0,
         checkpoint: str | Path | None = None,
+        workers: int | None = 1,
     ) -> SurveyReport:
         """Decode ``n_locations`` random roadway locations in a county.
 
@@ -153,6 +195,12 @@ class NeighborhoodDecoder:
         the survey continues.  With ``checkpoint`` set, completed
         locations persist to disk and a rerun with the same arguments
         resumes after them — already-billed imagery is never refetched.
+
+        ``workers`` fans per-location fetch+classify work across a
+        thread pool (``None``/``0`` → ``os.cpu_count()``).  Results
+        merge in submission order and checkpoint writes stay on the
+        calling thread, so for a fault-free run the report is
+        byte-identical to the serial one (see DESIGN.md §8).
         """
         report = SurveyReport(requested_locations=max(n_locations, 0))
         if n_locations <= 0:
@@ -183,23 +231,22 @@ class NeighborhoodDecoder:
             for clf in self._classifiers()
         }
         fees_before = self.street_view.usage().fees_usd
-        for index, point in enumerate(points):
+        executor = ParallelExecutor(workers=workers)
+
+        def decode_one(
+            indexed: tuple[int, SamplePoint]
+        ) -> tuple[LocationResult, int, int] | dict:
+            """Fetch+classify one location (runs on a worker thread).
+
+            Checkpointed locations return their stored payload without
+            touching the network; errors propagate to the consumer
+            below, which records the failure in submission order.
+            """
+            index, point = indexed
             if store is not None and store.has(index):
-                self._restore_location(report, store.get(index))
-                continue
-            try:
-                images = self._fetch_location(index, point, report)
-                presences, degraded = self._predict_location(images)
-            except (StreetViewError, CircuitOpenError, ClassificationError) as err:
-                report.failed_locations.append(
-                    FailedLocation(
-                        index=index,
-                        latitude=point.location.lat,
-                        longitude=point.location.lon,
-                        reason=f"{type(err).__name__}: {err}",
-                    )
-                )
-                continue
+                return store.get(index)
+            images = self._fetch_location(index, point, report)
+            presences, degraded = self._predict_location(images)
             union = [
                 ind
                 for ind in ALL_INDICATORS
@@ -212,13 +259,36 @@ class NeighborhoodDecoder:
                 zone_kind=point.zone_kind.value,
                 presence=IndicatorPresence(union),
             )
+            return result, len(images), degraded
+
+        # Merging and checkpoint writes happen here, on the calling
+        # thread, strictly in submission order — this is what keeps a
+        # parallel survey's report identical to a serial one.
+        for task in executor.imap(decode_one, enumerate(points)):
+            point = points[task.index]
+            try:
+                outcome = task.result()
+            except (StreetViewError, CircuitOpenError, ClassificationError) as err:
+                report.failed_locations.append(
+                    FailedLocation(
+                        index=task.index,
+                        latitude=point.location.lat,
+                        longitude=point.location.lon,
+                        reason=f"{type(err).__name__}: {err}",
+                    )
+                )
+                continue
+            if isinstance(outcome, dict):
+                self._restore_location(report, outcome)
+                continue
+            result, n_images, degraded = outcome
             report.locations.append(result)
-            report.images_classified += len(images)
+            report.images_classified += n_images
             report.degraded_votes += degraded
             if store is not None:
                 store.record(
-                    index,
-                    self._location_payload(result, len(images), degraded),
+                    task.index,
+                    self._location_payload(result, n_images, degraded),
                 )
 
         report.fees_usd = self.street_view.usage().fees_usd - fees_before

@@ -15,6 +15,7 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from ..gsv.dataset import LabeledImage
+from ..parallel.executor import ParallelExecutor
 from ..resilience.breaker import CircuitBreaker
 from .classifier import ClassificationError, LLMIndicatorClassifier
 from .indicators import ALL_INDICATORS, Indicator, IndicatorPresence
@@ -93,11 +94,18 @@ class VotingEnsemble:
     :class:`~repro.resilience.breaker.CircuitBreaker` instances; a
     member whose circuit is open is skipped without burning attempts,
     and repeated member failures trip it.
+
+    ``executor`` fans the repeated per-member queries of
+    :meth:`vote_image` out concurrently — the paper's ensemble drives
+    three or four *independent* commercial APIs, so member latency
+    overlaps instead of adding.  Votes combine by sorted member name
+    either way, so the voted result is executor-independent.
     """
 
     classifiers: dict[str, LLMIndicatorClassifier]
     quorum: int | None = None
     breakers: dict[str, CircuitBreaker] | None = None
+    executor: ParallelExecutor | None = None
 
     def __post_init__(self) -> None:
         if len(self.classifiers) < 2:
@@ -139,24 +147,23 @@ class VotingEnsemble:
         :class:`~repro.core.classifier.ClassificationError` only when
         *every* member fails.
         """
+        names = sorted(self.classifiers)
+        if self.executor is not None:
+            member_votes = [
+                task.result()
+                for task in self.executor.imap(
+                    lambda name: self._member_vote(name, image), names
+                )
+            ]
+        else:
+            member_votes = [self._member_vote(name, image) for name in names]
         votes: dict[str, IndicatorPresence] = {}
         failed: list[str] = []
-        for name in sorted(self.classifiers):
-            classifier = self.classifiers[name]
-            breaker = (self.breakers or {}).get(name)
-            if breaker is not None and not breaker.allow():
+        for name, presence in member_votes:
+            if presence is None:
                 failed.append(name)
-                continue
-            try:
-                outcome = classifier.classify_image(image)
-            except ClassificationError:
-                failed.append(name)
-                if breaker is not None:
-                    breaker.record_failure()
-                continue
-            if breaker is not None:
-                breaker.record_success()
-            votes[name] = outcome.presence
+            else:
+                votes[name] = presence
         if not votes:
             raise ClassificationError(
                 f"all {len(self.classifiers)} ensemble members failed "
@@ -174,6 +181,24 @@ class VotingEnsemble:
             members_voted=tuple(sorted(votes)),
             members_failed=tuple(failed),
         )
+
+    def _member_vote(
+        self, name: str, image: LabeledImage
+    ) -> tuple[str, IndicatorPresence | None]:
+        """One member's vote on one image; ``None`` marks a failure."""
+        classifier = self.classifiers[name]
+        breaker = (self.breakers or {}).get(name)
+        if breaker is not None and not breaker.allow():
+            return name, None
+        try:
+            outcome = classifier.classify_image(image)
+        except ClassificationError:
+            if breaker is not None:
+                breaker.record_failure()
+            return name, None
+        if breaker is not None:
+            breaker.record_success()
+        return name, outcome.presence
 
     def resilient_predictions(
         self, images: Sequence[LabeledImage]

@@ -14,6 +14,7 @@ metadata lookups that report whether imagery exists at a location.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,10 +23,11 @@ from ..geo.coordinates import CARDINAL_HEADINGS, LatLon, normalize_heading
 from ..geo.county import County, ZoneKind
 from ..geo.roadnet import RoadClass
 from ..geo.sampling import CaptureRequest, SamplePoint
+from ..resilience.clock import Clock, WallClock
 from ..resilience.faults import FaultSchedule
 from ..scene.generator import SceneGenerator
 from ..scene.model import Scene
-from ..scene.render import DEFAULT_SIZE, render_scene
+from ..scene.render import DEFAULT_SIZE, RenderCache, render_scene
 from ..scene.seeding import stable_seed
 
 
@@ -73,20 +75,29 @@ class StreetViewImage:
 
 @dataclass
 class UsageMeter:
-    """Tracks request counts and accumulated fees for one API key."""
+    """Tracks request counts and accumulated fees for one API key.
+
+    Metering is lock-guarded: parallel surveys hit one meter from
+    every worker, and billing must not lose increments to races.
+    """
 
     requests: int = 0
     images_served: int = 0
     fees_usd: float = 0.0
+    _lock: threading.Lock = field(
+        init=False, repr=False, compare=False, default_factory=threading.Lock
+    )
 
     def record_image(self) -> None:
-        self.requests += 1
-        self.images_served += 1
-        self.fees_usd += FEE_PER_IMAGE_USD
+        with self._lock:
+            self.requests += 1
+            self.images_served += 1
+            self.fees_usd += FEE_PER_IMAGE_USD
 
     def record_metadata(self) -> None:
         # Metadata requests are free, matching the real API.
-        self.requests += 1
+        with self._lock:
+            self.requests += 1
 
 
 @dataclass
@@ -111,6 +122,14 @@ class StreetViewClient:
         :class:`~repro.resilience.faults.FaultSchedule`.
     generator_seed:
         Seed for the procedural world behind the camera.
+    latency_s:
+        Simulated per-request transport latency, slept through
+        ``clock`` before a request is served.  Models the network
+        round-trip of the real Static API; this is the time a parallel
+        survey overlaps.
+    render_cache:
+        Optional content-addressed :class:`~repro.scene.render.RenderCache`;
+        repeated captures of the same scene skip rasterization.
     """
 
     counties: list[County]
@@ -119,13 +138,21 @@ class StreetViewClient:
     failure_rate: float = 0.0
     fault_schedule: FaultSchedule | None = None
     generator_seed: int = 0
+    latency_s: float = 0.0
+    clock: Clock = field(default_factory=WallClock)
+    render_cache: RenderCache | None = None
     _meters: dict[str, UsageMeter] = field(default_factory=dict)
     _generator: SceneGenerator = field(init=False)
     _failure_rng: np.random.Generator = field(init=False)
+    _fault_lock: threading.Lock = field(
+        init=False, repr=False, compare=False, default_factory=threading.Lock
+    )
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.failure_rate < 1.0:
             raise ValueError(f"failure rate out of range: {self.failure_rate}")
+        if self.latency_s < 0:
+            raise ValueError(f"latency must be non-negative: {self.latency_s}")
         self._generator = SceneGenerator(seed=self.generator_seed)
         self._failure_rng = np.random.default_rng(
             stable_seed("gsv-failures", self.generator_seed)
@@ -175,6 +202,8 @@ class StreetViewClient:
         self._check_key()
         self._check_quota()
         self._maybe_fail()
+        if self.latency_s > 0:
+            self.clock.sleep(self.latency_s)
         heading = int(normalize_heading(heading))
         if heading not in CARDINAL_HEADINGS:
             raise ValueError(
@@ -199,7 +228,12 @@ class StreetViewClient:
             latitude=location.lat,
             longitude=location.lon,
         )
-        pixels = render_scene(scene, size) if render else None
+        if not render:
+            pixels = None
+        elif self.render_cache is not None:
+            pixels = self.render_cache.get_or_render(scene, size)
+        else:
+            pixels = render_scene(scene, size)
         self.usage().record_image()
         return StreetViewImage(
             location=location,
@@ -242,10 +276,16 @@ class StreetViewClient:
             )
 
     def _maybe_fail(self) -> None:
-        if self.fault_schedule is not None:
-            self.fault_schedule.check()
-        if self.failure_rate > 0 and self._failure_rng.random() < self.failure_rate:
-            raise TransientNetworkError("simulated transport failure")
+        # Both the fault schedule and the failure RNG are stateful and
+        # shared by every worker; advance them under one lock.
+        with self._fault_lock:
+            if self.fault_schedule is not None:
+                self.fault_schedule.check()
+            if (
+                self.failure_rate > 0
+                and self._failure_rng.random() < self.failure_rate
+            ):
+                raise TransientNetworkError("simulated transport failure")
 
     #: Imagery coverage extends slightly past the county rectangle —
     #: road-network jitter can push boundary nodes just outside it.

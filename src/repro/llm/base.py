@@ -16,6 +16,7 @@ preserves the paper's observable behaviour).
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -126,17 +127,25 @@ def estimate_prompt_tokens(request: ChatRequest) -> int:
 
 @dataclass
 class ClientStats:
-    """Cumulative usage across a client's lifetime."""
+    """Cumulative usage across a client's lifetime.
+
+    Clients may serve several :class:`~repro.parallel.ParallelExecutor`
+    workers at once, so recording is lock-guarded.
+    """
 
     requests: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
     errors: int = 0
+    _lock: threading.Lock = field(
+        init=False, repr=False, compare=False, default_factory=threading.Lock
+    )
 
     def record(self, usage: Usage) -> None:
-        self.requests += 1
-        self.prompt_tokens += usage.prompt_tokens
-        self.completion_tokens += usage.completion_tokens
+        with self._lock:
+            self.requests += 1
+            self.prompt_tokens += usage.prompt_tokens
+            self.completion_tokens += usage.completion_tokens
 
 
 class ChatClient(abc.ABC):

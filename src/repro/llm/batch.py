@@ -19,9 +19,11 @@ backwards compatibility.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from ..parallel.executor import ParallelExecutor
 from ..resilience.breaker import CircuitBreaker
 from ..resilience.clock import Clock, VirtualClock, WallClock
 from ..resilience.retry import RetryPolicy, RetryStats
@@ -41,17 +43,30 @@ __all__ = [
 @dataclass
 class TokenBucket:
     """Token-bucket rate limiter: ``rate`` requests/second, bursting
-    to ``capacity``."""
+    to ``capacity``.
+
+    One bucket is shared by every worker talking to an endpoint, so
+    refill-and-take runs under a lock: without it two threads can both
+    observe ``_tokens >= 1`` and double-spend the same token, silently
+    exceeding the provider's rate limit.  The wait itself happens
+    *outside* the lock (a sleeping thread must not block refills), so
+    after waking the taker re-checks under the lock and may wait again
+    if another thread won the refilled token.
+    """
 
     rate: float
     capacity: float
     clock: Clock = field(default_factory=VirtualClock)
+
+    #: Tolerance for float error in "one full token accrued".
+    _EPSILON = 1e-12
 
     def __post_init__(self) -> None:
         if self.rate <= 0 or self.capacity <= 0:
             raise ValueError("rate and capacity must be positive")
         self._tokens = float(self.capacity)
         self._last = self.clock.now()
+        self._lock = threading.Lock()
 
     def _refill(self) -> None:
         now = self.clock.now()
@@ -62,15 +77,16 @@ class TokenBucket:
 
     def acquire(self) -> float:
         """Take one token, sleeping if necessary; returns wait time."""
-        self._refill()
         waited = 0.0
-        if self._tokens < 1.0:
-            deficit = (1.0 - self._tokens) / self.rate
+        while True:
+            with self._lock:
+                self._refill()
+                if self._tokens >= 1.0 - self._EPSILON:
+                    self._tokens = max(0.0, self._tokens - 1.0)
+                    return waited
+                deficit = (1.0 - self._tokens) / self.rate
             self.clock.sleep(deficit)
-            waited = deficit
-            self._refill()
-        self._tokens -= 1.0
-        return waited
+            waited += deficit
 
 
 @dataclass
@@ -108,7 +124,13 @@ class BatchStats:
 
 
 class BatchRunner:
-    """Execute many chat requests with retry + rate limiting."""
+    """Execute many chat requests with retry + rate limiting.
+
+    With an ``executor`` (or ``workers > 1``) requests fan out across
+    a thread pool while sharing one rate limiter, one retry policy,
+    and one breaker; outcomes still come back in request order.  The
+    default remains strictly serial.
+    """
 
     RETRYABLE = (RateLimitError, ServerError)
 
@@ -122,32 +144,39 @@ class BatchRunner:
         on_progress: Callable[[int, int], None] | None = None,
         retry_policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        executor: ParallelExecutor | None = None,
+        workers: int | None = None,
     ) -> None:
         if retry_policy is None:
             retry_policy = RetryPolicy(
                 max_attempts=max_attempts, base_delay_s=backoff_base_s
             )
+        if executor is None:
+            executor = ParallelExecutor(workers=workers or 1)
         self.client = client
         self.limiter = limiter
         self.policy = retry_policy
         self.breaker = breaker
         self.clock = clock or (limiter.clock if limiter else VirtualClock())
         self.on_progress = on_progress
+        self.executor = executor
 
     def run(
         self, requests: Sequence[ChatRequest]
     ) -> tuple[list[BatchOutcome], BatchStats]:
         """Execute all requests; never raises on per-request failures."""
-        outcomes: list[BatchOutcome] = []
         stats = RetryStats()
-        waits = 0.0
 
-        for index, request in enumerate(requests):
+        def execute_one(
+            indexed: tuple[int, ChatRequest]
+        ) -> tuple[BatchOutcome, float]:
+            index, request = indexed
+            waited = 0.0
 
-            def attempt(request: ChatRequest = request) -> ChatResponse:
-                nonlocal waits
+            def attempt() -> ChatResponse:
+                nonlocal waited
                 if self.limiter is not None:
-                    waits += self.limiter.acquire()
+                    waited += self.limiter.acquire()
                 return self.client.complete(request)
 
             retried = self.policy.execute(
@@ -158,16 +187,24 @@ class BatchRunner:
                 breaker=self.breaker,
                 stats=stats,
             )
-            outcomes.append(
+            return (
                 BatchOutcome(
                     index=index,
                     response=retried.value if retried.ok else None,
                     error=retried.error,
                     attempts=retried.attempts,
-                )
+                ),
+                waited,
             )
+
+        outcomes: list[BatchOutcome] = []
+        waits = 0.0
+        for task in self.executor.imap(execute_one, enumerate(requests)):
+            outcome, waited = task.result()
+            outcomes.append(outcome)
+            waits += waited
             if self.on_progress is not None:
-                self.on_progress(index + 1, len(requests))
+                self.on_progress(len(outcomes), len(requests))
 
         batch_stats = BatchStats(
             total=len(requests),

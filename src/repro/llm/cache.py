@@ -8,14 +8,23 @@ requests should never be re-billed.
 
 :class:`CachingChatClient` wraps any :class:`~repro.llm.base.ChatClient`
 with an exact-match request cache — in memory, optionally persisted to
-a JSON file on disk so interrupted surveys resume for free.
+disk so interrupted surveys resume for free.  Persistence is an
+**append-only JSONL journal**: each miss appends one record (O(1) I/O,
+where the previous full-file rewrite made a survey's cache writes
+O(n²)), and :meth:`~CachingChatClient.close` compacts the journal
+atomically (temp file + rename, the same idiom as
+:class:`~repro.resilience.checkpoint.SurveyCheckpoint`).  Legacy
+single-JSON-map cache files load transparently and are migrated to
+JSONL on the next compaction.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from pathlib import Path
+from typing import IO
 
 from .base import ChatClient, ChatRequest, ChatResponse, Usage
 
@@ -24,7 +33,9 @@ def request_fingerprint(request: ChatRequest) -> str:
     """Stable content hash of a request.
 
     Covers everything that can change the response: model, message
-    roles/texts, attached scene ids, and sampling parameters.
+    roles/texts, attached scene ids, and sampling parameters.  The
+    model name is included deliberately — ensemble members may share
+    one cache path without cross-serving each other's responses.
     """
     payload = {
         "model": request.model,
@@ -50,6 +61,12 @@ class CachingChatClient(ChatClient):
     Cache hits cost nothing: the inner client is not called and no
     usage accrues to it.  The wrapper's own ``stats`` still counts
     every logical request, so hit rates are observable.
+
+    Thread-safe: parallel workers may share one instance.  Two workers
+    missing the same key concurrently both consult the inner client (a
+    benign stampede — responses are deterministic per request) and the
+    journal records both; compaction deduplicates.  Usable as a
+    context manager; leaving the ``with`` block compacts the journal.
     """
 
     def __init__(
@@ -63,17 +80,22 @@ class CachingChatClient(ChatClient):
         self.hits = 0
         self.misses = 0
         self._cache: dict[str, dict] = {}
+        self._lock = threading.RLock()
+        self._journal: IO[str] | None = None
         if self.cache_path and self.cache_path.exists():
-            self._cache = json.loads(self.cache_path.read_text())
+            self._cache = _load_cache_file(self.cache_path)
 
     # ------------------------------------------------------------------
 
     def complete(self, request: ChatRequest) -> ChatResponse:
         key = request_fingerprint(request)
-        cached = self._cache.get(key)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                self.stats.record(Usage(0, 0))  # logical request, zero tokens
         if cached is not None:
-            self.hits += 1
-            response = ChatResponse(
+            return ChatResponse(
                 model=cached["model"],
                 content=cached["content"],
                 usage=Usage(
@@ -82,21 +104,22 @@ class CachingChatClient(ChatClient):
                 ),
                 finish_reason=cached.get("finish_reason", "stop"),
             )
-            self.stats.record(Usage(0, 0))  # logical request, zero tokens
-            return response
 
-        self.misses += 1
+        # The billable call happens outside the lock so concurrent
+        # misses on *different* requests overlap instead of queueing.
         response = self.inner.complete(request)
-        self._cache[key] = {
+        record = {
             "model": response.model,
             "content": response.content,
             "prompt_tokens": response.usage.prompt_tokens,
             "completion_tokens": response.usage.completion_tokens,
             "finish_reason": response.finish_reason,
         }
-        self.stats.record(response.usage)
-        if self.cache_path:
-            self._flush()
+        with self._lock:
+            self.misses += 1
+            self._cache[key] = record
+            self.stats.record(response.usage)
+            self._append(key, record)
         return response
 
     # ------------------------------------------------------------------
@@ -110,12 +133,85 @@ class CachingChatClient(ChatClient):
         return len(self._cache)
 
     def clear(self) -> None:
-        self._cache.clear()
-        self.hits = 0
-        self.misses = 0
-        if self.cache_path and self.cache_path.exists():
-            self.cache_path.unlink()
+        with self._lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
+            if self.cache_path and self.cache_path.exists():
+                self.cache_path.unlink()
 
-    def _flush(self) -> None:
-        self.cache_path.parent.mkdir(parents=True, exist_ok=True)
-        self.cache_path.write_text(json.dumps(self._cache))
+    def close(self) -> None:
+        """Stop journaling and compact the cache file atomically.
+
+        Compaction rewrites the journal as one deduplicated JSONL
+        document via temp file + rename, so a crash mid-compaction
+        leaves the previous journal intact.  Safe to call repeatedly;
+        the client remains usable afterwards (the journal reopens on
+        the next miss).
+        """
+        with self._lock:
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
+            if self.cache_path is None or not self._cache:
+                return
+            self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.cache_path.with_suffix(self.cache_path.suffix + ".tmp")
+            with tmp.open("w", encoding="utf-8") as handle:
+                for key, record in self._cache.items():
+                    handle.write(_record_line(key, record))
+            tmp.replace(self.cache_path)
+
+    def __enter__(self) -> "CachingChatClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _append(self, key: str, record: dict) -> None:
+        """Journal one miss: a single appended-and-flushed JSONL line."""
+        if self.cache_path is None:
+            return
+        if self._journal is None:
+            self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+            self._journal = self.cache_path.open("a", encoding="utf-8")
+        self._journal.write(_record_line(key, record))
+        self._journal.flush()
+
+
+def _record_line(key: str, record: dict) -> str:
+    return json.dumps({"key": key, **record}, ensure_ascii=False) + "\n"
+
+
+def _load_cache_file(path: Path) -> dict[str, dict]:
+    """Read a cache file in JSONL or legacy single-JSON-map format.
+
+    A legacy file that later received JSONL appends (an interrupted
+    migration) parses line by line: its first line is the old map and
+    the rest are journal records, merged in order so newest wins.
+    """
+    entries: dict[str, dict] = {}
+    text = path.read_text(encoding="utf-8")
+    if not text.strip():
+        return entries
+    try:
+        whole = json.loads(text)
+    except json.JSONDecodeError:
+        whole = None
+    if isinstance(whole, dict) and "key" not in whole:
+        return dict(whole)  # legacy: one JSON map of fingerprint → record
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if "key" in record:
+            entries[record.pop("key")] = record
+        else:
+            entries.update(record)
+    return entries

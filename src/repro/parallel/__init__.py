@@ -1,0 +1,25 @@
+"""Parallel execution engine for the survey hot paths.
+
+One abstraction — :class:`~repro.parallel.executor.ParallelExecutor` —
+shared by :meth:`repro.core.pipeline.NeighborhoodDecoder.survey`
+(per-location fan-out), :class:`repro.llm.batch.BatchRunner`
+(per-request fan-out under a shared rate limiter), and
+:class:`repro.core.voting.VotingEnsemble` (per-member fan-out).  The
+resilience primitives it shares across workers (``TokenBucket``,
+``CircuitBreaker``, ``RetryStats``, usage meters) are thread-safe; see
+DESIGN.md §8 for the execution model and determinism guarantees.
+"""
+
+from .executor import (
+    ParallelExecutor,
+    TaskCancelledError,
+    TaskOutcome,
+    resolve_workers,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "TaskCancelledError",
+    "TaskOutcome",
+    "resolve_workers",
+]

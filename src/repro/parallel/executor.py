@@ -1,0 +1,205 @@
+"""The one fan-out loop: ordered, bounded, cancellable task execution.
+
+The paper's workload is embarrassingly parallel — 1,056 locations ×
+4 headings × 4 LLMs × repeated-query voting (§IV-A, §IV-E) — but the
+hot paths (``NeighborhoodDecoder.survey``, ``BatchRunner.run``,
+``VotingEnsemble`` member queries) were written serially.
+:class:`ParallelExecutor` gives them all the same concurrency shape:
+
+* **backends** — ``serial`` (run inline, the exact legacy semantics)
+  or ``thread`` (a ``concurrent.futures`` pool; the right choice here
+  because the workload is dominated by simulated network latency and
+  numpy releases the GIL in the render hot loops).  ``auto`` picks
+  ``serial`` for one worker.
+* **ordered collection** — results stream back in *submission* order
+  regardless of completion order, which is what keeps parallel
+  surveys byte-identical to serial ones: downstream merging never
+  observes a reordering.
+* **bounded in-flight work** — at most ``max_in_flight`` tasks are
+  submitted ahead of the consumer, so a million-location survey never
+  materializes a million futures.
+* **cooperative cancellation** — a ``should_cancel`` predicate
+  (typically "is the circuit breaker open?") is consulted before each
+  new submission; once it fires, unsubmitted work is marked cancelled
+  without ever running and already-running tasks are drained.
+
+Workers never see raised exceptions swallowed: a task that raises is
+captured into its :class:`TaskOutcome` and re-raised by
+:meth:`TaskOutcome.result`, mirroring ``RetryOutcome``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ParallelExecutor", "TaskCancelledError", "TaskOutcome", "resolve_workers"]
+
+
+class TaskCancelledError(RuntimeError):
+    """The task was cancelled before it started running."""
+
+
+@dataclass
+class TaskOutcome:
+    """What one submitted task did, in submission order."""
+
+    index: int
+    value: Any = None
+    error: Exception | None = None
+    cancelled: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.cancelled
+
+    def result(self) -> Any:
+        """The value, or raise the captured error / cancellation."""
+        if self.cancelled:
+            raise TaskCancelledError(f"task {self.index} was cancelled")
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker count: ``None``/``0`` → ``os.cpu_count()``."""
+    if workers is None or workers <= 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+class ParallelExecutor:
+    """Run many tasks with ordered results and bounded concurrency.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count; ``None`` or ``0`` resolves to
+        ``os.cpu_count()`` (production default), ``1`` runs serially.
+    backend:
+        ``"serial"``, ``"thread"``, or ``"auto"`` (serial when the
+        resolved worker count is 1).
+    max_in_flight:
+        Maximum tasks submitted but not yet consumed; defaults to
+        ``2 × workers``.  Bounds memory on huge surveys.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = 1,
+        backend: str = "auto",
+        max_in_flight: int | None = None,
+    ) -> None:
+        if backend not in ("serial", "thread", "auto"):
+            raise ValueError(f"unknown backend: {backend!r}")
+        self.workers = resolve_workers(workers)
+        if backend == "auto":
+            backend = "serial" if self.workers == 1 else "thread"
+        self.backend = backend
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be positive")
+        self.max_in_flight = max_in_flight or 2 * self.workers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelExecutor(workers={self.workers}, "
+            f"backend={self.backend!r}, max_in_flight={self.max_in_flight})"
+        )
+
+    # ------------------------------------------------------------------
+
+    def imap(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        should_cancel: Callable[[], bool] | None = None,
+    ) -> Iterator[TaskOutcome]:
+        """Yield one :class:`TaskOutcome` per item, in submission order.
+
+        The serial backend runs each task inline as the consumer
+        advances (identical to the pre-parallel code path); the thread
+        backend keeps up to ``max_in_flight`` tasks running ahead of
+        the consumer.
+        """
+        if self.backend == "serial":
+            yield from self._imap_serial(fn, items, should_cancel)
+        else:
+            yield from self._imap_threaded(fn, items, should_cancel)
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        should_cancel: Callable[[], bool] | None = None,
+    ) -> list[TaskOutcome]:
+        """Eager :meth:`imap`: collect every outcome into a list."""
+        return list(self.imap(fn, items, should_cancel=should_cancel))
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _imap_serial(
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        should_cancel: Callable[[], bool] | None,
+    ) -> Iterator[TaskOutcome]:
+        for index, item in enumerate(items):
+            if should_cancel is not None and should_cancel():
+                yield TaskOutcome(index=index, cancelled=True)
+                continue
+            yield ParallelExecutor._execute(fn, index, item)
+
+    def _imap_threaded(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        should_cancel: Callable[[], bool] | None,
+    ) -> Iterator[TaskOutcome]:
+        pending: deque[tuple[int, Future | None]] = deque()
+        iterator = enumerate(items)
+        exhausted = False
+        cancelling = False
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            try:
+                while True:
+                    while not exhausted and len(pending) < self.max_in_flight:
+                        if not cancelling and should_cancel is not None:
+                            cancelling = should_cancel()
+                        try:
+                            index, item = next(iterator)
+                        except StopIteration:
+                            exhausted = True
+                            break
+                        if cancelling:
+                            pending.append((index, None))
+                        else:
+                            pending.append(
+                                (index, pool.submit(self._execute, fn, index, item))
+                            )
+                    if not pending:
+                        break
+                    index, future = pending.popleft()
+                    if future is None:
+                        yield TaskOutcome(index=index, cancelled=True)
+                    else:
+                        yield future.result()
+            finally:
+                # A consumer that stops early (or a generator close)
+                # must not leave queued tasks running.
+                for _, future in pending:
+                    if future is not None:
+                        future.cancel()
+
+    @staticmethod
+    def _execute(fn: Callable[[Any], Any], index: int, item: Any) -> TaskOutcome:
+        try:
+            return TaskOutcome(index=index, value=fn(item))
+        except Exception as err:  # noqa: BLE001 - captured, re-raised by result()
+            return TaskOutcome(index=index, error=err)

@@ -1,0 +1,137 @@
+"""Timing utilities and the ``BENCH_*.json`` trajectory writer.
+
+Perf work is only real when it is measured, and only comparable when
+every measurement records where it ran.  This module provides the
+small kit the perf benchmarks share:
+
+* :class:`Stopwatch` — a wall-clock context manager;
+* :class:`LatencyChatClient` — wraps any chat client with simulated
+  network round-trip latency (the commercial APIs the paper drives
+  answer in hundreds of milliseconds; the simulated ones answer in
+  microseconds, which would make concurrency look useless);
+* :func:`machine_info` / :func:`git_sha` — provenance stamped into
+  every benchmark artifact;
+* :func:`write_bench` — atomic (temp file + rename) writer for
+  ``BENCH_<name>.json`` so the perf trajectory is comparable across
+  PRs and survives an interrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .llm.base import ChatClient, ChatRequest, ChatResponse
+from .resilience.clock import Clock, WallClock
+
+__all__ = [
+    "LatencyChatClient",
+    "Stopwatch",
+    "git_sha",
+    "machine_info",
+    "write_bench",
+]
+
+
+class Stopwatch:
+    """Measure a wall-clock interval: ``with Stopwatch() as sw: ...``."""
+
+    def __init__(self) -> None:
+        self.elapsed_s = 0.0
+        self._started: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._started is not None
+        self.elapsed_s = time.perf_counter() - self._started
+        self._started = None
+
+
+class LatencyChatClient(ChatClient):
+    """Add a fixed per-request latency in front of an inner client.
+
+    The sleep goes through an injected
+    :class:`~repro.resilience.clock.Clock`, so fault scripts can keep
+    using a virtual clock while perf benchmarks use wall time (which
+    releases the GIL, exactly like a real socket wait).
+    """
+
+    def __init__(
+        self,
+        inner: ChatClient,
+        latency_s: float,
+        clock: Clock | None = None,
+    ) -> None:
+        if latency_s < 0:
+            raise ValueError(f"latency must be non-negative: {latency_s}")
+        super().__init__(model_name=inner.model_name)
+        self.inner = inner
+        self.latency_s = latency_s
+        self.clock = clock or WallClock()
+
+    def complete(self, request: ChatRequest) -> ChatResponse:
+        if self.latency_s > 0:
+            self.clock.sleep(self.latency_s)
+        response = self.inner.complete(request)
+        self.stats.record(response.usage)
+        return response
+
+
+def machine_info() -> dict:
+    """Where a benchmark ran — enough to judge cross-run comparability."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+    }
+
+
+def git_sha(repo_root: str | Path | None = None) -> str:
+    """The current commit, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_root) if repo_root else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def write_bench(
+    path: str | Path, name: str, payload: dict, repo_root: str | Path | None = None
+) -> dict:
+    """Write one benchmark document atomically; returns what was written.
+
+    The document wraps ``payload`` with the benchmark name, a
+    timestamp, the running machine, and the git SHA, making every
+    ``BENCH_*.json`` self-describing and trajectory-comparable.
+    """
+    path = Path(path)
+    document = {
+        "bench": name,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": git_sha(repo_root if repo_root is not None else path.parent),
+        "machine": machine_info(),
+        **payload,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    tmp.replace(path)
+    return document

@@ -11,6 +11,7 @@ probe through — success closes the circuit, failure re-opens it.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 
 from .clock import Clock, WallClock
@@ -44,6 +45,10 @@ class CircuitBreaker:
     via :meth:`record_success` / :meth:`record_failure`;
     :meth:`~repro.resilience.retry.RetryPolicy.execute` does all three
     automatically when handed a breaker.
+
+    One breaker is shared by every worker hitting its endpoint, so all
+    state transitions run under a reentrant lock (``state`` itself may
+    transition open → half-open inside ``record_failure``).
     """
 
     name: str = "endpoint"
@@ -54,6 +59,9 @@ class CircuitBreaker:
     _consecutive_failures: int = field(default=0, init=False)
     _opened_at: float = field(default=0.0, init=False)
     opens: int = field(default=0, init=False)
+    _lock: threading.RLock = field(
+        init=False, repr=False, compare=False, default_factory=threading.RLock
+    )
 
     def __post_init__(self) -> None:
         if self.failure_threshold < 1:
@@ -64,19 +72,21 @@ class CircuitBreaker:
     @property
     def state(self) -> CircuitState:
         """Current state, promoting open → half-open when recovery elapses."""
-        if (
-            self._state is CircuitState.OPEN
-            and self.clock.now() - self._opened_at >= self.recovery_time_s
-        ):
-            self._state = CircuitState.HALF_OPEN
-        return self._state
+        with self._lock:
+            if (
+                self._state is CircuitState.OPEN
+                and self.clock.now() - self._opened_at >= self.recovery_time_s
+            ):
+                self._state = CircuitState.HALF_OPEN
+            return self._state
 
     def remaining_open_s(self) -> float:
         """Seconds until the next half-open probe (0 unless open)."""
-        if self.state is not CircuitState.OPEN:
-            return 0.0
-        elapsed = self.clock.now() - self._opened_at
-        return max(0.0, self.recovery_time_s - elapsed)
+        with self._lock:
+            if self.state is not CircuitState.OPEN:
+                return 0.0
+            elapsed = self.clock.now() - self._opened_at
+            return max(0.0, self.recovery_time_s - elapsed)
 
     def allow(self) -> bool:
         """May a call proceed right now?
@@ -92,19 +102,21 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         """A call succeeded: close the circuit and reset the count."""
-        self._consecutive_failures = 0
-        self._state = CircuitState.CLOSED
+        with self._lock:
+            self._consecutive_failures = 0
+            self._state = CircuitState.CLOSED
 
     def record_failure(self) -> None:
         """A call failed: trip at the threshold, re-open a failed probe."""
-        self._consecutive_failures += 1
-        if self.state is CircuitState.HALF_OPEN:
-            self._trip()
-        elif (
-            self._state is CircuitState.CLOSED
-            and self._consecutive_failures >= self.failure_threshold
-        ):
-            self._trip()
+        with self._lock:
+            self._consecutive_failures += 1
+            if self.state is CircuitState.HALF_OPEN:
+                self._trip()
+            elif (
+                self._state is CircuitState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
 
     def _trip(self) -> None:
         self._state = CircuitState.OPEN

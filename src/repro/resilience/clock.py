@@ -13,6 +13,7 @@ which is what keeps the fault-injection suite deterministic.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
@@ -41,6 +42,7 @@ class VirtualClock:
     def __init__(self, start: float = 0.0) -> None:
         self._now = start
         self.sleeps: list[float] = []
+        self._lock = threading.Lock()
 
     def now(self) -> float:
         return self._now
@@ -48,8 +50,9 @@ class VirtualClock:
     def sleep(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError(f"cannot sleep {seconds}s")
-        self.sleeps.append(seconds)
-        self._now += seconds
+        with self._lock:
+            self.sleeps.append(seconds)
+            self._now += seconds
 
 
 @dataclass

@@ -17,6 +17,7 @@ does).
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
@@ -62,6 +63,9 @@ class RetryStats:
 
     Surfaced on :class:`~repro.core.pipeline.SurveyReport` so a survey
     reports exactly how much fault handling it performed.
+
+    Instances are shared across :class:`~repro.parallel.ParallelExecutor`
+    workers, so the read-modify-write updates are guarded by a lock.
     """
 
     operations: int = 0
@@ -70,24 +74,29 @@ class RetryStats:
     failures: int = 0
     slept_s: float = 0.0
     breaker_blocks: int = 0
+    _lock: threading.Lock = field(
+        init=False, repr=False, compare=False, default_factory=threading.Lock
+    )
 
     def absorb(self, outcome: RetryOutcome) -> None:
-        self.operations += 1
-        self.attempts += outcome.attempts
-        self.retries += outcome.retries
-        self.slept_s += outcome.slept_s
-        if outcome.breaker_blocked:
-            self.breaker_blocks += 1
-        if not outcome.ok:
-            self.failures += 1
+        with self._lock:
+            self.operations += 1
+            self.attempts += outcome.attempts
+            self.retries += outcome.retries
+            self.slept_s += outcome.slept_s
+            if outcome.breaker_blocked:
+                self.breaker_blocks += 1
+            if not outcome.ok:
+                self.failures += 1
 
     def merge(self, other: "RetryStats") -> None:
-        self.operations += other.operations
-        self.attempts += other.attempts
-        self.retries += other.retries
-        self.failures += other.failures
-        self.slept_s += other.slept_s
-        self.breaker_blocks += other.breaker_blocks
+        with self._lock:
+            self.operations += other.operations
+            self.attempts += other.attempts
+            self.retries += other.retries
+            self.failures += other.failures
+            self.slept_s += other.slept_s
+            self.breaker_blocks += other.breaker_blocks
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -128,6 +137,9 @@ class RetryPolicy:
     jitter: bool = True
     seed: int | None = 0
     _rng: np.random.Generator = field(init=False, repr=False, compare=False)
+    _rng_lock: threading.Lock = field(
+        init=False, repr=False, compare=False, default_factory=threading.Lock
+    )
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -151,7 +163,13 @@ class RetryPolicy:
         floor: we never knock on the door earlier than asked.
         """
         cap = self.backoff_cap(attempt)
-        delay = float(self._rng.uniform(0.0, cap)) if self.jitter else cap
+        if self.jitter:
+            # The jitter generator is shared by every worker running
+            # under this policy; numpy Generators are not thread-safe.
+            with self._rng_lock:
+                delay = float(self._rng.uniform(0.0, cap))
+        else:
+            delay = cap
         retry_after = getattr(error, "retry_after_s", None)
         if retry_after is not None:
             delay = max(delay, float(retry_after))

@@ -59,6 +59,13 @@ class TestFingerprint:
         b = _request(ImageAttachment(scene=rural_scene))
         assert request_fingerprint(a) != request_fingerprint(b)
 
+    def test_different_model_different_key(self, attachment):
+        """Ensemble members may share a cache path; the model name in
+        the fingerprint keeps them from cross-serving responses."""
+        base = _request(attachment)
+        other = ChatRequest(model="gemini-1.5-pro", messages=base.messages)
+        assert request_fingerprint(base) != request_fingerprint(other)
+
 
 class TestCachingClient:
     def test_second_call_hits_cache(self, clients, attachment):
@@ -116,6 +123,120 @@ class TestCachingClient:
         caching.complete(request)
         caching.complete(request)
         assert caching.hit_rate == pytest.approx(2 / 3)
+
+
+class TestJournalPersistence:
+    """The JSONL write-behind journal and its compaction."""
+
+    def test_each_miss_appends_one_jsonl_line(
+        self, clients, small_dataset, tmp_path
+    ):
+        path = tmp_path / "cache.jsonl"
+        caching = CachingChatClient(clients["gpt-4o-mini"], cache_path=path)
+        for image in small_dataset.images[:5]:
+            caching.complete(_request(ImageAttachment(scene=image.scene)))
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 5
+        for line in lines:
+            record = json.loads(line)
+            assert "key" in record and "content" in record
+
+    def test_hits_do_not_touch_the_journal(self, clients, attachment, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        caching = CachingChatClient(clients["gpt-4o-mini"], cache_path=path)
+        request = _request(attachment)
+        caching.complete(request)
+        size_after_miss = path.stat().st_size
+        caching.complete(request)
+        assert caching.hits == 1
+        assert path.stat().st_size == size_after_miss
+
+    def test_compaction_dedups_newest_wins(self, clients, attachment, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        key = request_fingerprint(_request(attachment))
+        stale = {"key": key, "model": "gpt-4o-mini", "content": "stale",
+                 "prompt_tokens": 1, "completion_tokens": 1}
+        fresh = dict(stale, content="fresh")
+        path.write_text(json.dumps(stale) + "\n" + json.dumps(fresh) + "\n")
+
+        caching = CachingChatClient(clients["gpt-4o-mini"], cache_path=path)
+        assert len(caching) == 1
+        assert caching.complete(_request(attachment)).content == "fresh"
+        caching.close()
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 1
+        assert json.loads(lines[0])["content"] == "fresh"
+
+    def test_legacy_map_format_loads_and_migrates(
+        self, clients, attachment, tmp_path
+    ):
+        path = tmp_path / "cache.json"
+        request = _request(attachment)
+        legacy = {
+            request_fingerprint(request): {
+                "model": "gpt-4o-mini",
+                "content": "NO.",
+                "prompt_tokens": 2,
+                "completion_tokens": 1,
+            }
+        }
+        path.write_text(json.dumps(legacy))
+
+        caching = CachingChatClient(clients["gpt-4o-mini"], cache_path=path)
+        response = caching.complete(request)
+        assert caching.hits == 1 and response.content == "NO."
+        # Compaction migrates the legacy map to JSONL.
+        caching.close()
+        migrated = json.loads(path.read_text().strip())
+        assert migrated["key"] == request_fingerprint(request)
+
+    def test_legacy_map_with_appended_lines(self, clients, tmp_path, attachment):
+        """An interrupted migration: old map first, journal lines after."""
+        path = tmp_path / "cache.json"
+        request = _request(attachment)
+        legacy = {
+            request_fingerprint(request): {
+                "model": "gpt-4o-mini",
+                "content": "legacy",
+                "prompt_tokens": 1,
+                "completion_tokens": 1,
+            }
+        }
+        appended = {"key": "deadbeef", "model": "gpt-4o-mini",
+                    "content": "appended", "prompt_tokens": 1,
+                    "completion_tokens": 1}
+        path.write_text(json.dumps(legacy) + "\n" + json.dumps(appended) + "\n")
+        caching = CachingChatClient(clients["gpt-4o-mini"], cache_path=path)
+        assert len(caching) == 2
+        assert caching.complete(request).content == "legacy"
+
+    def test_two_models_share_path_without_cross_serving(
+        self, clients, attachment, tmp_path
+    ):
+        path = tmp_path / "shared.jsonl"
+        request_a = _request(attachment)
+        request_b = ChatRequest(
+            model="gemini-1.5-pro", messages=request_a.messages
+        )
+        with CachingChatClient(
+            clients["gpt-4o-mini"], cache_path=path
+        ) as first:
+            first.complete(request_a)
+        with CachingChatClient(
+            clients["gemini-1.5-pro"], cache_path=path
+        ) as second:
+            second.complete(request_b)
+            assert second.misses == 1  # model differs → not served from A
+            assert len(second) == 2  # but A's entry was loaded alongside
+
+    def test_close_is_reusable(self, clients, attachment, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        caching = CachingChatClient(clients["gpt-4o-mini"], cache_path=path)
+        caching.complete(_request(attachment))
+        caching.close()
+        caching.complete(_request(attachment, "Any powerlines?"))
+        caching.close()
+        assert len(path.read_text().strip().split("\n")) == 2
 
 
 @pytest.fixture(scope="module")
