@@ -1,0 +1,194 @@
+"""Perf benchmark: process-parallel detector pipeline + artifact cache.
+
+Measures the two optimizations `BENCH_detect.json` tracks (one
+document per commit, at the repo root):
+
+* **process backend** — training-tensor extraction, training, and
+  batched evaluation at ``workers=4`` (process pool) vs strictly
+  serial.  The work is pure-numpy CPU the GIL serializes, so the
+  speedup tracks the machine's *usable* core count: on a single-core
+  host the document records ``core_capped`` instead of a speedup bar
+  (see DESIGN.md §9).
+* **artifact cache** — a cold vs warm ``run_all`` of the detector
+  experiments (Table I + the Fig. 2 augmentation sweep) against one
+  content-addressed :class:`~repro.artifacts.ArtifactCache`: the warm
+  pass replays feature tensors, trained weights, and per-image
+  predictions from disk.
+
+Either way the parallel/cached paths must be *byte-identical* to the
+serial/cold ones — asserted here, not assumed.
+
+Excluded from tier-1 (``perf`` marker); run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_detect.py -m perf -q
+
+or ``python -m repro bench``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactCache, model_fingerprint
+from repro.detect import (
+    ModelConfig,
+    TrainConfig,
+    build_training_tensors,
+    evaluate_detector,
+    train_detector,
+)
+from repro.experiments import ExperimentSuite, smoke_config
+from repro.gsv.dataset import build_survey_dataset
+from repro.parallel import effective_cpu_count
+from repro.perf import Stopwatch, write_bench
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_detect.json"
+
+#: The CPU workload: enough images that pool startup amortizes.
+N_IMAGES = 48
+IMAGE_SIZE = 256
+WORKERS = 4
+EPOCHS = 6
+
+#: Detector experiments exercised for the cold/warm cache measurement.
+CACHED_EXPERIMENTS = ["table1", "fig2"]
+
+
+def _train_and_eval(images, splits, workers, cache=None):
+    """One serial-or-parallel pass: tensors → train → batched eval."""
+    result = train_detector(
+        splits[0],
+        model_config=ModelConfig(hidden=64),
+        train_config=TrainConfig(epochs=EPOCHS, seed=0),
+        workers=workers,
+        cache=cache,
+    )
+    report = evaluate_detector(
+        result.model, splits[1], workers=workers, cache=cache
+    )
+    return result, report
+
+
+def test_detect_perf_trajectory(tmp_path):
+    dataset = build_survey_dataset(
+        n_images=N_IMAGES, size=IMAGE_SIZE, seed=21
+    )
+    images = list(dataset)
+    splits = (images[: N_IMAGES // 2], images[N_IMAGES // 2 :])
+
+    cores = effective_cpu_count()
+    core_capped = cores < 2
+
+    # -- serial vs process-parallel ----------------------------------------
+    with Stopwatch() as serial_sw:
+        serial_result, serial_report = _train_and_eval(images, splits, 1)
+    with Stopwatch() as parallel_sw:
+        parallel_result, parallel_report = _train_and_eval(
+            images, splits, WORKERS
+        )
+    speedup = serial_sw.elapsed_s / parallel_sw.elapsed_s
+
+    # Determinism: process-parallel training and evaluation are
+    # byte-identical to serial — same weights, same metrics.
+    assert model_fingerprint(parallel_result.model) == model_fingerprint(
+        serial_result.model
+    )
+    assert np.array_equal(
+        np.asarray(parallel_result.loss_history),
+        np.asarray(serial_result.loss_history),
+    )
+    deterministic = parallel_report.rows() == serial_report.rows()
+    assert deterministic
+
+    # -- chunking invariance under the process backend ---------------------
+    serial_tensors = build_training_tensors(splits[0], 16, workers=1)
+    parallel_tensors = build_training_tensors(
+        splits[0], 16, workers=WORKERS, chunk_size=4
+    )
+    for got, want in zip(parallel_tensors, serial_tensors):
+        assert np.array_equal(got, want)
+
+    # -- cold vs warm artifact cache over the experiment suite -------------
+    cache_root = tmp_path / "artifacts"
+    cold_suite = ExperimentSuite(
+        config=smoke_config(), artifacts=ArtifactCache(cache_root)
+    )
+    with Stopwatch() as cold_sw:
+        cold_run = cold_suite.run_all(names=CACHED_EXPERIMENTS)
+    warm_suite = ExperimentSuite(
+        config=smoke_config(), artifacts=ArtifactCache(cache_root)
+    )
+    with Stopwatch() as warm_sw:
+        warm_run = warm_suite.run_all(names=CACHED_EXPERIMENTS)
+    warm_speedup = cold_sw.elapsed_s / warm_sw.elapsed_s
+
+    # The warm pass replays from disk: all hits, and identical tables.
+    assert warm_run.cache_stats["hits"] > 0
+    assert warm_run.cache_stats["misses"] == 0
+    cold_rows = [
+        row
+        for result in cold_run.all_results()
+        for row in result.rows
+    ]
+    warm_rows = [
+        row
+        for result in warm_run.all_results()
+        for row in result.rows
+    ]
+    assert warm_rows == cold_rows
+
+    document = write_bench(
+        BENCH_PATH,
+        "detect",
+        {
+            "config": {
+                "n_images": N_IMAGES,
+                "image_size": IMAGE_SIZE,
+                "workers": WORKERS,
+                "epochs": EPOCHS,
+                "cached_experiments": CACHED_EXPERIMENTS,
+            },
+            "process_parallel": {
+                "serial_s": round(serial_sw.elapsed_s, 4),
+                "parallel_s": round(parallel_sw.elapsed_s, 4),
+                "speedup": round(speedup, 3),
+                "effective_cpu_count": cores,
+                "core_capped": core_capped,
+                "deterministic": deterministic,
+                "note": (
+                    f"host exposes {cores} usable core(s); a process pool "
+                    "cannot beat serial without a second core, so the "
+                    "speedup bar is waived and determinism is the "
+                    "acceptance criterion"
+                )
+                if core_capped
+                else f"{cores} usable cores",
+            },
+            "artifact_cache": {
+                "cold_s": round(cold_sw.elapsed_s, 4),
+                "warm_s": round(warm_sw.elapsed_s, 4),
+                "warm_speedup": round(warm_speedup, 3),
+                "cold_stats": cold_run.cache_stats,
+                "warm_stats": warm_run.cache_stats,
+                "identical_tables": warm_rows == cold_rows,
+            },
+        },
+        repo_root=REPO_ROOT,
+    )
+
+    assert BENCH_PATH.exists()
+    # ≥1.8× at 4 workers — unless the host cannot physically deliver
+    # it, in which case the document says so (`core_capped`).
+    assert core_capped or speedup >= 1.8, (
+        f"process speedup {speedup:.2f}× below 1.8× on {cores} cores"
+    )
+    assert warm_speedup >= 5.0, (
+        f"warm artifact-cache rerun only {warm_speedup:.2f}× faster"
+    )
+    assert document["artifact_cache"]["identical_tables"]

@@ -1,0 +1,24 @@
+"""Content-addressed artifact cache for expensive pipeline products.
+
+Feature tensors, trained detector weights, and per-image detector
+predictions persist to disk keyed by content fingerprints of their
+inputs, so reruns of the experiment suite replay from cache instead
+of recomputing.  See :mod:`repro.artifacts.cache` for the key scheme
+and DESIGN.md §9 for how the hot paths consume it.
+"""
+
+from .cache import (
+    ArtifactCache,
+    fingerprint,
+    image_fingerprint,
+    model_fingerprint,
+    tensors_fingerprint,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "fingerprint",
+    "image_fingerprint",
+    "model_fingerprint",
+    "tensors_fingerprint",
+]

@@ -6,22 +6,30 @@ Usage::
     python -m repro table1               # one experiment
     python -m repro fig5 --scale paper   # full paper scale
     python -m repro all --scale smoke    # everything, fast
+    python -m repro all --workers auto --artifacts .artifacts
     python -m repro survey --locations 20 --min-coverage 0.9
     python -m repro survey --locations 64 --workers 4   # parallel decode
+    python -m repro bench                # refresh BENCH_*.json
 
 Results render as plain-text tables on stdout.  ``survey`` runs the
 deployable decoder end-to-end, prints a coverage/degradation summary,
 and exits nonzero only when coverage falls below ``--min-coverage``.
+``bench`` runs the perf-marked benchmarks, refusing to overwrite
+``BENCH_*.json`` documents recorded at a different commit unless
+``--force`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from .detect.train import TrainConfig
 from .experiments import (
+    PAPER_RUNNERS,
     ExperimentConfig,
     ExperimentSuite,
     paper_config,
@@ -38,36 +46,57 @@ from .experiments.extensions import (
     run_weather_robustness,
 )
 
-#: Experiment name → (description, runner factory).
-EXPERIMENTS = {
-    "table1": ("Table I: detector accuracy", lambda s: s.run_table1()),
-    "fig2": ("Fig. 2: augmentation ablation", lambda s: s.run_fig2()),
-    "fig3": ("Fig. 3: SNR robustness", lambda s: s.run_fig3()),
-    "table2": ("Table II: example responses", lambda s: s.run_table2()),
-    "fig4": ("Fig. 4: prompt structure", lambda s: s.run_fig4()),
-    "fig5": ("Fig. 5: LLM accuracy + voting", lambda s: s.run_fig5()),
-    "tables3to6": (
-        "Tables III-VI: per-LLM confusion",
-        lambda s: list(s.run_tables3to6().values()),
-    ),
-    "fig6": ("Fig. 6: prompt languages", lambda s: s.run_fig6()),
-    "param": ("§IV-C4: temperature/top-p", lambda s: s.run_param()),
-    "prior": ("§IV-B3: prior work", lambda s: s.run_prior()),
-    "label-noise": ("Ext. A: annotation noise", run_label_noise),
-    "few-shot": ("Ext. B: few-shot languages", run_few_shot_languages),
-    "multi-frame": ("Ext. C: multi-frame fusion", run_multi_frame),
-    "cost": ("Ext. D: cost accounting", run_cost_accounting),
-    "correlation": (
-        "Ext. E: voting vs error correlation",
-        run_correlation_ablation,
-    ),
-    "label-efficiency": (
-        "Ext. G: detector F1 vs label budget",
-        run_label_efficiency,
-    ),
-    "weather": ("Ext. H: weather robustness", run_weather_robustness),
-    "resilience": ("Ext. I: fault-tolerant survey drill", run_fault_drill),
+#: Descriptions for the paper experiments; the runners themselves come
+#: from :data:`repro.experiments.PAPER_RUNNERS` so the CLI menu can
+#: never drift from what :meth:`ExperimentSuite.run_all` executes.
+_PAPER_DESCRIPTIONS = {
+    "table1": "Table I: detector accuracy",
+    "fig2": "Fig. 2: augmentation ablation",
+    "fig3": "Fig. 3: SNR robustness",
+    "table2": "Table II: example responses",
+    "fig4": "Fig. 4: prompt structure",
+    "fig5": "Fig. 5: LLM accuracy + voting",
+    "tables3to6": "Tables III-VI: per-LLM confusion",
+    "fig6": "Fig. 6: prompt languages",
+    "param": "§IV-C4: temperature/top-p",
+    "prior": "§IV-B3: prior work",
 }
+
+#: Experiment name → (description, runner over a suite).
+EXPERIMENTS = {
+    name: (_PAPER_DESCRIPTIONS.get(name, name), runner)
+    for name, runner in PAPER_RUNNERS.items()
+}
+EXPERIMENTS.update(
+    {
+        "label-noise": ("Ext. A: annotation noise", run_label_noise),
+        "few-shot": ("Ext. B: few-shot languages", run_few_shot_languages),
+        "multi-frame": ("Ext. C: multi-frame fusion", run_multi_frame),
+        "cost": ("Ext. D: cost accounting", run_cost_accounting),
+        "correlation": (
+            "Ext. E: voting vs error correlation",
+            run_correlation_ablation,
+        ),
+        "label-efficiency": (
+            "Ext. G: detector F1 vs label budget",
+            run_label_efficiency,
+        ),
+        "weather": ("Ext. H: weather robustness", run_weather_robustness),
+        "resilience": ("Ext. I: fault-tolerant survey drill", run_fault_drill),
+    }
+)
+
+
+def _parse_workers(value: str) -> int | str:
+    """``--workers`` accepts an integer or the literal ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer or 'auto', got {value!r}"
+        ) from None
 
 
 def _config_for(scale: str) -> ExperimentConfig:
@@ -124,12 +153,13 @@ def _run_survey(args: argparse.Namespace) -> int:
         gsv_breaker=CircuitBreaker(name="gsv", failure_threshold=12,
                                    recovery_time_s=1.0),
     )
+    workers = 0 if args.workers == "auto" else args.workers
     report = decoder.survey(
         county,
         args.locations,
         seed=args.seed,
         checkpoint=args.checkpoint,
-        workers=args.workers,
+        workers=workers,
     )
 
     print(f"\n=== survey of {county.name} ===")
@@ -169,6 +199,60 @@ def _run_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    """Run the perf-marked benchmarks and refresh ``BENCH_*.json``.
+
+    Every benchmark document is stamped with the git SHA it was
+    produced at.  Rerunning at the same SHA overwrites in place;
+    rerunning at a *different* SHA refuses without ``--force`` so a
+    comparable measurement is never silently replaced by an
+    incomparable one.  Before any overwrite the current documents are
+    appended to ``benchmarks/results/bench_trajectory.jsonl``, so the
+    per-commit perf trajectory survives the refresh.
+    """
+    import pytest
+
+    from .perf import git_sha
+
+    repo_root = Path(__file__).resolve().parents[2]
+    sha = git_sha(repo_root)
+    documents = []
+    for path in sorted(repo_root.glob("BENCH_*.json")):
+        try:
+            documents.append((path, json.loads(path.read_text())))
+        except (OSError, json.JSONDecodeError):
+            continue  # corrupt document: nothing comparable to protect
+    stale = [
+        (path, doc)
+        for path, doc in documents
+        if doc.get("git_sha", "unknown") not in ("unknown", sha)
+    ]
+    if stale and not args.force:
+        for path, doc in stale:
+            print(
+                f"{path.name}: recorded at {doc['git_sha'][:12]}, "
+                f"HEAD is {sha[:12]}"
+            )
+        print(
+            "refusing to overwrite benchmarks from a different commit; "
+            "rerun with --force to refresh them at HEAD"
+        )
+        return 1
+
+    if documents:
+        trajectory = repo_root / "benchmarks" / "results"
+        trajectory.mkdir(parents=True, exist_ok=True)
+        with (trajectory / "bench_trajectory.jsonl").open("a") as handle:
+            for _, doc in documents:
+                handle.write(json.dumps(doc, sort_keys=False) + "\n")
+
+    # The command-line -m overrides the "not perf" exclusion baked
+    # into the project addopts.
+    return int(
+        pytest.main(["-m", "perf", "-q", str(repo_root / "benchmarks")])
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -179,14 +263,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "survey"],
-        help="which experiment to run ('survey' runs the decoder itself)",
+        choices=sorted(EXPERIMENTS) + ["all", "bench", "list", "survey"],
+        help=(
+            "which experiment to run ('survey' runs the decoder itself, "
+            "'bench' runs the perf benchmarks)"
+        ),
     )
     parser.add_argument(
         "--scale",
         default="bench",
         choices=["smoke", "bench", "paper"],
         help="input scale (default: bench = 600 images at 640 px)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="PATH",
+        help=(
+            "content-addressed artifact cache directory; reruns replay "
+            "feature tensors, detector weights, and predictions from disk"
+        ),
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="bench: overwrite BENCH_*.json recorded at a different commit",
     )
     survey_group = parser.add_argument_group("survey options")
     survey_group.add_argument(
@@ -206,11 +307,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     survey_group.add_argument(
         "--workers",
-        type=int,
+        type=_parse_workers,
         default=1,
         help=(
-            "parallel fetch+classify workers; 0 = one per CPU "
-            "(default: 1, strictly serial)"
+            "parallel workers for surveys and experiments; 'auto' (or 0 "
+            "for surveys) = one per usable CPU (default: 1, serial)"
         ),
     )
     survey_group.add_argument(
@@ -244,20 +345,54 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "survey":
         return _run_survey(args)
+    if args.experiment == "bench":
+        return _run_bench(args)
 
-    suite = ExperimentSuite(config=_config_for(args.scale))
-    names = (
-        sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    artifacts = None
+    if args.artifacts:
+        from .artifacts import ArtifactCache
+
+        artifacts = ArtifactCache(args.artifacts)
+    suite = ExperimentSuite(
+        config=_config_for(args.scale),
+        workers=args.workers,
+        artifacts=artifacts,
     )
-    for name in names:
-        description, runner = EXPERIMENTS[name]
-        print(f"\n=== {description} (scale={args.scale}) ===")
-        started = time.time()
-        outcome = runner(suite)
-        results = outcome if isinstance(outcome, list) else [outcome]
-        for result in results:
-            print(result.render())
-        print(f"[{time.time() - started:.1f}s]")
+
+    if args.experiment == "all":
+        # Paper experiments fan out concurrently over shared warmed
+        # inputs; the extensions run serially afterwards.
+        run = suite.run_all(workers=args.workers)
+        for name, results in run.results.items():
+            print(f"\n=== {EXPERIMENTS[name][0]} (scale={args.scale}) ===")
+            for result in results:
+                print(result.render())
+        for name in sorted(set(EXPERIMENTS) - set(PAPER_RUNNERS)):
+            description, runner = EXPERIMENTS[name]
+            print(f"\n=== {description} (scale={args.scale}) ===")
+            started = time.time()
+            outcome = runner(suite)
+            results = outcome if isinstance(outcome, list) else [outcome]
+            for result in results:
+                print(result.render())
+            print(f"[{time.time() - started:.1f}s]")
+        print(f"\n{run.render_summary()}")
+        return 0
+
+    description, runner = EXPERIMENTS[args.experiment]
+    print(f"\n=== {description} (scale={args.scale}) ===")
+    started = time.time()
+    outcome = runner(suite)
+    results = outcome if isinstance(outcome, list) else [outcome]
+    for result in results:
+        print(result.render())
+    print(f"[{time.time() - started:.1f}s]")
+    if artifacts is not None:
+        stats = suite.cache_stats()
+        print(
+            f"artifact cache: {stats['hits']} hits, "
+            f"{stats['misses']} misses"
+        )
     return 0
 
 

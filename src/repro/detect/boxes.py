@@ -103,21 +103,33 @@ def nms(
     if boxes.shape[0] == 0:
         return boxes, scores
 
+    # Work in score-sorted domain so "the next unsuppressed candidate"
+    # is always the first surviving row: the Python loop then runs
+    # once per *kept* box (typically a handful) instead of once per
+    # candidate (hundreds of grid cells), with the suppression mask
+    # updated as one vectorized comparison against the precomputed
+    # IoU matrix.
     order = np.argsort(-scores)
-    ious = iou_matrix(boxes, boxes)
-    suppressed = np.zeros(len(order), dtype=bool)
+    ious_sorted = iou_matrix(boxes, boxes)[np.ix_(order, order)]
+    alive = np.ones(len(order), dtype=bool)
     kept_boxes = []
     kept_scores = []
-    for index in order:
-        if suppressed[index]:
-            continue
-        cluster = ~suppressed & (ious[index] >= iou_threshold)
-        suppressed |= cluster
+    while True:
+        remaining = np.nonzero(alive)[0]
+        if remaining.size == 0:
+            break
+        best = remaining[0]
+        cluster = alive & (ious_sorted[best] >= iou_threshold)
+        alive &= ~cluster
         if merge:
-            weights = scores[cluster]
-            merged = np.average(boxes[cluster], axis=0, weights=weights)
+            # Ascending original index keeps the weighted-average
+            # summation order identical to the pre-vectorized loop.
+            members = np.sort(order[cluster])
+            merged = np.average(
+                boxes[members], axis=0, weights=scores[members]
+            )
             kept_boxes.append(merged)
         else:
-            kept_boxes.append(boxes[index])
-        kept_scores.append(scores[index])
+            kept_boxes.append(boxes[order[best]])
+        kept_scores.append(scores[order[best]])
     return np.asarray(kept_boxes), np.asarray(kept_scores)

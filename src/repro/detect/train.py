@@ -111,33 +111,131 @@ def assign_targets(
     return obj, box
 
 
+def _image_tensors(
+    image: LabeledImage, grid: int, use_occupancy: bool, config
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Features and targets for one image (the unit of caching)."""
+    features = extract_features(image.render(), config)
+    if use_occupancy:
+        annotations = annotations_with_occupancy(image)
+    else:
+        annotations = [(ind, box, [box]) for ind, box in image.annotations]
+    obj, box = assign_targets(annotations, grid)
+    return features, obj, box
+
+
+def _tensor_chunk(payload) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Process-pool worker: tensors for a chunk of images.
+
+    Module-level (and fed a single picklable payload) so the process
+    backend can ship it to children; per-image results are independent
+    of how images are chunked, which is what makes the fan-out
+    byte-identical to the serial path.
+    """
+    images, grid, use_occupancy, config = payload
+    return [
+        _image_tensors(image, grid, use_occupancy, config) for image in images
+    ]
+
+
+def image_tensor_key(
+    image: LabeledImage, grid: int, use_occupancy: bool, config
+) -> str:
+    """Artifact-cache key for one image's feature/target tensors."""
+    from ..artifacts import fingerprint, image_fingerprint
+
+    return fingerprint(
+        {
+            "artifact": "training-tensors",
+            "image": image_fingerprint(image),
+            "grid": grid,
+            "use_occupancy": use_occupancy,
+            "config": (config.grid, config.smooth, config.context),
+        }
+    )
+
+
+#: Images per process-pool task: large enough to amortize pickling a
+#: task envelope, small enough to keep all workers busy on small sets.
+TENSOR_CHUNK_SIZE = 8
+
+
 def build_training_tensors(
     images: list[LabeledImage],
     grid: int,
     use_occupancy: bool = True,
     feature_config=None,
+    workers: int | str = 1,
+    chunk_size: int = TENSOR_CHUNK_SIZE,
+    cache=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Extract features and targets for a list of labeled images.
 
     Returns ``(features (N, n_cells, D), obj (N, n_cells, C),
     box (N, n_cells, C, 4))``.  ``use_occupancy=False`` falls back to
     bbox-footprint target assignment (the design-ablation baseline).
+
+    ``workers > 1`` fans the per-image work (render + feature pyramid +
+    target assignment, the suite's dominant CPU cost) out to a process
+    pool in chunks of ``chunk_size``; results are byte-identical to
+    serial for any chunking because every image is computed
+    independently and reassembled in input order.  ``cache`` (an
+    :class:`~repro.artifacts.ArtifactCache`) persists per-image
+    tensors, so an augmentation sweep that reuses base images only
+    pays for the transformed copies.
     """
+    from ..parallel import ParallelExecutor
     from .features import FeatureConfig
 
     config = feature_config or FeatureConfig(grid=grid)
-    feats, objs, boxes = [], [], []
-    for image in images:
-        feats.append(extract_features(image.render(), config))
-        if use_occupancy:
-            annotations = annotations_with_occupancy(image)
-        else:
-            annotations = [
-                (ind, box, [box]) for ind, box in image.annotations
-            ]
-        obj, box = assign_targets(annotations, grid)
-        objs.append(obj)
-        boxes.append(box)
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive: {chunk_size}")
+
+    per_image: list[tuple[np.ndarray, np.ndarray, np.ndarray] | None]
+    per_image = [None] * len(images)
+    missing: list[int] = []
+    keys: list[str | None] = [None] * len(images)
+    if cache is not None:
+        for index, image in enumerate(images):
+            keys[index] = image_tensor_key(image, grid, use_occupancy, config)
+            stored = cache.get_arrays("tensors", keys[index])
+            if stored is not None:
+                per_image[index] = (
+                    stored["features"], stored["obj"], stored["box"]
+                )
+            else:
+                missing.append(index)
+    else:
+        missing = list(range(len(images)))
+
+    if missing:
+        chunks = [
+            missing[start : start + chunk_size]
+            for start in range(0, len(missing), chunk_size)
+        ]
+        executor = ParallelExecutor(workers=workers, cpu_bound=True)
+        payloads = [
+            ([images[index] for index in chunk], grid, use_occupancy, config)
+            for chunk in chunks
+        ]
+        for chunk, results in zip(
+            chunks, executor.map_results(_tensor_chunk, payloads)
+        ):
+            for index, tensors in zip(chunk, results):
+                per_image[index] = tensors
+                if cache is not None:
+                    features, obj, box = tensors
+                    cache.put_arrays(
+                        "tensors",
+                        keys[index],
+                        features=features,
+                        obj=obj,
+                        box=box,
+                    )
+
+    feats = [tensors[0] for tensors in per_image]
+    objs = [tensors[1] for tensors in per_image]
+    boxes = [tensors[2] for tensors in per_image]
     return np.stack(feats), np.stack(objs), np.stack(boxes)
 
 
@@ -178,17 +276,49 @@ def _positive_weights(obj: np.ndarray, cap: float) -> np.ndarray:
     return np.clip(weights, 1.0, cap)
 
 
+def _weights_key(
+    features: np.ndarray,
+    obj_targets: np.ndarray,
+    box_targets: np.ndarray,
+    model_config: ModelConfig,
+    train_config: TrainConfig,
+) -> str:
+    """Artifact-cache key for trained weights.
+
+    Keyed on *what the trainer saw* — the tensor bytes plus both
+    configs — so the precomputed-tensor path and the from-images path
+    address the same entry, and any change to data or hyperparameters
+    changes the key.
+    """
+    from ..artifacts import fingerprint, tensors_fingerprint
+
+    return fingerprint(
+        {
+            "artifact": "detector-weights",
+            "tensors": tensors_fingerprint(features, obj_targets, box_targets),
+            "model_config": repr(model_config),
+            "train_config": repr(train_config),
+        }
+    )
+
+
 def train_detector(
     images: list[LabeledImage],
     model_config: ModelConfig | None = None,
     train_config: TrainConfig | None = None,
     precomputed: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    workers: int | str = 1,
+    cache=None,
 ) -> TrainResult:
     """Train a NanoDetector on labeled images.
 
     ``precomputed`` lets callers reuse ``build_training_tensors``
     output across experiments (the augmentation sweep retrains many
-    times on overlapping data).
+    times on overlapping data).  ``workers`` parallelizes tensor
+    building across processes (the SGD loop itself stays serial — it
+    is a strict sequential dependence and already BLAS-vectorized).
+    ``cache`` persists both per-image tensors and the trained weights;
+    a rerun with identical inputs loads the fitted model from disk.
     """
     if model_config is None:
         model_config = ModelConfig()
@@ -204,7 +334,21 @@ def train_detector(
             images,
             model_config.grid,
             feature_config=model_config.feature_config,
+            workers=workers,
+            cache=cache,
         )
+
+    weights_key = None
+    if cache is not None:
+        weights_key = _weights_key(
+            features, obj_targets, box_targets, model_config, train_config
+        )
+        stored = cache.get_json("models", weights_key)
+        if stored is not None:
+            return TrainResult(
+                model=NanoDetector.from_dict(stored["model"]),
+                loss_history=list(stored["loss_history"]),
+            )
     n_images, n_cells, feature_dim = features.shape
 
     rng = np.random.default_rng(train_config.seed)
@@ -286,4 +430,10 @@ def train_detector(
         loss_history.append(epoch_loss / max(n_batches, 1))
         lr *= train_config.lr_decay
 
+    if cache is not None and weights_key is not None:
+        cache.put_json(
+            "models",
+            weights_key,
+            {"model": model.to_dict(), "loss_history": loss_history},
+        )
     return TrainResult(model=model, loss_history=loss_history)

@@ -14,7 +14,7 @@ from .prior_work import (
     prior_work_comparison,
 )
 from .results import ExperimentResult, ratio
-from .runner import PAPER_TABLE1, ExperimentSuite
+from .runner import PAPER_RUNNERS, PAPER_TABLE1, ExperimentSuite, SuiteRun
 
 __all__ = [
     "ExperimentConfig",
@@ -30,6 +30,8 @@ __all__ = [
     "prior_work_comparison",
     "ExperimentResult",
     "ratio",
+    "PAPER_RUNNERS",
     "PAPER_TABLE1",
     "ExperimentSuite",
+    "SuiteRun",
 ]

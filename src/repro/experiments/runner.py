@@ -22,6 +22,7 @@ Each returns an :class:`~repro.experiments.results.ExperimentResult`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -76,15 +77,25 @@ PAPER_TABLE1 = {
 
 @dataclass
 class ExperimentSuite:
-    """Caches shared inputs and runs every experiment."""
+    """Caches shared inputs and runs every experiment.
+
+    ``workers`` parallelizes the CPU-bound detector paths (tensor
+    building, evaluation) across processes and, via :meth:`run_all`,
+    runs independent experiments concurrently.  ``artifacts`` is an
+    optional :class:`~repro.artifacts.ArtifactCache`: feature tensors,
+    trained weights, and per-image detector predictions persist there,
+    making a rerun of the suite near-instant.
+    """
 
     config: ExperimentConfig = field(default_factory=paper_config)
+    workers: int | str = 1
+    artifacts: object | None = None
     _dataset: SurveyDataset | None = None
     _splits: DatasetSplits | None = None
     _clients: dict[str, SimulatedVLM] | None = None
     _detector_report: EvaluationReport | None = None
     _trained_model: object | None = None
-    _predictions: dict | None = None
+    _predictions: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # shared inputs
@@ -126,9 +137,17 @@ class ExperimentSuite:
                 self.splits.train,
                 model_config=self.config.detector_model,
                 train_config=self.config.detector_train,
+                workers=self.workers,
+                cache=self.artifacts,
             )
             self._trained_model = result.model
         return self._trained_model
+
+    def cache_stats(self) -> dict:
+        """Artifact-cache hit/miss counters (empty when caching is off)."""
+        if self.artifacts is None:
+            return {}
+        return self.artifacts.stats()
 
     @property
     def truths(self):
@@ -144,8 +163,6 @@ class ExperimentSuite:
     ):
         """Cached LLM predictions over the full dataset."""
         key = (model_id, style, language, temperature, top_p)
-        if self._predictions is None:
-            self._predictions = {}
         if key not in self._predictions:
             classifier = LLMIndicatorClassifier(
                 self.clients[model_id],
@@ -168,7 +185,10 @@ class ExperimentSuite:
         """Detector per-class metrics on the held-out test split."""
         if self._detector_report is None:
             self._detector_report = evaluate_detector(
-                self.trained_detector, self.splits.test
+                self.trained_detector,
+                self.splits.test,
+                workers=self.workers,
+                cache=self.artifacts,
             )
         report = self._detector_report
         result = ExperimentResult(
@@ -206,16 +226,34 @@ class ExperimentSuite:
     # Fig. 2
 
     def run_fig2(self) -> ExperimentResult:
-        """Augmentation ablation: baseline vs +rotations vs +crops."""
-        baseline = evaluate_detector(self.trained_detector, self.splits.test)
+        """Augmentation ablation: baseline vs +rotations vs +crops.
+
+        With an artifact cache attached, the sweep only pays for what
+        is new: the augmented training sets contain every base image,
+        whose feature tensors are already cached from the baseline
+        run, so only the rotated/cropped copies are extracted.
+        """
+        baseline = evaluate_detector(
+            self.trained_detector,
+            self.splits.test,
+            workers=self.workers,
+            cache=self.artifacts,
+        )
 
         rotated = augment_training_set(self.splits.train, add_crops=False)
         rotated_model = train_detector(
             rotated,
             model_config=self.config.detector_model,
             train_config=self.config.detector_train,
+            workers=self.workers,
+            cache=self.artifacts,
         ).model
-        rotated_report = evaluate_detector(rotated_model, self.splits.test)
+        rotated_report = evaluate_detector(
+            rotated_model,
+            self.splits.test,
+            workers=self.workers,
+            cache=self.artifacts,
+        )
 
         cropped = augment_training_set(
             self.splits.train, add_crops=True, seed=7
@@ -224,8 +262,15 @@ class ExperimentSuite:
             cropped,
             model_config=self.config.detector_model,
             train_config=self.config.detector_train,
+            workers=self.workers,
+            cache=self.artifacts,
         ).model
-        cropped_report = evaluate_detector(cropped_model, self.splits.test)
+        cropped_report = evaluate_detector(
+            cropped_model,
+            self.splits.test,
+            workers=self.workers,
+            cache=self.artifacts,
+        )
 
         result = ExperimentResult(
             experiment_id="Fig. 2",
@@ -523,6 +568,112 @@ class ExperimentSuite:
         if self._detector_report is None:
             self.run_table1()
         return prior_work_comparison(self._detector_report)
+
+    # ------------------------------------------------------------------
+    # the whole suite
+
+    def run_all(
+        self,
+        names: list[str] | None = None,
+        workers: int | str | None = None,
+    ) -> "SuiteRun":
+        """Run experiments (default: all of them), optionally concurrently.
+
+        Shared inputs — dataset, splits, calibrated clients, the
+        trained detector, and the default full-dataset predictions of
+        every model — are warmed *before* the fan-out, so concurrent
+        experiments read the caches instead of racing to build them.
+        The fan-out itself uses the thread backend: experiments share
+        those in-memory caches (which processes would have to
+        duplicate), and their heavy lifting is either BLAS (releases
+        the GIL) or already process-parallel internally via
+        ``self.workers``.
+        """
+        from ..parallel import ParallelExecutor
+
+        names = list(PAPER_RUNNERS) if names is None else list(names)
+        unknown = [name for name in names if name not in PAPER_RUNNERS]
+        if unknown:
+            raise ValueError(f"unknown experiments: {unknown}")
+        workers = self.workers if workers is None else workers
+
+        started = time.perf_counter()
+        _ = self.dataset, self.splits, self.trained_detector
+        if any(name in _LLM_EXPERIMENTS for name in names):
+            _ = self.clients
+            for model_id in ALL_MODEL_IDS:
+                self.model_predictions(model_id)
+
+        executor = ParallelExecutor(workers=workers, backend="auto")
+        outcomes = executor.run(lambda name: PAPER_RUNNERS[name](self), names)
+        results = {
+            name: outcome.result() for name, outcome in zip(names, outcomes)
+        }
+        return SuiteRun(
+            results=results,
+            elapsed_s=time.perf_counter() - started,
+            cache_stats=self.cache_stats(),
+        )
+
+
+@dataclass
+class SuiteRun:
+    """Every result of one suite invocation, plus how it was produced.
+
+    ``cache_stats`` carries the artifact cache's hit/miss counters so
+    suite consumers (the CLI, the perf benches) can report how much
+    work was replayed from disk instead of recomputed.
+    """
+
+    results: dict[str, list[ExperimentResult]]
+    elapsed_s: float
+    cache_stats: dict
+
+    def all_results(self) -> list[ExperimentResult]:
+        return [result for group in self.results.values() for result in group]
+
+    def render_summary(self) -> str:
+        lines = [
+            f"suite: {len(self.results)} experiments in {self.elapsed_s:.1f}s"
+        ]
+        if self.cache_stats:
+            lines.append(
+                "artifact cache: "
+                f"{self.cache_stats['hits']} hits, "
+                f"{self.cache_stats['misses']} misses"
+            )
+        return "\n".join(lines)
+
+
+def _as_results(outcome) -> list[ExperimentResult]:
+    if isinstance(outcome, dict):
+        return list(outcome.values())
+    if isinstance(outcome, list):
+        return outcome
+    return [outcome]
+
+
+#: Experiments that consume the simulated LLM clients; a ``run_all``
+#: over a detector-only subset skips calibrating and pre-warming them.
+_LLM_EXPERIMENTS = frozenset(
+    {"table2", "fig4", "fig5", "tables3to6", "fig6", "param"}
+)
+
+#: Experiment name → runner over a suite, returning a result list.
+#: The CLI builds its menu from this; :meth:`ExperimentSuite.run_all`
+#: fans out over it.
+PAPER_RUNNERS = {
+    "table1": lambda s: _as_results(s.run_table1()),
+    "fig2": lambda s: _as_results(s.run_fig2()),
+    "fig3": lambda s: _as_results(s.run_fig3()),
+    "table2": lambda s: _as_results(s.run_table2()),
+    "fig4": lambda s: _as_results(s.run_fig4()),
+    "fig5": lambda s: _as_results(s.run_fig5()),
+    "tables3to6": lambda s: _as_results(s.run_tables3to6()),
+    "fig6": lambda s: _as_results(s.run_fig6()),
+    "param": lambda s: _as_results(s.run_param()),
+    "prior": lambda s: _as_results(s.run_prior()),
+}
 
 
 def _table_number(model_id: str) -> str:

@@ -217,6 +217,31 @@ class SurveyDataset:
         return report
 
 
+def _render_one(payload) -> np.ndarray:
+    """Process-pool worker: rasterize one labeled image."""
+    image, size = payload
+    return image.render(size)
+
+
+def render_images(
+    images: list[LabeledImage],
+    size: int | None = None,
+    workers: int | str = 1,
+) -> list[np.ndarray]:
+    """Rasterize many labeled images, optionally across processes.
+
+    Rendering is the painter's algorithm over pure numpy — CPU-bound
+    work the GIL serializes — so ``workers > 1`` uses the process
+    backend.  Results come back in input order and are byte-identical
+    to calling ``image.render()`` serially (rendering is deterministic
+    per scene).
+    """
+    from ..parallel import ParallelExecutor
+
+    executor = ParallelExecutor(workers=workers, cpu_bound=True)
+    return executor.map_results(_render_one, [(image, size) for image in images])
+
+
 def rotated_image(image: LabeledImage, degrees: int) -> LabeledImage:
     """A lazily rotated copy of a labeled image (Fig. 2 augmentation)."""
     from ..scene.augment import rotate_box

@@ -1,25 +1,32 @@
-"""Parallel execution engine for the survey hot paths.
+"""Parallel execution engine for the survey and detector hot paths.
 
 One abstraction — :class:`~repro.parallel.executor.ParallelExecutor` —
 shared by :meth:`repro.core.pipeline.NeighborhoodDecoder.survey`
 (per-location fan-out), :class:`repro.llm.batch.BatchRunner`
-(per-request fan-out under a shared rate limiter), and
-:class:`repro.core.voting.VotingEnsemble` (per-member fan-out).  The
-resilience primitives it shares across workers (``TokenBucket``,
+(per-request fan-out under a shared rate limiter),
+:class:`repro.core.voting.VotingEnsemble` (per-member fan-out), and
+the CPU-bound detector pipeline (chunked feature extraction, batched
+inference, concurrent experiments) via the ``process`` backend.  The
+resilience primitives it shares across thread workers (``TokenBucket``,
 ``CircuitBreaker``, ``RetryStats``, usage meters) are thread-safe; see
-DESIGN.md §8 for the execution model and determinism guarantees.
+DESIGN.md §8 for the thread execution model and §9 for the process
+backend and its pickling constraints.
 """
 
 from .executor import (
     ParallelExecutor,
     TaskCancelledError,
+    TaskEnvelope,
     TaskOutcome,
+    effective_cpu_count,
     resolve_workers,
 )
 
 __all__ = [
     "ParallelExecutor",
     "TaskCancelledError",
+    "TaskEnvelope",
     "TaskOutcome",
+    "effective_cpu_count",
     "resolve_workers",
 ]

@@ -1,31 +1,48 @@
 """The one fan-out loop: ordered, bounded, cancellable task execution.
 
-The paper's workload is embarrassingly parallel — 1,056 locations ×
-4 headings × 4 LLMs × repeated-query voting (§IV-A, §IV-E) — but the
-hot paths (``NeighborhoodDecoder.survey``, ``BatchRunner.run``,
-``VotingEnsemble`` member queries) were written serially.
-:class:`ParallelExecutor` gives them all the same concurrency shape:
+The paper's workload splits into two regimes and each gets a backend:
 
-* **backends** — ``serial`` (run inline, the exact legacy semantics)
-  or ``thread`` (a ``concurrent.futures`` pool; the right choice here
-  because the workload is dominated by simulated network latency and
-  numpy releases the GIL in the render hot loops).  ``auto`` picks
-  ``serial`` for one worker.
+* the survey path (GSV fetch + LLM classify) is dominated by simulated
+  network latency, so **threads** overlap the waits;
+* the detector path (rendering, feature extraction, training, batched
+  inference) is pure-numpy CPU work the GIL serializes, so
+  **processes** are the only way to use more than one core.
+
+:class:`ParallelExecutor` gives every hot path the same concurrency
+shape regardless of backend:
+
+* **backends** — ``serial`` (run inline, the exact legacy semantics),
+  ``thread`` (a ``concurrent.futures`` thread pool), or ``process``
+  (a ``ProcessPoolExecutor``; tasks ship to children as picklable
+  :class:`TaskEnvelope` objects).  ``auto`` picks ``serial`` for one
+  worker, then ``process`` when the call site declares itself
+  ``cpu_bound`` and ``thread`` otherwise.
 * **ordered collection** — results stream back in *submission* order
-  regardless of completion order, which is what keeps parallel
-  surveys byte-identical to serial ones: downstream merging never
-  observes a reordering.
+  regardless of completion order, which is what keeps parallel runs
+  byte-identical to serial ones: downstream merging never observes a
+  reordering.
 * **bounded in-flight work** — at most ``max_in_flight`` tasks are
   submitted ahead of the consumer, so a million-location survey never
-  materializes a million futures.
+  materializes a million futures (and a process pool never queues a
+  gigabyte of pickled images).
 * **cooperative cancellation** — a ``should_cancel`` predicate
   (typically "is the circuit breaker open?") is consulted before each
   new submission; once it fires, unsubmitted work is marked cancelled
-  without ever running and already-running tasks are drained.
+  without ever running and already-running tasks are drained.  Both
+  pooled backends cancel queued futures and join their workers on
+  early consumer exit, so no child process outlives its generator.
 
 Workers never see raised exceptions swallowed: a task that raises is
 captured into its :class:`TaskOutcome` and re-raised by
-:meth:`TaskOutcome.result`, mirroring ``RetryOutcome``.
+:meth:`TaskOutcome.result`, mirroring ``RetryOutcome``.  The process
+backend additionally converts transport failures (unpicklable task,
+unpicklable result, a crashed child) into error outcomes instead of
+tearing down the whole iteration.
+
+Pickling constraints of the process backend (see DESIGN.md §9): the
+callable must be importable from the child (a module-level function,
+a ``functools.partial`` of one, or a picklable bound method) and both
+items and results must survive a round-trip through ``pickle``.
 """
 
 from __future__ import annotations
@@ -33,11 +50,18 @@ from __future__ import annotations
 import os
 from collections import deque
 from collections.abc import Callable, Iterable, Iterator, Sequence
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["ParallelExecutor", "TaskCancelledError", "TaskOutcome", "resolve_workers"]
+__all__ = [
+    "ParallelExecutor",
+    "TaskCancelledError",
+    "TaskEnvelope",
+    "TaskOutcome",
+    "effective_cpu_count",
+    "resolve_workers",
+]
 
 
 class TaskCancelledError(RuntimeError):
@@ -66,10 +90,57 @@ class TaskOutcome:
         return self.value
 
 
-def resolve_workers(workers: int | None) -> int:
-    """Normalize a worker count: ``None``/``0`` → ``os.cpu_count()``."""
-    if workers is None or workers <= 0:
-        return max(1, os.cpu_count() or 1)
+@dataclass(frozen=True)
+class TaskEnvelope:
+    """One unit of work shipped to a child process.
+
+    Bundling ``(fn, index, item)`` into a single picklable object keeps
+    the process backend's submission path symmetric with the thread
+    backend's and puts the pickling boundary in one place: if either
+    the callable or the item cannot cross it, the failure surfaces as
+    an error outcome for exactly that task.
+    """
+
+    fn: Callable[[Any], Any]
+    index: int
+    item: Any
+
+    def run(self) -> TaskOutcome:
+        return ParallelExecutor._execute(self.fn, self.index, self.item)
+
+
+def _run_envelope(envelope: TaskEnvelope) -> TaskOutcome:
+    """Module-level trampoline so the submitted callable always pickles."""
+    return envelope.run()
+
+
+def effective_cpu_count() -> int:
+    """CPUs actually usable by this process, not just present.
+
+    Containers and batch schedulers routinely pin a process to a
+    subset of the machine (cpuset/affinity); sizing worker pools by
+    ``os.cpu_count()`` then oversubscribes.  Prefers
+    ``os.process_cpu_count()`` (Python 3.13+), falls back to the
+    scheduling affinity mask, then to ``os.cpu_count()``.
+    """
+    counter = getattr(os, "process_cpu_count", None)
+    count = counter() if counter is not None else None
+    if count is None:
+        try:
+            count = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):  # pragma: no cover - non-Linux
+            count = os.cpu_count()
+    return max(1, count or 1)
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalize a worker count: ``None``/``0``/``"auto"`` → usable CPUs."""
+    if workers is None or workers == "auto":
+        return effective_cpu_count()
+    if isinstance(workers, str):
+        raise ValueError(f"workers must be an int or 'auto': {workers!r}")
+    if workers <= 0:
+        return effective_cpu_count()
     return workers
 
 
@@ -79,27 +150,38 @@ class ParallelExecutor:
     Parameters
     ----------
     workers:
-        Worker-thread count; ``None`` or ``0`` resolves to
-        ``os.cpu_count()`` (production default), ``1`` runs serially.
+        Worker count; ``None``, ``0``, or ``"auto"`` resolves to
+        :func:`effective_cpu_count` (production default), ``1`` runs
+        serially.
     backend:
-        ``"serial"``, ``"thread"``, or ``"auto"`` (serial when the
-        resolved worker count is 1).
+        ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"``
+        (serial when the resolved worker count is 1, otherwise
+        process when ``cpu_bound`` and thread when not).
     max_in_flight:
         Maximum tasks submitted but not yet consumed; defaults to
         ``2 × workers``.  Bounds memory on huge surveys.
+    cpu_bound:
+        Call-site hint consumed by ``backend="auto"``: CPU-bound work
+        (rendering, feature extraction, detector inference) needs
+        processes to scale past the GIL, latency-bound work is better
+        off with threads.
     """
 
     def __init__(
         self,
-        workers: int | None = 1,
+        workers: int | str | None = 1,
         backend: str = "auto",
         max_in_flight: int | None = None,
+        cpu_bound: bool = False,
     ) -> None:
-        if backend not in ("serial", "thread", "auto"):
+        if backend not in ("serial", "thread", "process", "auto"):
             raise ValueError(f"unknown backend: {backend!r}")
         self.workers = resolve_workers(workers)
         if backend == "auto":
-            backend = "serial" if self.workers == 1 else "thread"
+            if self.workers == 1:
+                backend = "serial"
+            else:
+                backend = "process" if cpu_bound else "thread"
         self.backend = backend
         if max_in_flight is not None and max_in_flight < 1:
             raise ValueError("max_in_flight must be positive")
@@ -123,14 +205,20 @@ class ParallelExecutor:
         """Yield one :class:`TaskOutcome` per item, in submission order.
 
         The serial backend runs each task inline as the consumer
-        advances (identical to the pre-parallel code path); the thread
-        backend keeps up to ``max_in_flight`` tasks running ahead of
+        advances (identical to the pre-parallel code path); the pooled
+        backends keep up to ``max_in_flight`` tasks running ahead of
         the consumer.
         """
         if self.backend == "serial":
             yield from self._imap_serial(fn, items, should_cancel)
+        elif self.backend == "thread":
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                yield from self._imap_pooled(pool, fn, items, should_cancel)
         else:
-            yield from self._imap_threaded(fn, items, should_cancel)
+            # Context-manager exit joins the children, so a consumer
+            # that stops early never leaks worker processes.
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                yield from self._imap_pooled(pool, fn, items, should_cancel)
 
     def run(
         self,
@@ -141,6 +229,14 @@ class ParallelExecutor:
     ) -> list[TaskOutcome]:
         """Eager :meth:`imap`: collect every outcome into a list."""
         return list(self.imap(fn, items, should_cancel=should_cancel))
+
+    def map_results(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+    ) -> list[Any]:
+        """Run all tasks and unwrap their values, re-raising the first error."""
+        return [outcome.result() for outcome in self.imap(fn, items)]
 
     # ------------------------------------------------------------------
 
@@ -156,8 +252,16 @@ class ParallelExecutor:
                 continue
             yield ParallelExecutor._execute(fn, index, item)
 
-    def _imap_threaded(
+    def _submit(
+        self, pool: ThreadPoolExecutor | ProcessPoolExecutor, fn, index, item
+    ) -> Future:
+        if self.backend == "process":
+            return pool.submit(_run_envelope, TaskEnvelope(fn, index, item))
+        return pool.submit(self._execute, fn, index, item)
+
+    def _imap_pooled(
         self,
+        pool: ThreadPoolExecutor | ProcessPoolExecutor,
         fn: Callable[[Any], Any],
         items: Iterable[Any],
         should_cancel: Callable[[], bool] | None,
@@ -166,36 +270,39 @@ class ParallelExecutor:
         iterator = enumerate(items)
         exhausted = False
         cancelling = False
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            try:
-                while True:
-                    while not exhausted and len(pending) < self.max_in_flight:
-                        if not cancelling and should_cancel is not None:
-                            cancelling = should_cancel()
-                        try:
-                            index, item = next(iterator)
-                        except StopIteration:
-                            exhausted = True
-                            break
-                        if cancelling:
-                            pending.append((index, None))
-                        else:
-                            pending.append(
-                                (index, pool.submit(self._execute, fn, index, item))
-                            )
-                    if not pending:
+        try:
+            while True:
+                while not exhausted and len(pending) < self.max_in_flight:
+                    if not cancelling and should_cancel is not None:
+                        cancelling = should_cancel()
+                    try:
+                        index, item = next(iterator)
+                    except StopIteration:
+                        exhausted = True
                         break
-                    index, future = pending.popleft()
-                    if future is None:
-                        yield TaskOutcome(index=index, cancelled=True)
+                    if cancelling:
+                        pending.append((index, None))
                     else:
+                        pending.append((index, self._submit(pool, fn, index, item)))
+                if not pending:
+                    break
+                index, future = pending.popleft()
+                if future is None:
+                    yield TaskOutcome(index=index, cancelled=True)
+                else:
+                    try:
                         yield future.result()
-            finally:
-                # A consumer that stops early (or a generator close)
-                # must not leave queued tasks running.
-                for _, future in pending:
-                    if future is not None:
-                        future.cancel()
+                    except Exception as err:  # noqa: BLE001 - transport failure
+                        # The process backend surfaces pickling errors
+                        # and crashed children here; report them as the
+                        # task's outcome instead of aborting the sweep.
+                        yield TaskOutcome(index=index, error=err)
+        finally:
+            # A consumer that stops early (or a generator close)
+            # must not leave queued tasks running.
+            for _, future in pending:
+                if future is not None:
+                    future.cancel()
 
     @staticmethod
     def _execute(fn: Callable[[Any], Any], index: int, item: Any) -> TaskOutcome:

@@ -28,6 +28,7 @@ from pathlib import Path
 import numpy as np
 
 from .llm.base import ChatClient, ChatRequest, ChatResponse
+from .parallel import effective_cpu_count
 from .resilience.clock import Clock, WallClock
 
 __all__ = [
@@ -87,11 +88,19 @@ class LatencyChatClient(ChatClient):
 
 
 def machine_info() -> dict:
-    """Where a benchmark ran — enough to judge cross-run comparability."""
+    """Where a benchmark ran — enough to judge cross-run comparability.
+
+    ``cpu_count`` is the *usable* count — affinity/cgroup aware via
+    :func:`repro.parallel.effective_cpu_count` — because that is what
+    bounds any measured speedup.  The raw logical count is kept
+    alongside for context (containers routinely report many logical
+    CPUs while pinning the process to a fraction of them).
+    """
     return {
         "platform": platform.platform(),
         "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": effective_cpu_count(),
+        "cpu_count_logical": os.cpu_count(),
         "numpy": np.__version__,
     }
 

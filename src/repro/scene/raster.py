@@ -200,9 +200,10 @@ def vertical_gradient(
     top = np.asarray(top_color, dtype=image.dtype)
     bottom = np.asarray(bottom_color, dtype=image.dtype)
     span = max(1, iy1 - iy0 - 1)
-    for row in range(iy0, iy1):
-        t = (row - iy0) / span
-        image[row, :, :] = (1.0 - t) * top + t * bottom
+    # Broadcast blend over all rows at once: t runs 0 → 1 down the
+    # band, matching the per-row loop's (row - iy0) / span exactly.
+    t = (np.arange(iy1 - iy0, dtype=np.float64) / span)[:, None, None]
+    image[iy0:iy1, :, :] = (1.0 - t) * top + t * bottom
 
 
 def speckle(

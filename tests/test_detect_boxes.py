@@ -123,3 +123,55 @@ class TestNMS:
         scores = np.linspace(0.5, 1.0, len(boxes))
         _, kept_scores = nms(boxes, scores)
         assert np.all(np.diff(kept_scores) <= 0)
+
+
+def _nms_reference(boxes, scores, iou_threshold, merge):
+    """Pre-vectorization NMS: one Python-loop pass per candidate."""
+    order = np.argsort(-scores)
+    ious = iou_matrix(boxes, boxes)
+    suppressed = np.zeros(len(boxes), dtype=bool)
+    kept_boxes = []
+    kept_scores = []
+    for index in order:
+        if suppressed[index]:
+            continue
+        cluster = ~suppressed & (ious[index] >= iou_threshold)
+        suppressed |= cluster
+        if merge:
+            members = np.nonzero(cluster)[0]
+            merged = np.average(boxes[members], axis=0, weights=scores[members])
+            kept_boxes.append(merged)
+        else:
+            kept_boxes.append(boxes[index])
+        kept_scores.append(scores[index])
+    return np.asarray(kept_boxes), np.asarray(kept_scores)
+
+
+class TestNMSMatchesLoop:
+    """The vectorized suppression must be indistinguishable from the loop."""
+
+    @given(
+        boxes=box_arrays(max_boxes=12),
+        threshold=st.sampled_from([0.2, 0.5, 0.8]),
+        merge=st.booleans(),
+    )
+    @settings(max_examples=120)
+    def test_random_boxes_match(self, boxes, threshold, merge):
+        scores = np.linspace(1.0, 0.4, len(boxes))
+        got_boxes, got_scores = nms(
+            boxes, scores, iou_threshold=threshold, merge=merge
+        )
+        ref_boxes, ref_scores = _nms_reference(boxes, scores, threshold, merge)
+        assert np.array_equal(got_scores, ref_scores)
+        assert np.array_equal(got_boxes, ref_boxes)
+
+    @given(boxes=box_arrays(max_boxes=12))
+    @settings(max_examples=60)
+    def test_tied_scores_match(self, boxes):
+        # Ties exercise argsort stability — both paths must break them
+        # the same way.
+        scores = np.full(len(boxes), 0.7)
+        got_boxes, got_scores = nms(boxes, scores, iou_threshold=0.4)
+        ref_boxes, ref_scores = _nms_reference(boxes, scores, 0.4, False)
+        assert np.array_equal(got_scores, ref_scores)
+        assert np.array_equal(got_boxes, ref_boxes)

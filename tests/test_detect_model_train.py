@@ -169,6 +169,83 @@ class TestTraining:
         assert np.array_equal(a.model.w1, b.model.w1)
 
 
+class TestBatchedInference:
+    @pytest.fixture(scope="class")
+    def model_and_frames(self, small_dataset):
+        splits = small_dataset.split(seed=0)
+        result = train_detector(
+            splits.train[:32],
+            model_config=ModelConfig(hidden=32),
+            train_config=TrainConfig(epochs=3, seed=1),
+        )
+        frames = [image.render() for image in splits.test[:8]]
+        return result.model, frames
+
+    def test_predict_cells_batch_matches_per_image(self, model_and_frames):
+        model, frames = model_and_frames
+        batch_scores, batch_boxes = model.predict_cells_batch(frames)
+        assert batch_scores.shape[0] == len(frames)
+        for index, frame in enumerate(frames):
+            scores, boxes = model.predict_cells(frame)
+            assert np.array_equal(batch_scores[index], scores)
+            assert np.array_equal(batch_boxes[index], boxes)
+
+    def test_detect_batch_matches_per_image(self, model_and_frames):
+        model, frames = model_and_frames
+        batched = model.detect_batch(frames, conf_threshold=0.3)
+        assert len(batched) == len(frames)
+        for frame, detections in zip(frames, batched):
+            expected = model.detect(frame, conf_threshold=0.3)
+            assert len(detections) == len(expected)
+            for got, want in zip(detections, expected):
+                assert got.indicator == want.indicator
+                assert got.score == want.score
+                assert np.array_equal(got.box, want.box)
+
+    def test_empty_batch_has_batched_shape(self, model_and_frames):
+        model, _ = model_and_frames
+        scores, boxes = model.predict_cells_batch([])
+        assert scores.shape[0] == 0 and boxes.shape[0] == 0
+        assert model.detect_batch([]) == []
+
+
+class TestChunkingInvariance:
+    """Training tensors must not depend on how extraction was split up."""
+
+    def test_tensors_identical_across_chunk_sizes(self, small_dataset):
+        images = small_dataset.split(seed=0).train[:10]
+        reference = build_training_tensors(images, 16, chunk_size=len(images))
+        for chunk_size in (1, 3, 4):
+            chunked = build_training_tensors(images, 16, chunk_size=chunk_size)
+            for got, want in zip(chunked, reference):
+                assert np.array_equal(got, want)
+
+    def test_tensors_identical_with_process_workers(self, small_dataset):
+        images = small_dataset.split(seed=0).train[:8]
+        serial = build_training_tensors(images, 16, workers=1)
+        parallel = build_training_tensors(images, 16, workers=2, chunk_size=2)
+        for got, want in zip(parallel, serial):
+            assert np.array_equal(got, want)
+
+    def test_training_invariant_to_chunking(self, small_dataset):
+        images = small_dataset.split(seed=0).train[:16]
+        config = TrainConfig(epochs=2, seed=3)
+        fine = train_detector(
+            images,
+            train_config=config,
+            precomputed=build_training_tensors(images, 16, chunk_size=2),
+        )
+        coarse = train_detector(
+            images,
+            train_config=config,
+            precomputed=build_training_tensors(images, 16, chunk_size=16),
+        )
+        assert np.array_equal(fine.model.w1, coarse.model.w1)
+        assert np.array_equal(fine.model.w2, coarse.model.w2)
+        assert np.array_equal(fine.model.b1, coarse.model.b1)
+        assert np.array_equal(fine.model.b2, coarse.model.b2)
+
+
 class TestPersistence:
     def test_save_load_round_trip(self, small_dataset, tmp_path):
         splits = small_dataset.split(seed=0)

@@ -88,6 +88,29 @@ class TestRasterPrimitives:
         assert column[0] == 0.0
         assert column[-1] == 1.0
 
+    @pytest.mark.parametrize("y0,y1", [(0, 64), (10, 50), (-5, 70), (20, 21)])
+    def test_vertical_gradient_matches_loop(self, canvas, y0, y1):
+        """The broadcast blend reproduces the per-row loop bit-for-bit."""
+        top, bottom = (0.2, 0.4, 0.9), (0.1, 0.8, 0.3)
+        vertical_gradient(canvas, y0, y1, top, bottom)
+
+        expected = np.zeros_like(canvas)
+        height = expected.shape[0]
+        iy0 = max(0, int(y0))
+        iy1 = min(height, int(y1))
+        span = max(1, iy1 - iy0 - 1)
+        top_arr = np.asarray(top, dtype=expected.dtype)
+        bottom_arr = np.asarray(bottom, dtype=expected.dtype)
+        for row in range(iy0, iy1):
+            t = (row - iy0) / span
+            expected[row, :, :] = (1.0 - t) * top_arr + t * bottom_arr
+
+        assert np.array_equal(canvas, expected)
+
+    def test_vertical_gradient_empty_band_noop(self, canvas):
+        vertical_gradient(canvas, 40, 40, (1.0, 1.0, 1.0), (0.0, 0.0, 0.0))
+        assert canvas.sum() == 0.0
+
     def test_speckle_bounded(self, canvas):
         canvas[:] = 0.5
         speckle(canvas, 0, 0, 64, 64, 0.1, np.random.default_rng(0))
