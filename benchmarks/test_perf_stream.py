@@ -1,0 +1,336 @@
+"""Perf benchmark: shared-memory transport + streaming survey engine.
+
+Measures the three optimizations ``BENCH_stream.json`` tracks (one
+document per commit, at the repo root):
+
+* **shm transport** — echoing 640×640 float image batches through a
+  two-worker process pool with ``multiprocessing.shared_memory``
+  transport vs plain pickle.  On a single-core host a process pool
+  cannot demonstrate the win, so the document records ``core_capped``
+  (the same honesty flag as ``BENCH_detect.json``) and byte-identity
+  becomes the acceptance criterion.
+* **streaming survey** — traced-peak memory of a 5,000-location
+  synthetic survey through :meth:`NeighborhoodDecoder.survey_stream`:
+  the aggregate (streaming) path must complete under a memory ceiling
+  that the materializing (batch-retention) path over the *same* 5,000
+  locations exceeds.  Point selection is excluded from the traced
+  region — its road-network build is a one-time transient both paths
+  share — so the peaks isolate the survey engine itself.
+* **coalescing** — duplicate-request batches through
+  :class:`~repro.llm.batch.BatchRunner` with ``coalesce=True``: the
+  upstream call count, the hit rate, and outcome-identity with the
+  uncoalesced run.
+
+Everything perf-shaped here must be *byte-identical* to the slow
+path — asserted, not assumed.  This is the slowest benchmark in the
+suite (the two traced 5,000-location surveys dominate; tracemalloc
+roughly quintuples allocation-heavy survey time).
+
+Excluded from tier-1 (``perf`` marker); run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_stream.py -m perf -q
+
+or ``python -m repro bench``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import itertools
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import LLMIndicatorClassifier, NeighborhoodDecoder
+from repro.geo import make_durham_like
+from repro.gsv import StreetViewClient, build_survey_dataset
+from repro.llm import build_clients
+from repro.llm.base import ChatMessage, ChatRequest
+from repro.llm.batch import BatchRunner
+from repro.llm import ImageAttachment
+from repro.parallel import (
+    ParallelExecutor,
+    SharedArrayArena,
+    effective_cpu_count,
+    shared_memory_support,
+)
+from repro.perf import Stopwatch, write_bench
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_stream.json"
+
+#: Transport payloads: the detector's eval-resolution image shape.
+IMAGE_SHAPE = (640, 640, 3)
+N_TRANSPORT_IMAGES = 12
+TRANSPORT_WORKERS = 2
+
+#: Streaming survey scale (the county-scale claim).
+STREAM_LOCATIONS = 5_000
+SHARD_SIZE = 64
+THROUGHPUT_LOCATIONS = 1_000
+
+#: Coalescing batch: every unique request duplicated this many times.
+COALESCE_UNIQUE = 12
+COALESCE_COPIES = 5
+
+
+def _normalize(image: np.ndarray) -> np.ndarray:
+    """Module-level pool task: large array in, large array out."""
+    return image * np.float64(1.0 / 255.0)
+
+
+def _echo_through_pool(images: list[np.ndarray], shm: bool) -> list[np.ndarray]:
+    executor = ParallelExecutor(
+        workers=TRANSPORT_WORKERS, backend="process", shm=shm
+    )
+    return executor.map_results(_normalize, images)
+
+
+def _point_stream(base_points, n):
+    """``n`` *distinct* synthetic sample points, generated lazily.
+
+    Cycles a small base pool while jittering each point's coordinates,
+    so the stream behaves like a real county→state sweep: every yielded
+    location is a fresh object that becomes garbage once its shard
+    completes, and nothing upstream materializes.
+    """
+    for index, base in enumerate(itertools.islice(itertools.cycle(base_points), n)):
+        jitter = (index // len(base_points)) * 1e-5
+        yield dataclasses.replace(
+            base,
+            location=dataclasses.replace(
+                base.location,
+                lat=base.location.lat + jitter,
+                lon=base.location.lon + jitter,
+            ),
+        )
+
+
+def _traced_survey_peak(decoder, base_points, n, keep_locations):
+    """Traced-peak bytes of one survey-engine run (selection excluded)."""
+    stream = _point_stream(base_points, n)
+    gc.collect()
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    with Stopwatch() as sw:
+        report = decoder.survey_stream(
+            locations=stream,
+            shard_size=SHARD_SIZE,
+            keep_locations=keep_locations,
+        )
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert report.completed_locations == n
+    return peak, sw.elapsed_s, report
+
+
+def test_stream_perf_trajectory():
+    cores = effective_cpu_count()
+    core_capped = cores < 2
+    shm_available = shared_memory_support()[0] is not None
+
+    # -- shm vs pickle transport -------------------------------------------
+    rng = np.random.default_rng(33)
+    images = [
+        rng.uniform(0.0, 255.0, size=IMAGE_SHAPE)
+        for _ in range(N_TRANSPORT_IMAGES)
+    ]
+    payload_mb = images[0].nbytes * len(images) / 1e6
+
+    with Stopwatch() as pickle_sw:
+        via_pickle = _echo_through_pool(images, shm=False)
+    with Stopwatch() as shm_sw:
+        via_shm = _echo_through_pool(images, shm=True)
+    shm_speedup = pickle_sw.elapsed_s / shm_sw.elapsed_s
+
+    transport_deterministic = all(
+        np.array_equal(a, b) for a, b in zip(via_pickle, via_shm)
+    )
+    assert transport_deterministic
+
+    # Arena accounting for the same payload set, measured directly.
+    arena_stats = None
+    if shm_available:
+        with SharedArrayArena() as arena:
+            packed, handles = arena.pack(images)
+            live_at_peak = arena.live_blocks
+            for handle in handles:
+                arena.release(handle)
+            assert arena.live_blocks == 0  # every block released
+            arena_stats = {**arena.stats.as_dict(), "live_at_peak": live_at_peak}
+
+    # -- streaming survey: memory + throughput -----------------------------
+    calibration = build_survey_dataset(n_images=60, size=256, seed=77)
+    clients = build_clients([image.scene for image in calibration])
+    county = make_durham_like(seed=3)
+    street_view = StreetViewClient(counties=[county], api_key="bench")
+    decoder = NeighborhoodDecoder(
+        street_view=street_view,
+        classifier=LLMIndicatorClassifier(clients["gemini-1.5-pro"]),
+    )
+    decoder.survey(county, 4, seed=9)  # warm every code path first
+    base_points = NeighborhoodDecoder._select_points(county, 100, seed=0)
+
+    # Throughput, untraced (tracemalloc would distort it).
+    with Stopwatch() as throughput_sw:
+        throughput_report = decoder.survey_stream(
+            locations=_point_stream(base_points, THROUGHPUT_LOCATIONS),
+            shard_size=SHARD_SIZE,
+        )
+    assert throughput_report.completed_locations == THROUGHPUT_LOCATIONS
+    stream_locations_per_s = THROUGHPUT_LOCATIONS / throughput_sw.elapsed_s
+
+    # Memory: the same 5,000 locations, streamed vs materialized.
+    stream_peak, stream_s, _ = _traced_survey_peak(
+        decoder, base_points, STREAM_LOCATIONS, keep_locations=False
+    )
+    batch_peak, batch_s, _ = _traced_survey_peak(
+        decoder, base_points, STREAM_LOCATIONS, keep_locations=True
+    )
+    memory_ceiling = 2 * stream_peak
+    bounded = stream_peak < memory_ceiling < batch_peak
+
+    # Determinism: streamed aggregation reproduces the batch survey
+    # byte-for-byte (county mode, same seed, JSON-level identity).
+    batch_report = decoder.survey(county, 64, seed=5)
+    stream_report = decoder.survey_stream(
+        county, 64, seed=5, shard_size=16, keep_locations=True
+    )
+    byte_identical_report = stream_report.to_json() == batch_report.to_json()
+    assert byte_identical_report
+    aggregate_report = decoder.survey_stream(county, 64, seed=5, shard_size=16)
+    identical_rates = (
+        aggregate_report.indicator_rates() == batch_report.indicator_rates()
+        and aggregate_report.rates_by_zone() == batch_report.rates_by_zone()
+    )
+    assert identical_rates
+
+    # -- request coalescing -------------------------------------------------
+    scenes = [image.scene for image in calibration[:COALESCE_UNIQUE]]
+    requests = [
+        ChatRequest(
+            model="gpt-4o-mini",
+            messages=(
+                ChatMessage(
+                    role="user",
+                    text="Is there a sidewalk visible in the image?",
+                    images=(ImageAttachment(scene=scene),),
+                ),
+            ),
+        )
+        for scene in scenes
+        for _ in range(COALESCE_COPIES)
+    ]
+    client = clients["gpt-4o-mini"]
+
+    before = client.stats.requests
+    with Stopwatch() as plain_sw:
+        plain_outcomes, plain_stats = BatchRunner(client).run(requests)
+    plain_calls = client.stats.requests - before
+
+    before = client.stats.requests
+    with Stopwatch() as coalesced_sw:
+        merged_outcomes, merged_stats = BatchRunner(client, coalesce=True).run(
+            requests
+        )
+    coalesced_calls = client.stats.requests - before
+    hit_rate = merged_stats.coalesced / len(requests)
+
+    identical_outcomes = all(
+        a.index == b.index and a.response.content == b.response.content
+        for a, b in zip(plain_outcomes, merged_outcomes)
+    )
+    assert identical_outcomes
+
+    document = write_bench(
+        BENCH_PATH,
+        "stream",
+        {
+            "config": {
+                "image_shape": list(IMAGE_SHAPE),
+                "n_transport_images": N_TRANSPORT_IMAGES,
+                "transport_workers": TRANSPORT_WORKERS,
+                "stream_locations": STREAM_LOCATIONS,
+                "shard_size": SHARD_SIZE,
+                "coalesce_requests": len(requests),
+                "coalesce_unique": COALESCE_UNIQUE,
+            },
+            "transport": {
+                "payload_mb": round(payload_mb, 2),
+                "pickle_s": round(pickle_sw.elapsed_s, 4),
+                "shm_s": round(shm_sw.elapsed_s, 4),
+                "shm_speedup": round(shm_speedup, 3),
+                "shm_available": shm_available,
+                "effective_cpu_count": cores,
+                "core_capped": core_capped,
+                "deterministic": transport_deterministic,
+                "arena_stats": arena_stats,
+                "note": (
+                    f"host exposes {cores} usable core(s); both transports "
+                    "pay full process-pool serialization stalls, so the "
+                    "speedup bar is waived and byte-identity is the "
+                    "acceptance criterion"
+                )
+                if core_capped
+                else f"{cores} usable cores",
+            },
+            "streaming": {
+                "stream_locations_per_s": round(stream_locations_per_s, 2),
+                "throughput_s": round(throughput_sw.elapsed_s, 2),
+                "traced_stream_peak_bytes": stream_peak,
+                "traced_batch_peak_bytes": batch_peak,
+                "memory_ceiling_bytes": memory_ceiling,
+                "bounded": bounded,
+                "retained_bytes_per_location": round(
+                    (batch_peak - stream_peak) / STREAM_LOCATIONS, 1
+                ),
+                "traced_stream_s": round(stream_s, 2),
+                "traced_batch_s": round(batch_s, 2),
+                "byte_identical_report": byte_identical_report,
+                "identical_rates": identical_rates,
+                "note": (
+                    "peaks exclude point selection (a shared one-time "
+                    "road-network transient) and carry tracemalloc "
+                    "overhead; throughput is measured untraced"
+                ),
+            },
+            "coalescing": {
+                "requests": len(requests),
+                "uncoalesced_upstream_calls": plain_calls,
+                "coalesced_upstream_calls": coalesced_calls,
+                "coalesced": merged_stats.coalesced,
+                "hit_rate": round(hit_rate, 4),
+                "uncoalesced_s": round(plain_sw.elapsed_s, 4),
+                "coalesced_s": round(coalesced_sw.elapsed_s, 4),
+                "identical_outcomes": identical_outcomes,
+            },
+        },
+        repo_root=REPO_ROOT,
+    )
+
+    assert BENCH_PATH.exists()
+    # Transport must win where the host can physically show it; a
+    # single-core host records the honesty flag instead.
+    assert core_capped or shm_speedup >= 1.2, (
+        f"shm transport only {shm_speedup:.2f}× vs pickle on {cores} cores"
+    )
+    # The county-scale claim: 5,000 locations stream under a ceiling
+    # the materializing run over the same locations exceeds.
+    assert stream_peak < memory_ceiling, (
+        f"stream peak {stream_peak} breached its own ceiling"
+    )
+    assert batch_peak > memory_ceiling, (
+        f"batch peak {batch_peak} stayed under the ceiling "
+        f"{memory_ceiling} — streaming saved no memory"
+    )
+    assert plain_calls == len(requests)
+    assert coalesced_calls == COALESCE_UNIQUE
+    assert hit_rate == pytest.approx(
+        (COALESCE_COPIES - 1) / COALESCE_COPIES
+    )
+    assert document["streaming"]["bounded"]

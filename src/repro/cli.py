@@ -154,19 +154,32 @@ def _run_survey(args: argparse.Namespace) -> int:
                                    recovery_time_s=1.0),
     )
     workers = 0 if args.workers == "auto" else args.workers
-    report = decoder.survey(
-        county,
-        args.locations,
-        seed=args.seed,
-        checkpoint=args.checkpoint,
-        workers=workers,
-    )
+    if args.stream:
+        report = decoder.survey_stream(
+            county,
+            args.locations,
+            seed=args.seed,
+            checkpoint=args.checkpoint,
+            workers=workers,
+            shard_size=args.shard_size,
+        )
+    else:
+        report = decoder.survey(
+            county,
+            args.locations,
+            seed=args.seed,
+            checkpoint=args.checkpoint,
+            workers=workers,
+        )
 
     print(f"\n=== survey of {county.name} ===")
     print(f"workers        {args.workers if args.workers else 'auto'}")
+    if args.stream:
+        print(f"mode           stream (shard size {args.shard_size})")
     print(
         f"coverage       {report.coverage:.1%} "
-        f"({len(report.locations)}/{report.requested_locations} locations)"
+        f"({report.completed_locations}/{report.requested_locations} "
+        "locations)"
     )
     print(f"images         {report.images_classified}")
     print(f"fees           ${report.fees_usd:.3f}")
@@ -209,6 +222,11 @@ def _run_bench(args: argparse.Namespace) -> int:
     incomparable one.  Before any overwrite the current documents are
     appended to ``benchmarks/results/bench_trajectory.jsonl``, so the
     per-commit perf trajectory survives the refresh.
+
+    With ``--compare``, each fresh document is diffed against the last
+    trajectory entry of the same benchmark: a >20% relative drop in
+    any headline metric (see :data:`repro.perf.HEADLINE_METRICS`)
+    exits non-zero, so CI can gate merges on perf.
     """
     import pytest
 
@@ -239,18 +257,72 @@ def _run_bench(args: argparse.Namespace) -> int:
         )
         return 1
 
+    trajectory_path = (
+        repo_root / "benchmarks" / "results" / "bench_trajectory.jsonl"
+    )
     if documents:
-        trajectory = repo_root / "benchmarks" / "results"
-        trajectory.mkdir(parents=True, exist_ok=True)
-        with (trajectory / "bench_trajectory.jsonl").open("a") as handle:
+        trajectory_path.parent.mkdir(parents=True, exist_ok=True)
+        with trajectory_path.open("a") as handle:
             for _, doc in documents:
                 handle.write(json.dumps(doc, sort_keys=False) + "\n")
 
     # The command-line -m overrides the "not perf" exclusion baked
     # into the project addopts.
-    return int(
+    status = int(
         pytest.main(["-m", "perf", "-q", str(repo_root / "benchmarks")])
     )
+    if status != 0 or not args.compare:
+        return status
+    return _compare_against_trajectory(repo_root, trajectory_path)
+
+
+def _compare_against_trajectory(
+    repo_root: Path, trajectory_path: Path
+) -> int:
+    """Diff fresh ``BENCH_*.json`` against the last trajectory entries."""
+    from .perf import compare_benchmarks
+
+    baselines: dict[str, dict] = {}
+    if trajectory_path.exists():
+        for line in trajectory_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(doc, dict) and "bench" in doc:
+                baselines[doc["bench"]] = doc  # last entry per bench wins
+
+    regressed = False
+    for path in sorted(repo_root.glob("BENCH_*.json")):
+        try:
+            fresh = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        baseline = baselines.get(fresh.get("bench"))
+        if baseline is None:
+            print(f"{path.name}: no trajectory baseline yet, skipping")
+            continue
+        diff = compare_benchmarks(fresh, baseline)
+        for entry in diff["compared"]:
+            marker = (
+                "REGRESSED" if entry in diff["regressions"] else "ok"
+            )
+            print(
+                f"{path.name}: {entry['path']} "
+                f"{entry['baseline']} -> {entry['fresh']} "
+                f"({entry.get('relative_change', 0.0):+.1%}) {marker}"
+            )
+        for path_name in diff["waived"]:
+            print(f"{path.name}: {path_name} waived (honesty flag set)")
+        if diff["regressions"]:
+            regressed = True
+    if regressed:
+        print("benchmark regression: a headline metric dropped >20%")
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -289,6 +361,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="bench: overwrite BENCH_*.json recorded at a different commit",
     )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help=(
+            "bench: diff fresh results against the last bench_trajectory"
+            ".jsonl entries and exit non-zero on a >20%% headline-metric "
+            "regression"
+        ),
+    )
     survey_group = parser.add_argument_group("survey options")
     survey_group.add_argument(
         "--county",
@@ -324,6 +405,23 @@ def main(argv: list[str] | None = None) -> int:
         "--checkpoint",
         default=None,
         help="JSON checkpoint path; reruns resume completed locations",
+    )
+    survey_group.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "use the streaming survey engine: locations are processed "
+            "in bounded shards (O(shard-size) memory) and the report "
+            "carries aggregate indicator rates instead of per-location "
+            "rows"
+        ),
+    )
+    survey_group.add_argument(
+        "--shard-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="stream: max locations in flight at once (default: 64)",
     )
     survey_group.add_argument(
         "--gsv-failure-rate",

@@ -28,7 +28,9 @@ from .languages import (
 )
 from .metrics import (
     ClassificationReport,
+    ConfusionAccumulator,
     ConfusionCounts,
+    PresenceAccumulator,
     accuracy_by_indicator,
 )
 from .parsing import (
@@ -80,7 +82,9 @@ __all__ = [
     "SEQUENTIAL_CLAUSES",
     "SEQUENTIAL_LEADS",
     "ClassificationReport",
+    "ConfusionAccumulator",
     "ConfusionCounts",
+    "PresenceAccumulator",
     "accuracy_by_indicator",
     "ParsedAnswers",
     "ResponseParseError",

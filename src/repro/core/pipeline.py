@@ -19,7 +19,7 @@ after the last completed location without re-billing fetched imagery.
 from __future__ import annotations
 
 import json
-from collections.abc import Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -46,7 +46,11 @@ from ..resilience.clock import Clock, WallClock
 from ..resilience.retry import RetryPolicy, RetryStats
 from .classifier import ClassificationError, LLMIndicatorClassifier
 from .indicators import ALL_INDICATORS, Indicator, IndicatorPresence
+from .metrics import PresenceAccumulator
 from .voting import VotingEnsemble
+
+#: Default bounded-shard width for :meth:`NeighborhoodDecoder.survey_stream`.
+DEFAULT_SHARD_SIZE = 64
 
 
 @dataclass
@@ -78,6 +82,15 @@ class SurveyReport:
     requested locations completed, ``failed_locations`` names the
     rest, ``degraded_votes`` counts images voted on a reduced quorum,
     and ``retry_stats`` totals the fault handling performed.
+
+    A streaming survey in aggregate mode (``keep_locations=False``)
+    leaves ``locations`` empty and carries the same statistics in
+    ``presence_stats`` / ``zone_stats`` instead — O(1) memory per
+    indicator rather than O(locations).  ``completed_locations``
+    counts completions in both modes.  ``coalesce_stats`` reports
+    request coalescing for observability but is deliberately *not*
+    part of :meth:`payload`: whether identical in-flight requests
+    shared an upstream call must never change what the survey decoded.
     """
 
     locations: list[LocationResult] = field(default_factory=list)
@@ -88,10 +101,16 @@ class SurveyReport:
     failed_locations: list[FailedLocation] = field(default_factory=list)
     degraded_votes: int = 0
     retry_stats: RetryStats = field(default_factory=RetryStats)
+    completed_locations: int = 0
+    presence_stats: PresenceAccumulator | None = None
+    zone_stats: dict[str, PresenceAccumulator] | None = None
+    coalesce_stats: dict[str, int] = field(default_factory=dict)
 
     def indicator_rates(self) -> dict[Indicator, float]:
         """Fraction of locations where each indicator was decoded."""
         if not self.locations:
+            if self.presence_stats is not None and self.presence_stats.n:
+                return self.presence_stats.rates()
             return {ind: float("nan") for ind in ALL_INDICATORS}
         return {
             ind: float(
@@ -141,6 +160,11 @@ class SurveyReport:
 
     def rates_by_zone(self) -> dict[str, dict[Indicator, float]]:
         """Indicator rates broken out by land-use zone."""
+        if not self.locations and self.zone_stats is not None:
+            return {
+                zone: acc.rates()
+                for zone, acc in sorted(self.zone_stats.items())
+            }
         zones: dict[str, list[LocationResult]] = {}
         for location in self.locations:
             zones.setdefault(location.zone_kind, []).append(location)
@@ -206,32 +230,186 @@ class NeighborhoodDecoder:
         if n_locations <= 0:
             report.coverage = 0.0
             return report
+        points = self._select_points(county, n_locations, seed)
+        if points is None:
+            report.coverage = 0.0
+            return report
+        store = self._open_checkpoint(checkpoint, county, n_locations, seed)
+        self._decode_points(
+            points,
+            report,
+            store=store,
+            workers=workers,
+            max_in_flight=None,
+            keep_locations=True,
+        )
+        report.coverage = report.completed_locations / n_locations
+        return report
+
+    def survey_stream(
+        self,
+        county: County | None = None,
+        n_locations: int | None = None,
+        *,
+        locations: Iterable[SamplePoint] | None = None,
+        seed: int = 0,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        workers: int | None = 1,
+        checkpoint: str | Path | None = None,
+        keep_locations: bool = False,
+    ) -> SurveyReport:
+        """Memory-bounded :meth:`survey` over a location *stream*.
+
+        Accepts either ``(county, n_locations)`` — the same sampling
+        as :meth:`survey`, point for point — or ``locations=``, any
+        iterable of :class:`~repro.geo.sampling.SamplePoint` (a
+        generator over a county→state sweep never materializes).  At
+        most ``shard_size`` locations are in flight at once, so peak
+        memory is O(shard_size) regardless of stream length.
+
+        With the default ``keep_locations=False`` the report carries
+        aggregate statistics only (``presence_stats`` /
+        ``zone_stats``): ``indicator_rates()`` and ``rates_by_zone()``
+        return *exactly* the values the batch path computes — the
+        accumulators reduce to the same integer-sum-over-n division —
+        while memory stays flat.  With ``keep_locations=True`` the
+        report retains every :class:`LocationResult` and its
+        :meth:`SurveyReport.to_json` is byte-identical to the batch
+        report for the same county/seed.
+
+        ``checkpoint`` requires county mode (an arbitrary iterable has
+        no stable identity to key resumption on) and shares its key
+        with :meth:`survey`, so a batch run can resume as a stream and
+        vice versa.
+        """
+        county_mode = county is not None or n_locations is not None
+        if county_mode == (locations is not None):
+            raise ValueError(
+                "provide either (county, n_locations) or locations=..."
+            )
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be positive: {shard_size}")
+        report = SurveyReport()
+        if not keep_locations:
+            report.presence_stats = PresenceAccumulator()
+            report.zone_stats = {}
+
+        store: SurveyCheckpoint | None = None
+        if county_mode:
+            assert county is not None and n_locations is not None
+            report.requested_locations = max(n_locations, 0)
+            if n_locations <= 0:
+                report.coverage = 0.0
+                return report
+            points = self._select_points(county, n_locations, seed)
+            if points is None:
+                report.coverage = 0.0
+                return report
+            store = self._open_checkpoint(
+                checkpoint, county, n_locations, seed
+            )
+            stream: Iterable[SamplePoint] = points
+        else:
+            if checkpoint is not None:
+                raise ValueError(
+                    "checkpointing a location iterable is not supported: "
+                    "an arbitrary stream has no stable identity to key "
+                    "resumption on — use (county, n_locations) mode"
+                )
+            stream = locations  # type: ignore[assignment]
+
+        requested = self._decode_points(
+            stream,
+            report,
+            store=store,
+            workers=workers,
+            max_in_flight=shard_size,
+            keep_locations=keep_locations,
+        )
+        if not county_mode:
+            report.requested_locations = requested
+        if report.requested_locations:
+            report.coverage = (
+                report.completed_locations / report.requested_locations
+            )
+        else:
+            report.coverage = 0.0
+        return report
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _select_points(
+        county: County, n_locations: int, seed: int
+    ) -> list[SamplePoint] | None:
+        """The batch path's sampling, shared verbatim by both entries."""
         graph = build_road_network(county, seed=seed + 17)
         frame = build_sampling_frame(county, graph)
         if not frame:
-            report.coverage = 0.0
-            return report
-        points = select_survey_locations(
+            return None
+        return select_survey_locations(
             {county.name: frame}, n_locations, seed=seed + 23
         )
 
-        store: SurveyCheckpoint | None = None
-        if checkpoint is not None:
-            store = SurveyCheckpoint(
-                checkpoint,
-                key={
-                    "county": county.name,
-                    "n_locations": n_locations,
-                    "seed": seed,
-                },
-            )
+    @staticmethod
+    def _open_checkpoint(
+        checkpoint: str | Path | None,
+        county: County,
+        n_locations: int,
+        seed: int,
+    ) -> SurveyCheckpoint | None:
+        if checkpoint is None:
+            return None
+        return SurveyCheckpoint(
+            checkpoint,
+            key={
+                "county": county.name,
+                "n_locations": n_locations,
+                "seed": seed,
+            },
+        )
 
+    def _decode_points(
+        self,
+        points: Iterable[SamplePoint],
+        report: SurveyReport,
+        *,
+        store: SurveyCheckpoint | None,
+        workers: int | None,
+        max_in_flight: int | None,
+        keep_locations: bool,
+    ) -> int:
+        """Fan out fetch+classify over ``points``; returns points drawn.
+
+        The shared core of :meth:`survey` and :meth:`survey_stream`.
+        Merging and checkpoint writes happen on the calling thread,
+        strictly in submission order — this is what keeps a parallel
+        (or streamed) survey's report identical to a serial batch one.
+        Only ``max_in_flight`` points are held at once: the in-flight
+        window is the whole memory footprint of a streamed survey.
+        """
         baselines = {
             id(clf): replace(clf.retry_stats)
             for clf in self._classifiers()
         }
+        coalesce_before = self._coalesce_totals()
         fees_before = self.street_view.usage().fees_usd
-        executor = ParallelExecutor(workers=workers)
+        executor = ParallelExecutor(
+            workers=workers, max_in_flight=max_in_flight
+        )
+
+        # The executor consumes the stream lazily; this window maps the
+        # indices of in-flight points back to their coordinates so a
+        # failure can be recorded without retaining the whole stream.
+        window: dict[int, SamplePoint] = {}
+        drawn = 0
+
+        def tracked() -> Iterator[tuple[int, SamplePoint]]:
+            nonlocal drawn
+            for index, point in enumerate(points):
+                window[index] = point
+                drawn += 1
+                yield index, point
 
         def decode_one(
             indexed: tuple[int, SamplePoint]
@@ -261,11 +439,8 @@ class NeighborhoodDecoder:
             )
             return result, len(images), degraded
 
-        # Merging and checkpoint writes happen here, on the calling
-        # thread, strictly in submission order — this is what keeps a
-        # parallel survey's report identical to a serial one.
-        for task in executor.imap(decode_one, enumerate(points)):
-            point = points[task.index]
+        for task in executor.imap(decode_one, tracked()):
+            point = window.pop(task.index)
             try:
                 outcome = task.result()
             except (StreetViewError, CircuitOpenError, ClassificationError) as err:
@@ -279,12 +454,12 @@ class NeighborhoodDecoder:
                 )
                 continue
             if isinstance(outcome, dict):
-                self._restore_location(report, outcome)
+                self._restore_location(report, outcome, keep_locations)
                 continue
             result, n_images, degraded = outcome
-            report.locations.append(result)
-            report.images_classified += n_images
-            report.degraded_votes += degraded
+            self._record_result(
+                report, result, n_images, degraded, keep_locations
+            )
             if store is not None:
                 store.record(
                     task.index,
@@ -292,12 +467,14 @@ class NeighborhoodDecoder:
                 )
 
         report.fees_usd = self.street_view.usage().fees_usd - fees_before
-        report.coverage = len(report.locations) / n_locations
         for clf in self._classifiers():
             report.retry_stats.merge(
                 _stats_since(clf.retry_stats, baselines[id(clf)])
             )
-        return report
+        report.coalesce_stats = _totals_since(
+            self._coalesce_totals(), coalesce_before
+        )
+        return drawn
 
     # ------------------------------------------------------------------
 
@@ -364,21 +541,75 @@ class NeighborhoodDecoder:
         }
 
     @staticmethod
-    def _restore_location(report: SurveyReport, payload: dict) -> None:
-        report.locations.append(
-            LocationResult(
-                latitude=payload["latitude"],
-                longitude=payload["longitude"],
-                county=payload["county"],
-                zone_kind=payload["zone_kind"],
-                presence=IndicatorPresence(
-                    Indicator.from_string(value)
-                    for value in payload["present"]
-                ),
-            )
+    def _record_result(
+        report: SurveyReport,
+        result: LocationResult,
+        images: int,
+        degraded: int,
+        keep_locations: bool,
+    ) -> None:
+        """Fold one completed location into the report.
+
+        The single merge point for both modes: batch/keep retains the
+        :class:`LocationResult`, aggregate mode folds its presence
+        into the accumulators and drops it.
+        """
+        report.images_classified += images
+        report.degraded_votes += degraded
+        report.completed_locations += 1
+        if keep_locations:
+            report.locations.append(result)
+            return
+        assert report.presence_stats is not None
+        assert report.zone_stats is not None
+        report.presence_stats.update(result.presence)
+        zone = report.zone_stats.setdefault(
+            result.zone_kind, PresenceAccumulator()
         )
-        report.images_classified += payload["images"]
-        report.degraded_votes += payload["degraded_votes"]
+        zone.update(result.presence)
+
+    @classmethod
+    def _restore_location(
+        cls, report: SurveyReport, payload: dict, keep_locations: bool = True
+    ) -> None:
+        result = LocationResult(
+            latitude=payload["latitude"],
+            longitude=payload["longitude"],
+            county=payload["county"],
+            zone_kind=payload["zone_kind"],
+            presence=IndicatorPresence(
+                Indicator.from_string(value)
+                for value in payload["present"]
+            ),
+        )
+        cls._record_result(
+            report,
+            result,
+            payload["images"],
+            payload["degraded_votes"],
+            keep_locations,
+        )
+
+    def _coalesce_totals(self) -> dict[str, int]:
+        """Sum coalescing/caching counters across the LLM clients."""
+        totals = {"coalesced": 0, "cache_hits": 0, "upstream_calls": 0}
+        seen: set[int] = set()
+        for clf in self._classifiers():
+            client = getattr(clf, "client", None)
+            if client is None or id(client) in seen:
+                continue
+            seen.add(id(client))
+            totals["coalesced"] += getattr(client, "coalesced", 0)
+            totals["cache_hits"] += getattr(client, "hits", 0)
+            totals["upstream_calls"] += getattr(client, "misses", 0)
+        return totals
+
+
+def _totals_since(
+    current: dict[str, int], baseline: dict[str, int]
+) -> dict[str, int]:
+    """Per-key deltas of two counter snapshots."""
+    return {key: current[key] - baseline[key] for key in current}
 
 
 def _stats_since(current: RetryStats, baseline: RetryStats) -> RetryStats:

@@ -16,11 +16,14 @@ from .boxes import (
 )
 from .evaluate import (
     ClassMetrics,
+    DetectionAccumulator,
     EvaluationReport,
     average_precision,
     best_f1_operating_point,
     evaluate_detector,
+    iter_predictions,
     match_detections,
+    predict_images,
 )
 from .features import (
     DEFAULT_GRID,
@@ -52,11 +55,14 @@ __all__ = [
     "nms",
     "xyxy_to_cxcywh",
     "ClassMetrics",
+    "DetectionAccumulator",
     "EvaluationReport",
     "average_precision",
     "best_f1_operating_point",
     "evaluate_detector",
+    "iter_predictions",
     "match_detections",
+    "predict_images",
     "DEFAULT_GRID",
     "FEATURE_DIM",
     "FeatureConfig",

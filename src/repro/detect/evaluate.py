@@ -11,6 +11,7 @@ Implements the metrics of the paper's Table I:
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,6 +26,11 @@ from .model import Detection, NanoDetector
 #: floating-point results — are identical however the work is
 #: distributed across processes.
 EVAL_BATCH_SIZE = 16
+
+#: Images held in memory at once when evaluating an image *stream*.
+#: Large enough that process-pool chunks amortize, small enough that
+#: peak memory stays far below materializing a county's imagery.
+DEFAULT_EVAL_SHARD_SIZE = 4 * EVAL_BATCH_SIZE
 
 
 @dataclass(frozen=True)
@@ -92,6 +98,63 @@ def _mean(values: list[float]) -> float:
     return float(np.mean(finite)) if finite else float("nan")
 
 
+def _match_one_image(
+    det_boxes: np.ndarray,
+    det_scores: np.ndarray,
+    gt_boxes: np.ndarray,
+    iou_threshold: float,
+) -> tuple[list, list[bool]]:
+    """Greedy matching for one image: (scores, is_tp) in score order.
+
+    The single matching implementation shared by the batch pooling in
+    :func:`match_detections` and the streaming
+    :class:`DetectionAccumulator` — both paths append its output in
+    image order, so they build the *same* pooled arrays and any final
+    sort over them is identical.
+    """
+    image_scores: list = []
+    image_tp: list[bool] = []
+    if len(det_boxes) == 0:
+        return image_scores, image_tp
+    order = np.argsort(-det_scores)
+    matched = np.zeros(len(gt_boxes), dtype=bool)
+    ious = (
+        iou_matrix(det_boxes, gt_boxes)
+        if len(gt_boxes)
+        else np.zeros((len(det_boxes), 0))
+    )
+    for det_index in order:
+        best_gt = -1
+        best_iou = iou_threshold
+        for gt_index in range(len(gt_boxes)):
+            if matched[gt_index]:
+                continue
+            if ious[det_index, gt_index] >= best_iou:
+                best_iou = ious[det_index, gt_index]
+                best_gt = gt_index
+        image_scores.append(det_scores[det_index])
+        if best_gt >= 0:
+            matched[best_gt] = True
+            image_tp.append(True)
+        else:
+            image_tp.append(False)
+    return image_scores, image_tp
+
+
+def _sort_pooled(
+    pooled_scores: list, pooled_tp: list[bool], total_gt: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Final descending-score sort over image-order pooled matches."""
+    if not pooled_scores:
+        return np.zeros(0), np.zeros(0, dtype=bool), total_gt
+    pooled = np.argsort(-np.asarray(pooled_scores))
+    return (
+        np.asarray(pooled_scores)[pooled],
+        np.asarray(pooled_tp, dtype=bool)[pooled],
+        total_gt,
+    )
+
+
 def match_detections(
     detections: list[np.ndarray],
     scores: list[np.ndarray],
@@ -104,45 +167,19 @@ def match_detections(
     ``(all_scores, is_true_positive, n_ground_truth)`` with detections
     pooled across images, sorted by descending score.
     """
-    pooled_scores = []
-    pooled_tp = []
+    pooled_scores: list = []
+    pooled_tp: list[bool] = []
     total_gt = 0
     for det_boxes, det_scores, gt_boxes in zip(
         detections, scores, ground_truths
     ):
         total_gt += len(gt_boxes)
-        if len(det_boxes) == 0:
-            continue
-        order = np.argsort(-det_scores)
-        matched = np.zeros(len(gt_boxes), dtype=bool)
-        ious = (
-            iou_matrix(det_boxes, gt_boxes)
-            if len(gt_boxes)
-            else np.zeros((len(det_boxes), 0))
+        image_scores, image_tp = _match_one_image(
+            det_boxes, det_scores, gt_boxes, iou_threshold
         )
-        for det_index in order:
-            best_gt = -1
-            best_iou = iou_threshold
-            for gt_index in range(len(gt_boxes)):
-                if matched[gt_index]:
-                    continue
-                if ious[det_index, gt_index] >= best_iou:
-                    best_iou = ious[det_index, gt_index]
-                    best_gt = gt_index
-            pooled_scores.append(det_scores[det_index])
-            if best_gt >= 0:
-                matched[best_gt] = True
-                pooled_tp.append(True)
-            else:
-                pooled_tp.append(False)
-    if not pooled_scores:
-        return np.zeros(0), np.zeros(0, dtype=bool), total_gt
-    pooled = np.argsort(-np.asarray(pooled_scores))
-    return (
-        np.asarray(pooled_scores)[pooled],
-        np.asarray(pooled_tp, dtype=bool)[pooled],
-        total_gt,
-    )
+        pooled_scores.extend(image_scores)
+        pooled_tp.extend(image_tp)
+    return _sort_pooled(pooled_scores, pooled_tp, total_gt)
 
 
 def average_precision(
@@ -189,6 +226,98 @@ def best_f1_operating_point(
     return float(precision[best]), float(recall[best]), float(f1[best])
 
 
+class DetectionAccumulator:
+    """Streaming, mergeable builder of an :class:`EvaluationReport`.
+
+    Folds ``(image, detections)`` pairs one at a time: each image is
+    matched immediately via :func:`_match_one_image` and only its
+    pooled ``(score, is_tp)`` entries are retained — O(detections),
+    never O(images × pixels).  Because entries are appended in image
+    order and the descending-score sort happens once in
+    :meth:`report`, the result is *identical* to handing the full
+    image list to :func:`match_detections`: both paths sort the same
+    pooled array with the same (unstable) ``argsort``, so even ties
+    break the same way.
+    """
+
+    def __init__(self, iou_threshold: float = 0.5) -> None:
+        self.iou_threshold = iou_threshold
+        self._scores: dict[Indicator, list] = {
+            ind: [] for ind in ALL_INDICATORS
+        }
+        self._tp: dict[Indicator, list[bool]] = {
+            ind: [] for ind in ALL_INDICATORS
+        }
+        self._gt: dict[Indicator, int] = {ind: 0 for ind in ALL_INDICATORS}
+        self.images_seen = 0
+
+    def update(
+        self, image: LabeledImage, detections: list[Detection]
+    ) -> None:
+        grouped: dict[Indicator, list[Detection]] = {
+            ind: [] for ind in ALL_INDICATORS
+        }
+        for det in detections:
+            grouped[det.indicator].append(det)
+        for indicator in ALL_INDICATORS:
+            dets = grouped[indicator]
+            det_boxes = np.asarray([d.box for d in dets]).reshape(-1, 4)
+            det_scores = np.asarray([d.score for d in dets])
+            gt = [
+                [box.x_min, box.y_min, box.x_max, box.y_max]
+                for ind, box in image.annotations
+                if ind == indicator
+            ]
+            gt_boxes = np.asarray(gt, dtype=np.float64).reshape(-1, 4)
+            self._gt[indicator] += len(gt_boxes)
+            image_scores, image_tp = _match_one_image(
+                det_boxes, det_scores, gt_boxes, self.iou_threshold
+            )
+            self._scores[indicator].extend(image_scores)
+            self._tp[indicator].extend(image_tp)
+        self.images_seen += 1
+
+    def merge(self, other: "DetectionAccumulator") -> "DetectionAccumulator":
+        """Append ``other``'s pooled matches after this accumulator's.
+
+        Merging shard accumulators in shard order reproduces the pool
+        a single sequential pass would have built.
+        """
+        if other.iou_threshold != self.iou_threshold:
+            raise ValueError(
+                f"iou_threshold mismatch: {self.iou_threshold} "
+                f"vs {other.iou_threshold}"
+            )
+        for indicator in ALL_INDICATORS:
+            self._scores[indicator].extend(other._scores[indicator])
+            self._tp[indicator].extend(other._tp[indicator])
+            self._gt[indicator] += other._gt[indicator]
+        self.images_seen += other.images_seen
+        return self
+
+    def report(self) -> EvaluationReport:
+        per_class = {}
+        for indicator in ALL_INDICATORS:
+            scores_sorted, tp_sorted, n_gt = _sort_pooled(
+                self._scores[indicator],
+                self._tp[indicator],
+                self._gt[indicator],
+            )
+            ap = average_precision(tp_sorted, n_gt)
+            precision, recall, f1 = best_f1_operating_point(
+                scores_sorted, tp_sorted, n_gt
+            )
+            per_class[indicator] = ClassMetrics(
+                indicator=indicator,
+                precision=precision,
+                recall=recall,
+                f1=f1,
+                ap50=ap,
+                n_ground_truth=n_gt,
+            )
+        return EvaluationReport(per_class=per_class)
+
+
 def _detect_chunk(payload) -> list[list[Detection]]:
     """Process-pool worker: batched detection over a chunk of images.
 
@@ -232,16 +361,30 @@ def _decode_detections(payload: list) -> list[Detection]:
     ]
 
 
-def predict_images(
+def _shards(
+    images: Iterator[LabeledImage], shard_size: int
+) -> Iterator[list[LabeledImage]]:
+    """Cut an image stream into bounded lists."""
+    shard: list[LabeledImage] = []
+    for image in images:
+        shard.append(image)
+        if len(shard) >= shard_size:
+            yield shard
+            shard = []
+    if shard:
+        yield shard
+
+
+def _predict_shard(
     model: NanoDetector,
     images: list[LabeledImage],
     conf_threshold: float,
-    image_transform=None,
-    workers: int | str = 1,
-    cache=None,
-    batch_size: int = EVAL_BATCH_SIZE,
+    image_transform,
+    workers: int | str,
+    cache,
+    batch_size: int,
 ) -> list[list[Detection]]:
-    """Per-image detections, batched, optionally parallel and cached.
+    """The materialized-list prediction core (one shard at a time).
 
     With ``image_transform`` set, everything runs serially in image
     order: Fig. 3's transform closes over a shared, stateful RNG, so
@@ -249,8 +392,6 @@ def predict_images(
     image.  Caching is likewise disabled under a transform — the
     corruption is not part of the image's content fingerprint.
     """
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be positive: {batch_size}")
     detections: list[list[Detection] | None] = [None] * len(images)
 
     if image_transform is not None:
@@ -300,14 +441,98 @@ def predict_images(
     return detections
 
 
+def iter_predictions(
+    model: NanoDetector,
+    images: Iterable[LabeledImage],
+    conf_threshold: float,
+    image_transform=None,
+    workers: int | str = 1,
+    cache=None,
+    batch_size: int = EVAL_BATCH_SIZE,
+    shard_size: int | None = None,
+) -> Iterator[tuple[LabeledImage, list[Detection]]]:
+    """Yield ``(image, detections)`` pairs, consuming ``images`` lazily.
+
+    A list input with no ``shard_size`` is processed as one shard —
+    exactly the legacy :func:`predict_images` behavior, same batch
+    boundaries and all.  Any other iterable (or an explicit
+    ``shard_size``) is consumed in bounded shards: at most one shard
+    of rendered images is alive at a time, so a stream of a million
+    captures evaluates in O(shard_size) memory.
+
+    The shard width is rounded **up to a multiple of** ``batch_size``:
+    a stacked forward's floating-point results depend on its batch
+    shape, so image *k* must land in batch ``k // batch_size``
+    whether the stream is sharded or materialized — that alignment is
+    what makes streaming metrics byte-identical to batch metrics.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive: {batch_size}")
+    if shard_size is None and isinstance(images, (list, tuple)):
+        shards: Iterable[list[LabeledImage]] = [list(images)]
+    else:
+        requested = (
+            shard_size if shard_size is not None else DEFAULT_EVAL_SHARD_SIZE
+        )
+        if requested < 1:
+            raise ValueError(f"shard_size must be positive: {requested}")
+        width = batch_size * -(-requested // batch_size)
+        shards = _shards(iter(images), width)
+    for shard in shards:
+        results = _predict_shard(
+            model,
+            shard,
+            conf_threshold,
+            image_transform,
+            workers,
+            cache,
+            batch_size,
+        )
+        yield from zip(shard, results)
+
+
+def predict_images(
+    model: NanoDetector,
+    images: Iterable[LabeledImage],
+    conf_threshold: float,
+    image_transform=None,
+    workers: int | str = 1,
+    cache=None,
+    batch_size: int = EVAL_BATCH_SIZE,
+    shard_size: int | None = None,
+) -> list[list[Detection]]:
+    """Per-image detections, batched, optionally parallel and cached.
+
+    Accepts any iterable of images (see :func:`iter_predictions` for
+    the sharding rules); the returned list is necessarily O(images),
+    so callers that only need aggregate metrics over a long stream
+    should use :func:`evaluate_detector` or :func:`iter_predictions`
+    directly.
+    """
+    return [
+        detections
+        for _, detections in iter_predictions(
+            model,
+            images,
+            conf_threshold,
+            image_transform=image_transform,
+            workers=workers,
+            cache=cache,
+            batch_size=batch_size,
+            shard_size=shard_size,
+        )
+    ]
+
+
 def evaluate_detector(
     model: NanoDetector,
-    images: list[LabeledImage],
+    images: Iterable[LabeledImage],
     iou_threshold: float = 0.5,
     conf_threshold: float = 0.05,
     image_transform=None,
     workers: int | str = 1,
     cache=None,
+    shard_size: int | None = None,
 ) -> EvaluationReport:
     """Evaluate a trained detector on labeled images.
 
@@ -322,66 +547,22 @@ def evaluate_detector(
     persists per-image detections keyed by model + image content, so
     repeated evaluations of an unchanged model skip rendering and
     inference entirely.
-    """
-    per_class_dets: dict[Indicator, list[np.ndarray]] = {
-        ind: [] for ind in ALL_INDICATORS
-    }
-    per_class_scores: dict[Indicator, list[np.ndarray]] = {
-        ind: [] for ind in ALL_INDICATORS
-    }
-    per_class_gts: dict[Indicator, list[np.ndarray]] = {
-        ind: [] for ind in ALL_INDICATORS
-    }
 
-    all_detections = predict_images(
+    ``images`` may be any iterable: results fold through a
+    :class:`DetectionAccumulator` image by image, so evaluating a
+    generator of a county's captures holds at most one shard (see
+    :func:`iter_predictions`) in memory and still produces a report
+    identical to the materialized-list call.
+    """
+    accumulator = DetectionAccumulator(iou_threshold)
+    for image, detections in iter_predictions(
         model,
         images,
         conf_threshold,
         image_transform=image_transform,
         workers=workers,
         cache=cache,
-    )
-    for image, detections in zip(images, all_detections):
-        grouped: dict[Indicator, list[Detection]] = {
-            ind: [] for ind in ALL_INDICATORS
-        }
-        for det in detections:
-            grouped[det.indicator].append(det)
-        for indicator in ALL_INDICATORS:
-            dets = grouped[indicator]
-            per_class_dets[indicator].append(
-                np.asarray([d.box for d in dets]).reshape(-1, 4)
-            )
-            per_class_scores[indicator].append(
-                np.asarray([d.score for d in dets])
-            )
-            gt = [
-                [box.x_min, box.y_min, box.x_max, box.y_max]
-                for ind, box in image.annotations
-                if ind == indicator
-            ]
-            per_class_gts[indicator].append(
-                np.asarray(gt, dtype=np.float64).reshape(-1, 4)
-            )
-
-    per_class = {}
-    for indicator in ALL_INDICATORS:
-        scores_sorted, tp_sorted, n_gt = match_detections(
-            per_class_dets[indicator],
-            per_class_scores[indicator],
-            per_class_gts[indicator],
-            iou_threshold,
-        )
-        ap = average_precision(tp_sorted, n_gt)
-        precision, recall, f1 = best_f1_operating_point(
-            scores_sorted, tp_sorted, n_gt
-        )
-        per_class[indicator] = ClassMetrics(
-            indicator=indicator,
-            precision=precision,
-            recall=recall,
-            f1=f1,
-            ap50=ap,
-            n_ground_truth=n_gt,
-        )
-    return EvaluationReport(per_class=per_class)
+        shard_size=shard_size,
+    ):
+        accumulator.update(image, detections)
+    return accumulator.report()

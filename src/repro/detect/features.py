@@ -82,6 +82,25 @@ def _sobel(gray: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return gx, gy
 
 
+def _cell_reduce_stack(channels: np.ndarray, grid: int) -> np.ndarray:
+    """Per-cell means of an ``(N, H, W)`` channel stack, ``(grid, grid, N)``.
+
+    One reshaped reduction replacing N separate
+    ``_cell_reduce(..., "mean")`` calls.  The channel axis *leads* the
+    block axes, so each output cell still reduces the same ``ch × cw``
+    elements in the same memory-order pattern as the per-channel call
+    — which is what keeps the result bit-identical to the loop it
+    replaced (a trailing channel axis changes numpy's pairwise
+    summation tree and drifts in the last ulp).
+    """
+    n, height, width = channels.shape
+    ch = height // grid
+    cw = width // grid
+    trimmed = channels[:, : ch * grid, : cw * grid]
+    blocks = trimmed.reshape(n, grid, ch, grid, cw)
+    return np.moveaxis(blocks.mean(axis=(2, 4)), 0, -1)
+
+
 def _cell_reduce(channel: np.ndarray, grid: int, how: str) -> np.ndarray:
     """Reduce an (H, W) channel to per-cell statistics, (grid, grid)."""
     height, width = channel.shape
@@ -227,24 +246,29 @@ def extract_features(
     columns.append(_cell_reduce(mag, grid, "max"))
 
     # Orientation histogram: bin gradient angle (mod pi), weight by
-    # magnitude, normalize per cell.
+    # magnitude, normalize per cell.  All bins reduce in one pass.
     angle = np.mod(np.arctan2(gy, gx), np.pi)
     bin_index = np.minimum(
         (angle / np.pi * _N_ORIENT).astype(int), _N_ORIENT - 1
     )
-    orient_cells = []
-    for b in range(_N_ORIENT):
-        weighted = np.where(bin_index == b, mag, 0.0)
-        orient_cells.append(_cell_reduce(weighted, grid, "mean"))
-    orient = np.stack(orient_cells, axis=-1)
+    weighted = np.where(
+        bin_index[None, :, :] == np.arange(_N_ORIENT)[:, None, None],
+        mag[None, :, :],
+        0.0,
+    )
+    orient = _cell_reduce_stack(weighted, grid)
     totals = orient.sum(axis=-1, keepdims=True)
     orient = np.where(totals > 1e-9, orient / (totals + 1e-9), 0.0)
     for b in range(_N_ORIENT):
         columns.append(orient[..., b])
 
     masks = _color_masks(rgb)
-    for name in _COLOR_NAMES:
-        columns.append(_cell_reduce(masks[name].astype(np.float64), grid, "mean"))
+    color_fractions = _cell_reduce_stack(
+        np.stack([masks[name] for name in _COLOR_NAMES]).astype(np.float64),
+        grid,
+    )
+    for channel_index in range(len(_COLOR_NAMES)):
+        columns.append(color_fractions[..., channel_index])
 
     columns.append(_cell_reduce(gray, grid, "max"))
     columns.append(1.0 - _cell_reduce(1.0 - gray, grid, "max"))  # min

@@ -28,6 +28,7 @@ from ..resilience.breaker import CircuitBreaker
 from ..resilience.clock import Clock, VirtualClock, WallClock
 from ..resilience.retry import RetryPolicy, RetryStats
 from .base import ChatClient, ChatRequest, ChatResponse
+from .cache import request_fingerprint
 from .errors import LLMError, RateLimitError, ServerError
 
 __all__ = [
@@ -109,7 +110,10 @@ class BatchStats:
 
     ``retries`` counts *actual* re-attempts: a request that fails
     terminally on its final attempt (or fails on a non-retryable
-    error) contributes nothing for that attempt.
+    error) contributes nothing for that attempt.  ``coalesced`` counts
+    duplicate requests that shared another request's single upstream
+    call (always 0 unless the runner was built with
+    ``coalesce=True``).
     """
 
     total: int
@@ -117,6 +121,7 @@ class BatchStats:
     failed: int
     retries: int
     rate_limit_waits: float
+    coalesced: int = 0
 
     @property
     def success_rate(self) -> float:
@@ -130,6 +135,14 @@ class BatchRunner:
     a thread pool while sharing one rate limiter, one retry policy,
     and one breaker; outcomes still come back in request order.  The
     default remains strictly serial.
+
+    With ``coalesce=True``, duplicate requests within a batch (same
+    :func:`~repro.llm.cache.request_fingerprint`) are executed once:
+    the first occurrence makes the upstream call — paying one fee and
+    taking one rate-limiter token — and every duplicate's outcome is a
+    copy of that result.  The outcome list is unchanged relative to an
+    uncoalesced run of the same batch; only ``BatchStats.coalesced``
+    and the spend differ.
     """
 
     RETRYABLE = (RateLimitError, ServerError)
@@ -146,6 +159,7 @@ class BatchRunner:
         breaker: CircuitBreaker | None = None,
         executor: ParallelExecutor | None = None,
         workers: int | None = None,
+        coalesce: bool = False,
     ) -> None:
         if retry_policy is None:
             retry_policy = RetryPolicy(
@@ -160,12 +174,31 @@ class BatchRunner:
         self.clock = clock or (limiter.clock if limiter else VirtualClock())
         self.on_progress = on_progress
         self.executor = executor
+        self.coalesce = coalesce
 
     def run(
         self, requests: Sequence[ChatRequest]
     ) -> tuple[list[BatchOutcome], BatchStats]:
         """Execute all requests; never raises on per-request failures."""
         stats = RetryStats()
+        n_requests = len(requests)
+
+        # alias[i] is the index whose upstream call serves request i —
+        # itself unless coalescing found an earlier identical request.
+        if self.coalesce:
+            first_by_key: dict[str, int] = {}
+            alias = [
+                first_by_key.setdefault(request_fingerprint(request), index)
+                for index, request in enumerate(requests)
+            ]
+        else:
+            alias = list(range(n_requests))
+        representatives = [
+            index for index in range(n_requests) if alias[index] == index
+        ]
+        group_sizes: dict[int, int] = {}
+        for rep in alias:
+            group_sizes[rep] = group_sizes.get(rep, 0) + 1
 
         def execute_one(
             indexed: tuple[int, ChatRequest]
@@ -197,20 +230,40 @@ class BatchRunner:
                 waited,
             )
 
-        outcomes: list[BatchOutcome] = []
+        rep_outcomes: dict[int, BatchOutcome] = {}
+        completed = 0
         waits = 0.0
-        for task in self.executor.imap(execute_one, enumerate(requests)):
+        for task in self.executor.imap(
+            execute_one, [(index, requests[index]) for index in representatives]
+        ):
             outcome, waited = task.result()
-            outcomes.append(outcome)
+            rep_outcomes[outcome.index] = outcome
             waits += waited
+            completed += group_sizes[outcome.index]
             if self.on_progress is not None:
-                self.on_progress(len(outcomes), len(requests))
+                self.on_progress(completed, n_requests)
+
+        outcomes: list[BatchOutcome] = []
+        for index in range(n_requests):
+            rep = rep_outcomes[alias[index]]
+            if alias[index] == index:
+                outcomes.append(rep)
+            else:
+                outcomes.append(
+                    BatchOutcome(
+                        index=index,
+                        response=rep.response,
+                        error=rep.error,
+                        attempts=rep.attempts,
+                    )
+                )
 
         batch_stats = BatchStats(
-            total=len(requests),
+            total=n_requests,
             succeeded=sum(1 for o in outcomes if o.ok),
             failed=sum(1 for o in outcomes if not o.ok),
             retries=stats.retries,
             rate_limit_waits=waits,
+            coalesced=n_requests - len(representatives),
         )
         return outcomes, batch_stats

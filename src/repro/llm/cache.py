@@ -29,6 +29,17 @@ from typing import IO
 from .base import ChatClient, ChatRequest, ChatResponse, Usage
 
 
+class _Flight:
+    """One in-flight upstream call that followers wait on."""
+
+    __slots__ = ("done", "response", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.response: ChatResponse | None = None
+        self.error: Exception | None = None
+
+
 def request_fingerprint(request: ChatRequest) -> str:
     """Stable content hash of a request.
 
@@ -62,11 +73,14 @@ class CachingChatClient(ChatClient):
     usage accrues to it.  The wrapper's own ``stats`` still counts
     every logical request, so hit rates are observable.
 
-    Thread-safe: parallel workers may share one instance.  Two workers
-    missing the same key concurrently both consult the inner client (a
-    benign stampede — responses are deterministic per request) and the
-    journal records both; compaction deduplicates.  Usable as a
-    context manager; leaving the ``with`` block compacts the journal.
+    Thread-safe: parallel workers may share one instance.  Identical
+    requests in flight at the same moment are **single-flighted**: the
+    first worker to miss becomes the leader and makes the one billable
+    upstream call; every other worker blocks on that flight and shares
+    its response (or its exception) without touching the inner client
+    — one call, one fee, however wide the fan-out.  ``coalesced``
+    counts the followers.  Usable as a context manager; leaving the
+    ``with`` block compacts the journal.
     """
 
     def __init__(
@@ -79,7 +93,9 @@ class CachingChatClient(ChatClient):
         self.cache_path = Path(cache_path) if cache_path else None
         self.hits = 0
         self.misses = 0
+        self.coalesced = 0
         self._cache: dict[str, dict] = {}
+        self._inflight: dict[str, _Flight] = {}
         self._lock = threading.RLock()
         self._journal: IO[str] | None = None
         if self.cache_path and self.cache_path.exists():
@@ -94,20 +110,47 @@ class CachingChatClient(ChatClient):
             if cached is not None:
                 self.hits += 1
                 self.stats.record(Usage(0, 0))  # logical request, zero tokens
-        if cached is not None:
-            return ChatResponse(
-                model=cached["model"],
-                content=cached["content"],
-                usage=Usage(
-                    prompt_tokens=cached["prompt_tokens"],
-                    completion_tokens=cached["completion_tokens"],
-                ),
-                finish_reason=cached.get("finish_reason", "stop"),
-            )
+                return ChatResponse(
+                    model=cached["model"],
+                    content=cached["content"],
+                    usage=Usage(
+                        prompt_tokens=cached["prompt_tokens"],
+                        completion_tokens=cached["completion_tokens"],
+                    ),
+                    finish_reason=cached.get("finish_reason", "stop"),
+                )
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                leading = True
+            else:
+                leading = False
 
-        # The billable call happens outside the lock so concurrent
-        # misses on *different* requests overlap instead of queueing.
-        response = self.inner.complete(request)
+        if not leading:
+            # Follower: the leader's upstream call is already running;
+            # wait (outside the lock) and share whatever it produced.
+            flight.done.wait()
+            with self._lock:
+                self.coalesced += 1
+                if flight.error is None:
+                    self.stats.record(Usage(0, 0))
+            if flight.error is not None:
+                raise flight.error
+            assert flight.response is not None
+            return flight.response
+
+        # Leader: the billable call happens outside the lock so
+        # concurrent misses on *different* requests overlap instead of
+        # queueing.
+        try:
+            response = self.inner.complete(request)
+        except Exception as err:
+            flight.error = err
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+            raise
         record = {
             "model": response.model,
             "content": response.content,
@@ -115,11 +158,16 @@ class CachingChatClient(ChatClient):
             "completion_tokens": response.usage.completion_tokens,
             "finish_reason": response.finish_reason,
         }
+        flight.response = response
         with self._lock:
             self.misses += 1
             self._cache[key] = record
             self.stats.record(response.usage)
             self._append(key, record)
+            # Pop only after the cache holds the record: a request
+            # arriving now finds it there, never a gap.
+            self._inflight.pop(key, None)
+        flight.done.set()
         return response
 
     # ------------------------------------------------------------------
@@ -137,6 +185,7 @@ class CachingChatClient(ChatClient):
             self._cache.clear()
             self.hits = 0
             self.misses = 0
+            self.coalesced = 0
             if self._journal is not None:
                 self._journal.close()
                 self._journal = None

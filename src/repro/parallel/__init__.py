@@ -21,12 +21,24 @@ from .executor import (
     effective_cpu_count,
     resolve_workers,
 )
+from .shm import (
+    DEFAULT_MIN_SHARE_BYTES,
+    SharedArrayArena,
+    SharedArrayHandle,
+    ShmTransport,
+    shared_memory_support,
+)
 
 __all__ = [
+    "DEFAULT_MIN_SHARE_BYTES",
     "ParallelExecutor",
+    "SharedArrayArena",
+    "SharedArrayHandle",
+    "ShmTransport",
     "TaskCancelledError",
     "TaskEnvelope",
     "TaskOutcome",
     "effective_cpu_count",
     "resolve_workers",
+    "shared_memory_support",
 ]

@@ -43,6 +43,14 @@ Pickling constraints of the process backend (see DESIGN.md §9): the
 callable must be importable from the child (a module-level function,
 a ``functools.partial`` of one, or a picklable bound method) and both
 items and results must survive a round-trip through ``pickle``.
+
+Large numpy arrays are exempt from that round-trip: the process
+backend owns a :class:`~repro.parallel.shm.SharedArrayArena` and ships
+qualifying tensors through ``multiprocessing.shared_memory`` blocks
+(see DESIGN.md §10).  The swap happens inside :class:`TaskEnvelope`,
+so call sites pass plain arrays and workers receive plain (read-only)
+arrays — nothing changes at the API surface, and on hosts without shm
+the arena degrades to pickle with a recorded reason.
 """
 
 from __future__ import annotations
@@ -53,6 +61,15 @@ from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any
+
+from .shm import (
+    DEFAULT_MIN_SHARE_BYTES,
+    SharedArrayArena,
+    ShmTransport,
+    discard_result,
+    pack_result,
+    resolve_item,
+)
 
 __all__ = [
     "ParallelExecutor",
@@ -99,19 +116,62 @@ class TaskEnvelope:
     backend's and puts the pickling boundary in one place: if either
     the callable or the item cannot cross it, the failure surfaces as
     an error outcome for exactly that task.
+
+    When ``transport`` is set, the item may contain
+    :class:`~repro.parallel.shm.SharedArrayHandle` placeholders where
+    the parent's arena swapped out large arrays; :meth:`run` resolves
+    them to zero-copy read-only views before calling ``fn`` and packs
+    large *result* arrays into fresh shared blocks on the way back, so
+    the callable never sees a handle — shared-memory transport is
+    invisible at both ends of the task.
     """
 
     fn: Callable[[Any], Any]
     index: int
     item: Any
+    transport: ShmTransport | None = None
 
     def run(self) -> TaskOutcome:
-        return ParallelExecutor._execute(self.fn, self.index, self.item)
+        item = self.item
+        if self.transport is not None:
+            item = resolve_item(item)
+        outcome = ParallelExecutor._execute(self.fn, self.index, item)
+        if self.transport is not None and outcome.ok:
+            outcome.value = pack_result(outcome.value, self.transport)
+        return outcome
 
 
 def _run_envelope(envelope: TaskEnvelope) -> TaskOutcome:
     """Module-level trampoline so the submitted callable always pickles."""
     return envelope.run()
+
+
+def _release_handles(
+    arena: SharedArrayArena | None, handles: dict[int, list], index: int
+) -> None:
+    """Release the item blocks the arena shared for one task."""
+    if arena is None:
+        return
+    for handle in handles.pop(index, ()):
+        arena.release(handle)
+
+
+def _discard_result_blocks(future: Future) -> None:
+    """Done-callback: reclaim result blocks nobody will ever resolve.
+
+    Attached to in-flight futures when the consumer abandons an
+    iteration early — the worker may have already copied its result
+    into fresh shared blocks, and without a consumer those would
+    outlive the run.
+    """
+    if future.cancelled():
+        return
+    try:
+        outcome = future.result()
+    except Exception:  # noqa: BLE001 - transport failure, nothing to reclaim
+        return
+    if outcome.ok:
+        discard_result(outcome.value)
 
 
 def effective_cpu_count() -> int:
@@ -165,6 +225,15 @@ class ParallelExecutor:
         (rendering, feature extraction, detector inference) needs
         processes to scale past the GIL, latency-bound work is better
         off with threads.
+    shm:
+        Whether the process backend ships large numpy arrays through
+        shared memory (default) instead of pickling them.  Ignored by
+        the serial and thread backends, which share an address space
+        already.
+    shm_min_bytes:
+        Arrays below this size ride pickle even with ``shm`` on — a
+        shared block's syscall overhead only amortizes for bulk
+        payloads.
     """
 
     def __init__(
@@ -173,6 +242,8 @@ class ParallelExecutor:
         backend: str = "auto",
         max_in_flight: int | None = None,
         cpu_bound: bool = False,
+        shm: bool = True,
+        shm_min_bytes: int = DEFAULT_MIN_SHARE_BYTES,
     ) -> None:
         if backend not in ("serial", "thread", "process", "auto"):
             raise ValueError(f"unknown backend: {backend!r}")
@@ -186,6 +257,8 @@ class ParallelExecutor:
         if max_in_flight is not None and max_in_flight < 1:
             raise ValueError("max_in_flight must be positive")
         self.max_in_flight = max_in_flight or 2 * self.workers
+        self.shm = shm
+        self.shm_min_bytes = shm_min_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -215,10 +288,24 @@ class ParallelExecutor:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 yield from self._imap_pooled(pool, fn, items, should_cancel)
         else:
-            # Context-manager exit joins the children, so a consumer
-            # that stops early never leaks worker processes.
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                yield from self._imap_pooled(pool, fn, items, should_cancel)
+            arena = (
+                SharedArrayArena(min_bytes=self.shm_min_bytes)
+                if self.shm
+                else None
+            )
+            try:
+                # Context-manager exit joins the children, so a consumer
+                # that stops early never leaks worker processes.
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    yield from self._imap_pooled(
+                        pool, fn, items, should_cancel, arena
+                    )
+            finally:
+                # The pool has joined by now: no child still maps any
+                # block, so force-unlinking whatever survived (nothing,
+                # unless the consumer bailed mid-task) is safe.
+                if arena is not None:
+                    arena.close()
 
     def run(
         self,
@@ -253,10 +340,24 @@ class ParallelExecutor:
             yield ParallelExecutor._execute(fn, index, item)
 
     def _submit(
-        self, pool: ThreadPoolExecutor | ProcessPoolExecutor, fn, index, item
+        self,
+        pool: ThreadPoolExecutor | ProcessPoolExecutor,
+        fn,
+        index,
+        item,
+        arena: SharedArrayArena | None = None,
+        handles: dict[int, list] | None = None,
     ) -> Future:
         if self.backend == "process":
-            return pool.submit(_run_envelope, TaskEnvelope(fn, index, item))
+            transport = None
+            if arena is not None and arena.enabled:
+                item, task_handles = arena.pack(item)
+                if task_handles and handles is not None:
+                    handles[index] = task_handles
+                transport = arena.transport()
+            return pool.submit(
+                _run_envelope, TaskEnvelope(fn, index, item, transport)
+            )
         return pool.submit(self._execute, fn, index, item)
 
     def _imap_pooled(
@@ -265,8 +366,10 @@ class ParallelExecutor:
         fn: Callable[[Any], Any],
         items: Iterable[Any],
         should_cancel: Callable[[], bool] | None,
+        arena: SharedArrayArena | None = None,
     ) -> Iterator[TaskOutcome]:
         pending: deque[tuple[int, Future | None]] = deque()
+        handles: dict[int, list] = {}
         iterator = enumerate(items)
         exhausted = False
         cancelling = False
@@ -283,26 +386,52 @@ class ParallelExecutor:
                     if cancelling:
                         pending.append((index, None))
                     else:
-                        pending.append((index, self._submit(pool, fn, index, item)))
+                        pending.append(
+                            (
+                                index,
+                                self._submit(
+                                    pool, fn, index, item, arena, handles
+                                ),
+                            )
+                        )
                 if not pending:
                     break
                 index, future = pending.popleft()
                 if future is None:
                     yield TaskOutcome(index=index, cancelled=True)
-                else:
+                    continue
+                try:
+                    outcome = future.result()
+                except Exception as err:  # noqa: BLE001 - transport failure
+                    # The process backend surfaces pickling errors
+                    # and crashed children here; report them as the
+                    # task's outcome instead of aborting the sweep.
+                    outcome = TaskOutcome(index=index, error=err)
+                finally:
+                    # The worker is done with this task's item blocks
+                    # either way; drop the parent's references now so
+                    # live shared memory stays bounded by in-flight
+                    # work, not sweep length.
+                    _release_handles(arena, handles, index)
+                if arena is not None and outcome.ok:
                     try:
-                        yield future.result()
+                        outcome.value = arena.unpack_result(outcome.value)
                     except Exception as err:  # noqa: BLE001 - transport failure
-                        # The process backend surfaces pickling errors
-                        # and crashed children here; report them as the
-                        # task's outcome instead of aborting the sweep.
-                        yield TaskOutcome(index=index, error=err)
+                        outcome = TaskOutcome(index=index, error=err)
+                yield outcome
         finally:
             # A consumer that stops early (or a generator close)
-            # must not leave queued tasks running.
-            for _, future in pending:
-                if future is not None:
-                    future.cancel()
+            # must not leave queued tasks running — and any result
+            # block a finished-but-unconsumed task already created
+            # must still be reclaimed once its future settles.
+            for index, future in pending:
+                if future is None:
+                    continue
+                future.cancel()
+                if arena is not None:
+                    future.add_done_callback(_discard_result_blocks)
+            for index in list(handles):
+                _release_handles(arena, handles, index)
 
     @staticmethod
     def _execute(fn: Callable[[Any], Any], index: int, item: Any) -> TaskOutcome:

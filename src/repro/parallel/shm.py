@@ -1,0 +1,448 @@
+"""Zero-copy shared-memory transport for numpy arrays between processes.
+
+The process backend of :class:`~repro.parallel.executor.ParallelExecutor`
+ships every task and result through ``pickle``: for the detector hot
+paths that means each 640×640 image (~1.2 MB) and each per-image
+feature tensor (~270 KB) is serialized, pushed through a pipe, and
+deserialized — three copies plus syscall traffic per array, paid
+exactly where parallelism was supposed to win.  This module moves the
+bulk bytes through ``multiprocessing.shared_memory`` instead:
+
+* the parent copies a large array into a named shared-memory block
+  once and pickles only a tiny :class:`SharedArrayHandle` (name, shape,
+  dtype);
+* the worker maps the block and reconstructs a **read-only zero-copy
+  view** — no bytes cross the pipe;
+* results flow the same way in reverse: the worker materializes large
+  result arrays into fresh blocks and the parent maps them, taking
+  ownership and unlinking immediately (POSIX keeps the memory alive
+  until the last mapping closes).
+
+:class:`SharedArrayArena` owns the parent side: blocks are ref-counted
+(sharing the same array object for several in-flight tasks reuses one
+block), released explicitly as each task completes, and fully unlinked
+by :meth:`close`.  ``live_blocks`` must be zero after an executor
+drains — the leak test in ``tests/test_parallel_shm.py`` asserts it.
+
+Arrays below :data:`DEFAULT_MIN_SHARE_BYTES` travel by pickle: a
+shared-memory block costs two syscalls and a resource-tracker round
+trip, which only amortizes for bulk payloads.  On platforms without
+``multiprocessing.shared_memory`` (or when block creation fails) the
+arena degrades to plain pickle transport and records *why* in
+``fallback_reason``; :func:`repro.perf.machine_info` surfaces the same
+status in every benchmark document, so a measurement taken without shm
+says so.
+
+Only ``tuple``/``list``/``dict`` containers are traversed when packing
+a task payload — the existing chunk payloads are exactly such tuples.
+Arrays hidden inside arbitrary objects ride pickle, which is always
+correct, merely slower.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import weakref
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_MIN_SHARE_BYTES",
+    "SharedArrayArena",
+    "SharedArrayHandle",
+    "ShmTransport",
+    "discard_result",
+    "pack_result",
+    "resolve_item",
+    "shared_memory_support",
+]
+
+#: Arrays smaller than this travel by pickle: block creation costs two
+#: syscalls plus a resource-tracker message, which a 64 KB memcpy
+#: through a pipe beats comfortably.
+DEFAULT_MIN_SHARE_BYTES = 64 * 1024
+
+
+def shared_memory_support() -> tuple[type | None, str | None]:
+    """``(SharedMemory class, None)`` when usable, else ``(None, reason)``.
+
+    Probed once per arena (and by :func:`repro.perf.machine_info`) so
+    the fallback reason lands in benchmark provenance instead of being
+    silently swallowed.  Tests monkeypatch this function to exercise
+    the pickle-fallback path on hosts where shm works.
+    """
+    try:
+        from multiprocessing import shared_memory
+    except ImportError as err:  # pragma: no cover - exercised via monkeypatch
+        return None, f"multiprocessing.shared_memory unavailable: {err}"
+    return shared_memory.SharedMemory, None
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable descriptor of one array living in a shared block.
+
+    ``owns_block`` marks result handles: the worker that created the
+    block has already closed its mapping, so whoever resolves the
+    handle must unlink it (take ownership).  Item handles stay owned by
+    the parent arena, which unlinks them on release.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    owns_block: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+    def resolve(self) -> np.ndarray:
+        """Map the block and return a read-only zero-copy view.
+
+        The mapping is kept open exactly as long as the returned array
+        lives (a ``weakref.finalize`` closes it), so views can be used
+        and discarded freely without leaking file descriptors.  An
+        owning handle unlinks the block immediately after mapping —
+        the memory itself survives until every mapping closes.
+        """
+        cls, reason = shared_memory_support()
+        if cls is None:  # pragma: no cover - resolve implies support
+            raise RuntimeError(f"cannot resolve shared array: {reason}")
+        block = cls(name=self.name)
+        try:
+            array = np.ndarray(
+                self.shape, dtype=np.dtype(self.dtype), buffer=block.buf
+            )
+            array.flags.writeable = False
+            weakref.finalize(array, _close_block, block)
+        except Exception:
+            block.close()
+            raise
+        if self.owns_block:
+            block.unlink()
+        return array
+
+
+def _close_block(block) -> None:
+    """Finalizer: release the mapping once no view references it."""
+    try:
+        block.close()
+    except (BufferError, OSError):  # pragma: no cover - interpreter teardown
+        pass
+
+
+@dataclass(frozen=True)
+class ShmTransport:
+    """The picklable slice of arena configuration a worker needs.
+
+    Carried inside :class:`~repro.parallel.executor.TaskEnvelope` so the
+    worker can pack large *result* arrays into fresh blocks without
+    holding a reference to the (unpicklable) parent arena.
+    """
+
+    min_bytes: int = DEFAULT_MIN_SHARE_BYTES
+
+
+@dataclass
+class _Block:
+    """Parent-side accounting for one live shared block."""
+
+    shm: object
+    array: np.ndarray  # pins id(array) while the block is referenced
+    refcount: int = 1
+
+
+@dataclass
+class ArenaStats:
+    """Observability counters for one arena's lifetime."""
+
+    arrays_shared: int = 0
+    bytes_shared: int = 0
+    arrays_passthrough: int = 0
+    blocks_created: int = 0
+    block_reuses: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "arrays_shared": self.arrays_shared,
+            "bytes_shared": self.bytes_shared,
+            "arrays_passthrough": self.arrays_passthrough,
+            "blocks_created": self.blocks_created,
+            "block_reuses": self.block_reuses,
+        }
+
+
+class SharedArrayArena:
+    """Parent-side manager of ref-counted shared-memory array blocks.
+
+    One arena serves one :class:`~repro.parallel.ParallelExecutor`; the
+    executor packs each task payload before submission and releases the
+    payload's blocks as the task's outcome is consumed.  Thread-safe —
+    the executor's generator may be driven from any thread.
+
+    Parameters
+    ----------
+    min_bytes:
+        Arrays below this size pass through by pickle.
+    """
+
+    def __init__(self, min_bytes: int = DEFAULT_MIN_SHARE_BYTES) -> None:
+        if min_bytes < 0:
+            raise ValueError(f"min_bytes must be non-negative: {min_bytes}")
+        self.min_bytes = min_bytes
+        cls, reason = shared_memory_support()
+        self._shm_cls = cls
+        self.fallback_reason = reason
+        self.stats = ArenaStats()
+        self._blocks: dict[str, _Block] = {}
+        self._by_array: dict[int, str] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether shared-memory transport is actually in effect."""
+        return self._shm_cls is not None
+
+    @property
+    def live_blocks(self) -> int:
+        """Blocks currently held — zero once every task released."""
+        with self._lock:
+            return len(self._blocks)
+
+    def transport(self) -> ShmTransport | None:
+        """Worker-side transport config (``None`` when degraded)."""
+        if not self.enabled:
+            return None
+        return ShmTransport(min_bytes=self.min_bytes)
+
+    # ------------------------------------------------------------------
+    # sharing
+
+    def share(self, array: np.ndarray) -> SharedArrayHandle:
+        """Copy ``array`` into a shared block and return its handle.
+
+        Sharing the same array object again reuses the existing block
+        and bumps its refcount; every handle must eventually be paired
+        with one :meth:`release`.
+        """
+        if not self.enabled:
+            raise RuntimeError(
+                f"shared memory unavailable: {self.fallback_reason}"
+            )
+        with self._lock:
+            name = self._by_array.get(id(array))
+            if name is not None:
+                block = self._blocks[name]
+                block.refcount += 1
+                self.stats.block_reuses += 1
+                self.stats.arrays_shared += 1
+                return self._handle_for(name, array)
+            # Zero-length arrays still get a (1-byte) block so the
+            # handle round-trip is uniform; nothing is copied.
+            shm = self._shm_cls(
+                create=True,
+                size=max(1, array.nbytes),
+                name=f"repro_arena_{secrets.token_hex(8)}",
+            )
+            if array.nbytes:
+                view = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=shm.buf
+                )
+                np.copyto(view, array)
+                del view
+            self._blocks[shm.name] = _Block(shm=shm, array=array)
+            self._by_array[id(array)] = shm.name
+            self.stats.blocks_created += 1
+            self.stats.arrays_shared += 1
+            self.stats.bytes_shared += array.nbytes
+            return self._handle_for(shm.name, array)
+
+    @staticmethod
+    def _handle_for(name: str, array: np.ndarray) -> SharedArrayHandle:
+        return SharedArrayHandle(
+            name=name, shape=array.shape, dtype=array.dtype.str
+        )
+
+    def release(self, handle: SharedArrayHandle) -> None:
+        """Drop one reference; the last release closes and unlinks."""
+        with self._lock:
+            block = self._blocks.get(handle.name)
+            if block is None:
+                return
+            block.refcount -= 1
+            if block.refcount > 0:
+                return
+            del self._blocks[handle.name]
+            self._by_array.pop(id(block.array), None)
+            shm = block.shm
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+
+    def close(self) -> None:
+        """Force-release every live block (end-of-run safety net)."""
+        with self._lock:
+            blocks = list(self._blocks.values())
+            self._blocks.clear()
+            self._by_array.clear()
+        for block in blocks:
+            block.shm.close()
+            try:
+                block.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "SharedArrayArena":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # payload packing
+
+    def pack(self, item) -> tuple[object, list[SharedArrayHandle]]:
+        """Replace large arrays inside ``item`` with shared handles.
+
+        Returns the packed payload and the handles it references; the
+        caller releases each handle once the task has completed.  With
+        shm degraded (or nothing large enough) the item passes through
+        untouched and the handle list is empty.
+        """
+        if not self.enabled:
+            return item, []
+        handles: list[SharedArrayHandle] = []
+        packed = self._pack_value(item, handles)
+        return packed, handles
+
+    def _pack_value(self, value, handles: list[SharedArrayHandle]):
+        if isinstance(value, np.ndarray):
+            if not self._shareable(value, self.min_bytes):
+                self.stats.arrays_passthrough += 1
+                return value
+            handle = self.share(value)
+            handles.append(handle)
+            return handle
+        if isinstance(value, tuple):
+            return tuple(self._pack_value(v, handles) for v in value)
+        if isinstance(value, list):
+            return [self._pack_value(v, handles) for v in value]
+        if isinstance(value, dict):
+            return {k: self._pack_value(v, handles) for k, v in value.items()}
+        return value
+
+    @staticmethod
+    def _shareable(array: np.ndarray, min_bytes: int) -> bool:
+        return array.dtype != object and array.nbytes >= min_bytes
+
+    def unpack_result(self, value):
+        """Resolve result handles a worker sent back (parent side)."""
+        return resolve_item(value)
+
+
+# ----------------------------------------------------------------------
+# worker-side helpers (module-level: must pickle by reference)
+
+
+def resolve_item(value):
+    """Recursively replace :class:`SharedArrayHandle` with array views."""
+    if isinstance(value, SharedArrayHandle):
+        return value.resolve()
+    if isinstance(value, tuple):
+        return tuple(resolve_item(v) for v in value)
+    if isinstance(value, list):
+        return [resolve_item(v) for v in value]
+    if isinstance(value, dict):
+        return {k: resolve_item(v) for k, v in value.items()}
+    return value
+
+
+def pack_result(value, transport: ShmTransport):
+    """Move a result's large arrays into fresh blocks (worker side).
+
+    The worker copies each qualifying array into a new shared block,
+    closes its own mapping immediately, and replaces the array with an
+    *owning* handle — the parent takes the block over when it resolves
+    the outcome.  Any failure falls back to returning the original
+    value (plain pickle), never to losing the result.
+    """
+    cls, _ = shared_memory_support()
+    if cls is None:  # pragma: no cover - transport implies support
+        return value
+    try:
+        return _pack_result_value(value, transport, cls)
+    except OSError:  # pragma: no cover - e.g. /dev/shm exhausted
+        return value
+
+
+def _pack_result_value(value, transport: ShmTransport, cls):
+    if isinstance(value, np.ndarray):
+        if not SharedArrayArena._shareable(value, transport.min_bytes):
+            return value
+        shm = cls(
+            create=True,
+            size=max(1, value.nbytes),
+            name=f"repro_result_{secrets.token_hex(8)}",
+        )
+        if value.nbytes:
+            view = np.ndarray(value.shape, dtype=value.dtype, buffer=shm.buf)
+            np.copyto(view, value)
+            del view
+        handle = SharedArrayHandle(
+            name=shm.name,
+            shape=value.shape,
+            dtype=value.dtype.str,
+            owns_block=True,
+        )
+        shm.close()
+        return handle
+    if isinstance(value, tuple):
+        return tuple(_pack_result_value(v, transport, cls) for v in value)
+    if isinstance(value, list):
+        return [_pack_result_value(v, transport, cls) for v in value]
+    if isinstance(value, dict):
+        return {
+            k: _pack_result_value(v, transport, cls) for k, v in value.items()
+        }
+    return value
+
+
+def _iter_handles(value):
+    if isinstance(value, SharedArrayHandle):
+        yield value
+    elif isinstance(value, (tuple, list)):
+        for v in value:
+            yield from _iter_handles(v)
+    elif isinstance(value, dict):
+        for v in value.values():
+            yield from _iter_handles(v)
+
+
+def discard_result(value) -> None:
+    """Reclaim result blocks that will never be consumed.
+
+    Used when a consumer abandons an iteration with completed-but-
+    unconsumed outcomes still queued: the worker-created blocks would
+    otherwise linger until interpreter exit.
+    """
+    cls, _ = shared_memory_support()
+    if cls is None:  # pragma: no cover - handles imply support
+        return
+    for handle in _iter_handles(value):
+        try:
+            block = cls(name=handle.name)
+        except FileNotFoundError:
+            continue
+        block.close()
+        try:
+            block.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing reclaim
+            pass

@@ -28,12 +28,14 @@ from pathlib import Path
 import numpy as np
 
 from .llm.base import ChatClient, ChatRequest, ChatResponse
-from .parallel import effective_cpu_count
+from .parallel import effective_cpu_count, shared_memory_support
 from .resilience.clock import Clock, WallClock
 
 __all__ = [
+    "HEADLINE_METRICS",
     "LatencyChatClient",
     "Stopwatch",
+    "compare_benchmarks",
     "git_sha",
     "machine_info",
     "write_bench",
@@ -95,14 +97,116 @@ def machine_info() -> dict:
     bounds any measured speedup.  The raw logical count is kept
     alongside for context (containers routinely report many logical
     CPUs while pinning the process to a fraction of them).
+
+    ``shared_memory`` records whether the process backend's zero-copy
+    array transport is available; when it is not, the recorded reason
+    documents that every process-backend measurement in the artifact
+    paid pickle transport instead.
     """
+    shm_cls, shm_reason = shared_memory_support()
+    shm_status: dict = {"available": shm_cls is not None}
+    if shm_reason is not None:
+        shm_status["fallback_reason"] = shm_reason
     return {
         "platform": platform.platform(),
         "python": platform.python_version(),
         "cpu_count": effective_cpu_count(),
         "cpu_count_logical": os.cpu_count(),
         "numpy": np.__version__,
+        "shared_memory": shm_status,
     }
+
+
+#: The metrics ``repro bench --compare`` guards, per benchmark name.
+#: Every entry is a dotted path into the benchmark document; all are
+#: higher-is-better ratios (speedups, rates, throughputs) so "regressed"
+#: always means "dropped".  ``waived_by`` names a boolean path that,
+#: when true in *either* document, exempts the metric — the recorded
+#: honesty flags (e.g. ``core_capped`` on single-core hosts) mark
+#: numbers the machine cannot physically improve.
+HEADLINE_METRICS: dict[str, list[dict]] = {
+    "pipeline": [
+        {"path": "survey.speedup"},
+        {"path": "llm_cache.warm_speedup"},
+    ],
+    "detect": [
+        {
+            "path": "process_parallel.speedup",
+            "waived_by": "process_parallel.core_capped",
+        },
+        {"path": "artifact_cache.warm_speedup"},
+    ],
+    "stream": [
+        {
+            "path": "transport.shm_speedup",
+            "waived_by": "transport.core_capped",
+        },
+        {"path": "streaming.stream_locations_per_s"},
+        {"path": "coalescing.hit_rate"},
+    ],
+}
+
+
+def _lookup(document: dict, dotted: str):
+    value = document
+    for part in dotted.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def compare_benchmarks(
+    fresh: dict, baseline: dict, threshold: float = 0.20
+) -> dict:
+    """Diff two benchmark documents over their headline metrics.
+
+    Returns ``{"bench", "compared", "waived", "missing", "regressions"}``
+    where ``regressions`` lists every headline metric that dropped by
+    more than ``threshold`` (relative) against the baseline.  A metric
+    absent from either document is reported in ``missing`` rather than
+    failing the comparison — old trajectory entries predate newer
+    metrics.  Pure function: the CLI turns a non-empty ``regressions``
+    into a non-zero exit.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive: {threshold}")
+    name = fresh.get("bench")
+    result: dict = {
+        "bench": name,
+        "compared": [],
+        "waived": [],
+        "missing": [],
+        "regressions": [],
+    }
+    if baseline.get("bench") != name:
+        raise ValueError(
+            f"benchmark mismatch: fresh is {name!r}, "
+            f"baseline is {baseline.get('bench')!r}"
+        )
+    for spec in HEADLINE_METRICS.get(name, []):
+        path = spec["path"]
+        waiver = spec.get("waived_by")
+        if waiver is not None and (
+            _lookup(fresh, waiver) or _lookup(baseline, waiver)
+        ):
+            result["waived"].append(path)
+            continue
+        new = _lookup(fresh, path)
+        old = _lookup(baseline, path)
+        if not isinstance(new, (int, float)) or not isinstance(
+            old, (int, float)
+        ):
+            result["missing"].append(path)
+            continue
+        entry = {"path": path, "baseline": old, "fresh": new}
+        result["compared"].append(entry)
+        if old > 0:
+            drop = (old - new) / old
+            entry["relative_change"] = round(-drop, 4)
+            if drop > threshold:
+                result["regressions"].append(entry)
+    return result
 
 
 def git_sha(repo_root: str | Path | None = None) -> str:

@@ -278,3 +278,96 @@ class TestExports:
             assert path.stat().st_size > 0
         parsed = json.loads(paths["geojson"].read_text())
         assert parsed["type"] == "FeatureCollection"
+
+
+class TestSingleFlight:
+    """Concurrent identical misses must share one upstream call."""
+
+    class _Gated:
+        """Client whose first call blocks until the test releases it."""
+
+        def __init__(self, inner):
+            import threading
+
+            self.inner = inner
+            self.model_name = inner.model_name
+            self.stats = inner.stats
+            self.calls = 0
+            self.entered = threading.Event()
+            self.release = threading.Event()
+
+        def complete(self, request):
+            self.calls += 1
+            self.entered.set()
+            assert self.release.wait(10.0), "test never released the gate"
+            return self.inner.complete(request)
+
+    def test_identical_in_flight_requests_pay_once(self, clients, attachment):
+        import threading
+
+        gated = self._Gated(clients["gpt-4o-mini"])
+        caching = CachingChatClient(gated)
+        request = _request(attachment)
+        responses = []
+
+        def call():
+            responses.append(caching.complete(request))
+
+        leader = threading.Thread(target=call)
+        leader.start()
+        assert gated.entered.wait(10.0)
+        followers = [threading.Thread(target=call) for _ in range(7)]
+        for thread in followers:
+            thread.start()
+        import time
+
+        time.sleep(0.2)  # let followers reach the flight wait
+        gated.release.set()
+        leader.join()
+        for thread in followers:
+            thread.join()
+
+        assert gated.calls == 1  # one billable upstream call for 8 requests
+        assert caching.misses == 1
+        assert caching.coalesced + caching.hits == 7
+        assert caching.coalesced >= 1
+        assert len({response.content for response in responses}) == 1
+
+    def test_leader_failure_propagates_and_clears_flight(self, attachment):
+        import threading
+
+        class _Failing:
+            model_name = "gpt-4o-mini"
+            calls = 0
+
+            def complete(self, request):
+                type(self).calls += 1
+                raise RuntimeError("upstream down")
+
+        caching = CachingChatClient(_Failing())
+        request = _request(attachment)
+        errors = []
+
+        def call():
+            try:
+                caching.complete(request)
+            except RuntimeError as err:
+                errors.append(err)
+
+        threads = [threading.Thread(target=call) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(errors) == 4  # nobody hangs, everybody sees the failure
+        assert not caching._inflight  # flight cleared: next call can lead
+        with pytest.raises(RuntimeError):
+            caching.complete(request)
+
+    def test_clear_resets_coalesced_counter(self, clients, attachment):
+        caching = CachingChatClient(clients["gpt-4o-mini"])
+        caching.complete(_request(attachment))
+        caching.coalesced = 3  # as if followers had shared flights
+        caching.clear()
+        assert caching.coalesced == 0
+        assert caching.hits == caching.misses == 0

@@ -94,3 +94,77 @@ class TestNeighborhoodDecoder:
             urban.indicator_rates()[Indicator.SIDEWALK]
             > rural.indicator_rates()[Indicator.SIDEWALK]
         )
+
+
+class TestSurveyStream:
+    """The streaming engine must be observably identical to batch."""
+
+    def _decoder(self, street_view, clients, name="gemini-1.5-pro"):
+        return NeighborhoodDecoder(
+            street_view=street_view,
+            classifier=LLMIndicatorClassifier(clients[name]),
+        )
+
+    def test_keep_locations_is_byte_identical_to_batch(
+        self, street_view, clients
+    ):
+        county = make_durham_like(seed=3)
+        batch = self._decoder(street_view, clients).survey(
+            county, n_locations=9, seed=4
+        )
+        stream = self._decoder(street_view, clients).survey_stream(
+            county, 9, seed=4, shard_size=3, keep_locations=True
+        )
+        assert stream.to_json() == batch.to_json()
+        assert stream.completed_locations == batch.completed_locations == 9
+
+    def test_aggregate_mode_rates_equal_batch_exactly(
+        self, street_view, clients
+    ):
+        county = make_robeson_like(seed=2)
+        batch = self._decoder(street_view, clients).survey(
+            county, n_locations=8, seed=6
+        )
+        stream = self._decoder(street_view, clients).survey_stream(
+            county, 8, seed=6, shard_size=3
+        )
+        assert stream.locations == []  # memory-bounded: nothing retained
+        assert stream.indicator_rates() == batch.indicator_rates()
+        assert stream.rates_by_zone() == batch.rates_by_zone()
+        assert stream.coverage == batch.coverage
+
+    def test_iterable_mode_consumes_a_generator(self, street_view, clients):
+        county = make_durham_like(seed=3)
+        points = NeighborhoodDecoder._select_points(county, 7, seed=1)
+        report = self._decoder(street_view, clients).survey_stream(
+            locations=iter(points), shard_size=2
+        )
+        assert report.requested_locations == 7
+        assert report.completed_locations == 7
+        for rate in report.indicator_rates().values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_mode_arguments_are_mutually_exclusive(
+        self, street_view, clients
+    ):
+        county = make_durham_like(seed=3)
+        decoder = self._decoder(street_view, clients)
+        points = NeighborhoodDecoder._select_points(county, 2, seed=1)
+        with pytest.raises(ValueError):
+            decoder.survey_stream(county, 2, locations=iter(points))
+        with pytest.raises(ValueError):
+            decoder.survey_stream()
+        with pytest.raises(ValueError):
+            decoder.survey_stream(
+                locations=iter(points), checkpoint="somewhere.json"
+            )
+
+    def test_coalesce_stats_reported_but_not_in_payload(
+        self, street_view, clients
+    ):
+        county = make_durham_like(seed=3)
+        report = self._decoder(street_view, clients).survey_stream(
+            county, 4, seed=2, shard_size=2
+        )
+        assert set(report.coalesce_stats) >= {"coalesced"}
+        assert "coalesce_stats" not in report.payload()

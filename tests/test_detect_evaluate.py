@@ -104,3 +104,80 @@ class TestOperatingPoint:
         precision, recall, f1 = best_f1_operating_point(scores, tp, 3)
         assert recall == pytest.approx(1.0)
         assert precision == pytest.approx(0.75)
+
+
+class TestStreamingEvaluation:
+    """Sharded/streamed prediction must be byte-identical to batch."""
+
+    @pytest.fixture(scope="class")
+    def trained(self, small_dataset):
+        from repro.detect import ModelConfig, TrainConfig, train_detector
+
+        splits = small_dataset.split(seed=0)
+        result = train_detector(
+            splits.train[:40],
+            model_config=ModelConfig(hidden=32),
+            train_config=TrainConfig(epochs=2, seed=0),
+        )
+        return result.model, splits.test[:24]
+
+    def test_predict_images_generator_matches_list(self, trained):
+        from repro.detect import predict_images
+
+        model, images = trained
+        batch = predict_images(model, images, conf_threshold=0.05)
+        stream = predict_images(
+            model, iter(images), conf_threshold=0.05, shard_size=7
+        )
+        assert len(batch) == len(stream) == len(images)
+        for batch_dets, stream_dets in zip(batch, stream):
+            assert len(batch_dets) == len(stream_dets)
+            for a, b in zip(batch_dets, stream_dets):
+                assert a.indicator == b.indicator
+                assert a.score == b.score  # exact, not approx
+                assert np.array_equal(a.box, b.box)
+
+    @pytest.mark.parametrize("shard_size", [5, 16, 100])
+    def test_evaluate_detector_streaming_report_identical(
+        self, trained, shard_size
+    ):
+        from repro.detect import evaluate_detector
+
+        model, images = trained
+        batch = evaluate_detector(model, images)
+        stream = evaluate_detector(
+            model, iter(images), shard_size=shard_size
+        )
+        assert stream == batch  # dataclass equality: every float exact
+
+    def test_accumulator_merge_equals_sequential(self, trained):
+        from repro.detect import DetectionAccumulator, iter_predictions
+
+        model, images = trained
+        pairs = list(iter_predictions(model, images, conf_threshold=0.05))
+        whole = DetectionAccumulator()
+        for image, detections in pairs:
+            whole.update(image, detections)
+        left, right = DetectionAccumulator(), DetectionAccumulator()
+        for image, detections in pairs[:10]:
+            left.update(image, detections)
+        for image, detections in pairs[10:]:
+            right.update(image, detections)
+        merged = left.merge(right)
+        assert merged.images_seen == whole.images_seen == len(images)
+        assert merged.report() == whole.report()
+
+    def test_merge_rejects_threshold_mismatch(self):
+        from repro.detect import DetectionAccumulator
+
+        with pytest.raises(ValueError):
+            DetectionAccumulator(0.5).merge(DetectionAccumulator(0.75))
+
+    def test_invalid_shard_and_batch_sizes_rejected(self, trained):
+        from repro.detect import predict_images
+
+        model, images = trained
+        with pytest.raises(ValueError):
+            predict_images(model, images, 0.05, shard_size=0)
+        with pytest.raises(ValueError):
+            predict_images(model, images, 0.05, batch_size=0)

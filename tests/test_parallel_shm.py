@@ -1,0 +1,258 @@
+"""Unit tests for the shared-memory array transport.
+
+Covers the arena's ref-counting and release discipline, zero-length
+arrays, the degraded (no-shm) fallback with its recorded reason, the
+envelope-level transparency of handle resolution, and — the invariant
+the module docstring promises — that a drained executor leaves zero
+live blocks behind in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    DEFAULT_MIN_SHARE_BYTES,
+    ParallelExecutor,
+    SharedArrayArena,
+    SharedArrayHandle,
+    TaskEnvelope,
+    shared_memory_support,
+)
+from repro.parallel.shm import discard_result, pack_result, resolve_item
+
+SHM_DIR = Path("/dev/shm")
+
+needs_shm = pytest.mark.skipif(
+    shared_memory_support()[0] is None,
+    reason="multiprocessing.shared_memory unavailable on this host",
+)
+
+
+def _shm_block_names() -> set[str]:
+    """Names of live repro-owned blocks the OS currently holds."""
+    if not SHM_DIR.is_dir():  # pragma: no cover - non-tmpfs hosts
+        return set()
+    return {
+        p.name
+        for p in SHM_DIR.iterdir()
+        if p.name.startswith(("repro_arena_", "repro_result_"))
+    }
+
+
+def _scale(item):
+    """Module-level so it pickles into child processes."""
+    factor, array = item
+    return array * factor
+
+
+def _first_row(array):
+    return array[0].copy()
+
+
+@needs_shm
+class TestSharedArrayArena:
+    def test_share_resolve_round_trip(self):
+        rng = np.random.default_rng(7)
+        array = rng.standard_normal((64, 64))
+        with SharedArrayArena(min_bytes=0) as arena:
+            handle = arena.share(array)
+            view = handle.resolve()
+            assert np.array_equal(view, array)
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0, 0] = 1.0
+
+    def test_same_array_reuses_one_block(self):
+        array = np.ones((32, 32))
+        with SharedArrayArena(min_bytes=0) as arena:
+            first = arena.share(array)
+            second = arena.share(array)
+            assert first.name == second.name
+            assert arena.live_blocks == 1
+            assert arena.stats.blocks_created == 1
+            assert arena.stats.block_reuses == 1
+            # One release per handle; only the last unlinks.
+            arena.release(first)
+            assert arena.live_blocks == 1
+            arena.release(second)
+            assert arena.live_blocks == 0
+
+    def test_release_is_idempotent_for_unknown_handles(self):
+        with SharedArrayArena(min_bytes=0) as arena:
+            arena.release(
+                SharedArrayHandle(name="repro_arena_missing", shape=(1,), dtype="<f8")
+            )
+            assert arena.live_blocks == 0
+
+    def test_zero_length_array_round_trips(self):
+        array = np.empty((0, 5), dtype=np.float32)
+        with SharedArrayArena(min_bytes=0) as arena:
+            handle = arena.share(array)
+            view = handle.resolve()
+            assert view.shape == (0, 5)
+            assert view.dtype == np.float32
+            arena.release(handle)
+
+    def test_small_arrays_pass_through_pack(self):
+        small = np.ones(4)
+        big = np.ones(DEFAULT_MIN_SHARE_BYTES // 8 + 1)
+        with SharedArrayArena() as arena:
+            packed, handles = arena.pack((small, big))
+            assert packed[0] is small
+            assert isinstance(packed[1], SharedArrayHandle)
+            assert len(handles) == 1
+            assert arena.stats.arrays_passthrough == 1
+            assert arena.stats.arrays_shared == 1
+
+    def test_pack_traverses_nested_containers(self):
+        array = np.ones((16, 16))
+        item = {"images": [array, array], "meta": ("x", 3)}
+        with SharedArrayArena(min_bytes=0) as arena:
+            packed, handles = arena.pack(item)
+            assert len(handles) == 2  # two references, one block
+            assert arena.live_blocks == 1
+            assert packed["meta"] == ("x", 3)
+            restored = resolve_item(packed)
+            assert np.array_equal(restored["images"][0], array)
+            for handle in handles:
+                arena.release(handle)
+            assert arena.live_blocks == 0
+
+    def test_close_reclaims_everything(self):
+        before = _shm_block_names()
+        arena = SharedArrayArena(min_bytes=0)
+        for _ in range(3):
+            arena.share(np.ones((8, 8)) * np.random.default_rng(0).random())
+        assert arena.live_blocks >= 1
+        arena.close()
+        assert arena.live_blocks == 0
+        assert _shm_block_names() == before
+
+
+class TestDegradedFallback:
+    def test_arena_degrades_with_recorded_reason(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.parallel.shm.shared_memory_support",
+            lambda: (None, "test-forced fallback"),
+        )
+        arena = SharedArrayArena()
+        assert not arena.enabled
+        assert arena.fallback_reason == "test-forced fallback"
+        assert arena.transport() is None
+        array = np.ones((256, 256))
+        packed, handles = arena.pack(array)
+        assert packed is array  # plain pickle transport
+        assert handles == []
+        with pytest.raises(RuntimeError, match="test-forced fallback"):
+            arena.share(array)
+
+    def test_machine_info_surfaces_fallback_reason(self, monkeypatch):
+        from repro import perf
+
+        monkeypatch.setattr(
+            perf, "shared_memory_support", lambda: (None, "no tmpfs here")
+        )
+        status = perf.machine_info()["shared_memory"]
+        assert status == {"available": False, "fallback_reason": "no tmpfs here"}
+
+    def test_machine_info_reports_available(self):
+        from repro.perf import machine_info
+
+        status = machine_info()["shared_memory"]
+        assert status["available"] is (shared_memory_support()[0] is not None)
+
+    def test_executor_still_works_degraded(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.parallel.shm.shared_memory_support",
+            lambda: (None, "test-forced fallback"),
+        )
+        rng = np.random.default_rng(3)
+        items = [(2.0, rng.standard_normal((64, 64))) for _ in range(4)]
+        executor = ParallelExecutor(workers=2, backend="process")
+        values = executor.map_results(_scale, items)
+        for (factor, array), value in zip(items, values):
+            assert np.array_equal(value, array * factor)
+
+
+@needs_shm
+class TestEnvelopeTransparency:
+    def test_worker_sees_plain_readonly_array(self):
+        array = np.arange(64.0).reshape(8, 8)
+        with SharedArrayArena(min_bytes=0) as arena:
+            packed, handles = arena.pack((3.0, array))
+            envelope = TaskEnvelope(_scale, 0, packed, arena.transport())
+            outcome = envelope.run()
+            assert outcome.ok
+            value = arena.unpack_result(outcome.value)
+            assert np.array_equal(value, array * 3.0)
+            for handle in handles:
+                arena.release(handle)
+
+    def test_result_blocks_are_owning_and_self_unlinking(self):
+        before = _shm_block_names()
+        big = np.ones((256, 256))
+        from repro.parallel import ShmTransport
+
+        packed = pack_result(big, ShmTransport(min_bytes=0))
+        assert isinstance(packed, SharedArrayHandle)
+        assert packed.owns_block
+        view = resolve_item(packed)  # resolving unlinks the block
+        assert np.array_equal(view, big)
+        del view
+        assert _shm_block_names() == before
+
+    def test_discard_result_reclaims_unconsumed_blocks(self):
+        before = _shm_block_names()
+        from repro.parallel import ShmTransport
+
+        packed = pack_result(np.ones((128, 128)), ShmTransport(min_bytes=0))
+        assert isinstance(packed, SharedArrayHandle)
+        discard_result(packed)
+        assert _shm_block_names() == before
+        discard_result(packed)  # second discard is a no-op
+
+
+@needs_shm
+class TestExecutorLeakFreedom:
+    def test_process_pool_matches_shm_off_and_leaks_nothing(self):
+        before = _shm_block_names()
+        rng = np.random.default_rng(11)
+        items = [(float(i), rng.standard_normal((128, 128))) for i in range(6)]
+
+        with_shm = ParallelExecutor(
+            workers=2, backend="process", shm=True, shm_min_bytes=0
+        ).map_results(_scale, items)
+        without = ParallelExecutor(
+            workers=2, backend="process", shm=False
+        ).map_results(_scale, items)
+
+        for a, b in zip(with_shm, without):
+            assert np.array_equal(a, b)
+        assert _shm_block_names() == before
+
+    def test_early_abandon_leaks_nothing(self):
+        before = _shm_block_names()
+        rng = np.random.default_rng(13)
+        items = [(1.0, rng.standard_normal((128, 128))) for _ in range(8)]
+        executor = ParallelExecutor(
+            workers=2, backend="process", shm=True, shm_min_bytes=0
+        )
+        iterator = executor.imap(_scale, items)
+        next(iterator)
+        next(iterator)
+        iterator.close()  # consumer bails mid-sweep
+        assert _shm_block_names() == before
+
+    def test_large_result_arrays_come_back_intact(self):
+        rng = np.random.default_rng(17)
+        items = [rng.standard_normal((64, 64)) for _ in range(4)]
+        executor = ParallelExecutor(
+            workers=2, backend="process", shm=True, shm_min_bytes=0
+        )
+        rows = executor.map_results(_first_row, items)
+        for array, row in zip(items, rows):
+            assert np.array_equal(row, array[0])

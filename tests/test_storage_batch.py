@@ -178,3 +178,56 @@ class TestBatchRunner:
     def test_validates_attempts(self, clients):
         with pytest.raises(ValueError):
             BatchRunner(clients["gpt-4o-mini"], max_attempts=0)
+
+
+class TestBatchCoalescing:
+    def _duplicated_requests(self, scenes, n):
+        prompt = build_parallel_prompt()
+        return [
+            ChatRequest(
+                model="gpt-4o-mini",
+                messages=(
+                    ChatMessage(
+                        role="user",
+                        text=prompt,
+                        images=(ImageAttachment(scene=scenes[i % len(scenes)]),),
+                    ),
+                ),
+            )
+            for i in range(n)
+        ]
+
+    def test_duplicates_share_one_upstream_call(self, clients, small_dataset):
+        scenes = [image.scene for image in small_dataset.images[:2]]
+        requests = self._duplicated_requests(scenes, n=6)  # 2 unique
+        client = clients["gpt-4o-mini"]
+        before = client.stats.requests
+        runner = BatchRunner(client, coalesce=True)
+        outcomes, stats = runner.run(requests)
+        assert client.stats.requests - before == 2
+        assert stats.coalesced == 4
+        assert stats.succeeded == 6
+        assert [o.index for o in outcomes] == list(range(6))
+        # A duplicate's outcome is a copy of its representative's.
+        assert outcomes[2].response.content == outcomes[0].response.content
+
+    def test_outcomes_match_uncoalesced_run(self, clients, small_dataset):
+        scenes = [image.scene for image in small_dataset.images[:2]]
+        requests = self._duplicated_requests(scenes, n=4)
+        client = clients["gpt-4o-mini"]
+        plain, plain_stats = BatchRunner(client).run(requests)
+        merged, merged_stats = BatchRunner(client, coalesce=True).run(requests)
+        assert plain_stats.coalesced == 0
+        assert merged_stats.coalesced == 2
+        for a, b in zip(plain, merged):
+            assert a.index == b.index
+            assert a.response.content == b.response.content
+
+    def test_unique_requests_are_never_coalesced(self, clients, small_dataset):
+        scenes = [image.scene for image in small_dataset.images[:4]]
+        requests = self._duplicated_requests(scenes, n=4)  # all unique
+        _, stats = BatchRunner(clients["gpt-4o-mini"], coalesce=True).run(
+            requests
+        )
+        assert stats.coalesced == 0
+        assert stats.succeeded == 4
