@@ -43,6 +43,8 @@ from typing import Any
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
+
 __all__ = [
     "ArtifactCache",
     "fingerprint",
@@ -186,6 +188,9 @@ class ArtifactCache:
         with self._lock:
             counter = self._hits if hit else self._misses
             counter[kind] = counter.get(kind, 0) + 1
+        get_metrics().inc(
+            "artifacts.hits" if hit else "artifacts.misses"
+        )
 
     # ------------------------------------------------------------------
     # storage

@@ -9,14 +9,22 @@ Usage::
     python -m repro all --workers auto --artifacts .artifacts
     python -m repro survey --locations 20 --min-coverage 0.9
     python -m repro survey --locations 64 --workers 4   # parallel decode
+    python -m repro survey --locations 20 --metrics metrics.json
+    python -m repro trace --locations 12 --workers 4    # traced survey
     python -m repro bench                # refresh BENCH_*.json
 
 Results render as plain-text tables on stdout.  ``survey`` runs the
 deployable decoder end-to-end, prints a coverage/degradation summary,
-and exits nonzero only when coverage falls below ``--min-coverage``.
-``bench`` runs the perf-marked benchmarks, refusing to overwrite
-``BENCH_*.json`` documents recorded at a different commit unless
-``--force`` is given.
+and exits nonzero only when coverage falls below ``--min-coverage``;
+``--metrics PATH`` additionally writes the observability-counter
+delta the survey moved.  ``trace`` runs the same survey under a
+recording :class:`~repro.obs.trace.Tracer` and a voting ensemble,
+exports the span tree to ``--trace-out`` (default ``trace.jsonl``),
+and audits it: the trace must be structurally sound and the metrics
+must reconcile exactly against the report's own counters (see
+:mod:`repro.obs.audit`).  ``bench`` runs the perf-marked benchmarks,
+refusing to overwrite ``BENCH_*.json`` documents recorded at a
+different commit unless ``--force`` is given.
 """
 
 from __future__ import annotations
@@ -114,19 +122,25 @@ def _config_for(scale: str) -> ExperimentConfig:
     raise SystemExit(f"unknown scale: {scale!r}")
 
 
-def _run_survey(args: argparse.Namespace) -> int:
+def _run_survey(args: argparse.Namespace, traced: bool = False) -> int:
     """Run one fault-tolerant survey and summarize its outcome.
 
     Exit status is 0 when coverage meets ``--min-coverage`` and 1
     otherwise — partial results are reported either way, so an
     operator can rerun with the same ``--checkpoint`` to resume.
+
+    With ``traced`` (the ``trace`` command) the decoder drives the
+    paper's three-model voting ensemble and renders pixels eagerly, so
+    the recorded span tree covers every stage — fetch, render, LLM
+    request, vote, merge — and the run ends with a determinism audit.
     """
     from .core.classifier import LLMIndicatorClassifier
     from .core.pipeline import NeighborhoodDecoder
+    from .core.voting import VotingEnsemble
     from .geo.county import make_durham_like, make_robeson_like
     from .gsv.api import StreetViewClient
     from .gsv.dataset import build_survey_dataset
-    from .llm.paper_targets import GEMINI_15_PRO
+    from .llm.paper_targets import GEMINI_15_PRO, VOTING_MODEL_IDS
     from .llm.registry import build_clients
     from .resilience import CircuitBreaker, RetryPolicy
 
@@ -142,16 +156,31 @@ def _run_survey(args: argparse.Namespace) -> int:
         daily_quota=args.daily_quota,
     )
     calibration = build_survey_dataset(n_images=60, size=256, seed=77)
+    model_ids = tuple(VOTING_MODEL_IDS) if traced else (GEMINI_15_PRO,)
     clients = build_clients(
-        [image.scene for image in calibration], model_ids=(GEMINI_15_PRO,)
+        [image.scene for image in calibration], model_ids=model_ids
     )
+    if traced:
+        brains: dict = {
+            "ensemble": VotingEnsemble(
+                classifiers={
+                    model_id: LLMIndicatorClassifier(clients[model_id])
+                    for model_id in model_ids
+                }
+            )
+        }
+    else:
+        brains = {
+            "classifier": LLMIndicatorClassifier(clients[GEMINI_15_PRO])
+        }
     decoder = NeighborhoodDecoder(
         street_view=street_view,
-        classifier=LLMIndicatorClassifier(clients[GEMINI_15_PRO]),
         retry_policy=RetryPolicy(max_attempts=4, base_delay_s=0.05,
                                  max_delay_s=0.5),
         gsv_breaker=CircuitBreaker(name="gsv", failure_threshold=12,
                                    recovery_time_s=1.0),
+        render_pixels=traced,
+        **brains,
     )
     workers = 0 if args.workers == "auto" else args.workers
     if args.stream:
@@ -198,6 +227,30 @@ def _run_survey(args: argparse.Namespace) -> int:
         )
     for indicator, rate in report.indicator_rates().items():
         print(f"  {indicator.value:18s} {rate:.2f}")
+    if args.metrics:
+        metrics_path = Path(args.metrics)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(
+            json.dumps(report.metrics, sort_keys=True, indent=2) + "\n"
+        )
+        print(f"metrics        {metrics_path}")
+    if traced:
+        from .obs.audit import audit_trace, reconcile_survey
+        from .obs.trace import get_tracer
+
+        mismatches = reconcile_survey(report)
+        problems = audit_trace(get_tracer())
+        for line in mismatches:
+            print(f"  RECONCILE {line}")
+        for line in problems:
+            print(f"  TRACE {line}")
+        if mismatches or problems:
+            print("determinism audit FAILED")
+            return 1
+        print(
+            "determinism audit ok: metrics reconcile with the report "
+            "and the span tree is sound"
+        )
     if report.coverage < args.min_coverage:
         print(
             f"coverage {report.coverage:.1%} below required "
@@ -210,6 +263,25 @@ def _run_survey(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    """Run a traced ensemble survey and export ``trace.jsonl``.
+
+    Installs a recording tracer and a *fresh* metrics registry for the
+    duration of the survey (so the exported delta spans exactly this
+    run), writes the span tree to ``--trace-out``, and returns the
+    traced survey's audited exit status.
+    """
+    from .obs.metrics import MetricsRegistry, use_metrics
+    from .obs.trace import Tracer, use_tracer
+
+    tracer = Tracer(trace_id=f"survey-{args.county}-seed{args.seed}")
+    with use_tracer(tracer), use_metrics(MetricsRegistry()):
+        status = _run_survey(args, traced=True)
+    spans = tracer.export_jsonl(args.trace_out)
+    print(f"trace          {spans} spans -> {args.trace_out}")
+    return status
 
 
 def _run_bench(args: argparse.Namespace) -> int:
@@ -335,10 +407,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "bench", "list", "survey"],
+        choices=sorted(EXPERIMENTS) + ["all", "bench", "list", "survey",
+                                       "trace"],
         help=(
             "which experiment to run ('survey' runs the decoder itself, "
-            "'bench' runs the perf benchmarks)"
+            "'trace' runs it under a recording tracer and audits the "
+            "books, 'bench' runs the perf benchmarks)"
         ),
     )
     parser.add_argument(
@@ -435,6 +509,21 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="simulated GSV daily image quota (default: unlimited)",
     )
+    survey_group.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the survey's observability-counter delta (the same "
+            "dict repro.obs.audit reconciles) to PATH as JSON"
+        ),
+    )
+    survey_group.add_argument(
+        "--trace-out",
+        default="trace.jsonl",
+        metavar="PATH",
+        help="trace: span export path (default: trace.jsonl)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -443,6 +532,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "survey":
         return _run_survey(args)
+    if args.experiment == "trace":
+        return _run_trace(args)
     if args.experiment == "bench":
         return _run_bench(args)
 

@@ -39,6 +39,8 @@ from ..geo.sampling import (
     expand_to_captures,
     select_survey_locations,
 )
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from ..parallel.executor import ParallelExecutor
 from ..resilience.breaker import CircuitBreaker, CircuitOpenError
 from ..resilience.checkpoint import SurveyCheckpoint
@@ -91,6 +93,10 @@ class SurveyReport:
     request coalescing for observability but is deliberately *not*
     part of :meth:`payload`: whether identical in-flight requests
     shared an upstream call must never change what the survey decoded.
+    ``metrics`` — the observability counters this survey moved (see
+    :mod:`repro.obs.metrics`) — is excluded for the same reason, and so
+    that :func:`repro.obs.audit.reconcile_survey` stays an *independent*
+    second set of books rather than part of the payload it audits.
     """
 
     locations: list[LocationResult] = field(default_factory=list)
@@ -105,6 +111,7 @@ class SurveyReport:
     presence_stats: PresenceAccumulator | None = None
     zone_stats: dict[str, PresenceAccumulator] | None = None
     coalesce_stats: dict[str, int] = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
 
     def indicator_rates(self) -> dict[Indicator, float]:
         """Fraction of locations where each indicator was decoded."""
@@ -195,6 +202,11 @@ class NeighborhoodDecoder:
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     gsv_breaker: CircuitBreaker | None = None
     clock: Clock = field(default_factory=WallClock)
+    #: Rasterize during the fetch instead of deferring pixels.  The
+    #: survey itself never needs eager pixels (the classifier renders
+    #: on demand), but a traced run sets this so ``gsv.render`` spans
+    #: land inside their ``gsv.fetch`` parents.
+    render_pixels: bool = False
 
     def __post_init__(self) -> None:
         if (self.classifier is None) == (self.ensemble is None):
@@ -388,6 +400,9 @@ class NeighborhoodDecoder:
         Only ``max_in_flight`` points are held at once: the in-flight
         window is the whole memory footprint of a streamed survey.
         """
+        tracer = get_tracer()
+        registry = get_metrics()
+        metrics_before = registry.snapshot()
         baselines = {
             id(clf): replace(clf.retry_stats)
             for clf in self._classifiers()
@@ -411,69 +426,98 @@ class NeighborhoodDecoder:
                 drawn += 1
                 yield index, point
 
-        def decode_one(
-            indexed: tuple[int, SamplePoint]
-        ) -> tuple[LocationResult, int, int] | dict:
-            """Fetch+classify one location (runs on a worker thread).
+        with tracer.span("survey", workers=workers) as root_span:
 
-            Checkpointed locations return their stored payload without
-            touching the network; errors propagate to the consumer
-            below, which records the failure in submission order.
-            """
-            index, point = indexed
-            if store is not None and store.has(index):
-                return store.get(index)
-            images = self._fetch_location(index, point, report)
-            presences, degraded = self._predict_location(images)
-            union = [
-                ind
-                for ind in ALL_INDICATORS
-                if any(presence[ind] for presence in presences)
-            ]
-            result = LocationResult(
-                latitude=point.location.lat,
-                longitude=point.location.lon,
-                county=point.county,
-                zone_kind=point.zone_kind.value,
-                presence=IndicatorPresence(union),
-            )
-            return result, len(images), degraded
+            def decode_one(
+                indexed: tuple[int, SamplePoint]
+            ) -> tuple[LocationResult, int, int] | dict:
+                """Fetch+classify one location (runs on a worker thread).
 
-        for task in executor.imap(decode_one, tracked()):
-            point = window.pop(task.index)
-            try:
-                outcome = task.result()
-            except (StreetViewError, CircuitOpenError, ClassificationError) as err:
-                report.failed_locations.append(
-                    FailedLocation(
-                        index=task.index,
+                Checkpointed locations return their stored payload
+                without touching the network; errors propagate to the
+                consumer below, which records the failure in
+                submission order.  The location span parents to the
+                survey root *explicitly* — implicit (contextvar)
+                parenting does not cross the worker-thread boundary.
+                """
+                index, point = indexed
+                with tracer.span(
+                    "survey.location", parent=root_span, index=index
+                ) as loc_span:
+                    if store is not None and store.has(index):
+                        loc_span.set(checkpointed=True)
+                        return store.get(index)
+                    images = self._fetch_location(index, point, report)
+                    with tracer.span(
+                        "survey.classify", images=len(images)
+                    ):
+                        presences, degraded = self._predict_location(
+                            images
+                        )
+                    union = [
+                        ind
+                        for ind in ALL_INDICATORS
+                        if any(presence[ind] for presence in presences)
+                    ]
+                    result = LocationResult(
                         latitude=point.location.lat,
                         longitude=point.location.lon,
-                        reason=f"{type(err).__name__}: {err}",
+                        county=point.county,
+                        zone_kind=point.zone_kind.value,
+                        presence=IndicatorPresence(union),
                     )
-                )
-                continue
-            if isinstance(outcome, dict):
-                self._restore_location(report, outcome, keep_locations)
-                continue
-            result, n_images, degraded = outcome
-            self._record_result(
-                report, result, n_images, degraded, keep_locations
-            )
-            if store is not None:
-                store.record(
-                    task.index,
-                    self._location_payload(result, n_images, degraded),
-                )
+                    return result, len(images), degraded
 
-        report.fees_usd = self.street_view.usage().fees_usd - fees_before
-        for clf in self._classifiers():
-            report.retry_stats.merge(
-                _stats_since(clf.retry_stats, baselines[id(clf)])
+            for task in executor.imap(decode_one, tracked()):
+                point = window.pop(task.index)
+                with tracer.span(
+                    "survey.merge", parent=root_span, index=task.index
+                ):
+                    try:
+                        outcome = task.result()
+                    except (
+                        StreetViewError,
+                        CircuitOpenError,
+                        ClassificationError,
+                    ) as err:
+                        registry.inc("survey.locations.failed")
+                        report.failed_locations.append(
+                            FailedLocation(
+                                index=task.index,
+                                latitude=point.location.lat,
+                                longitude=point.location.lon,
+                                reason=f"{type(err).__name__}: {err}",
+                            )
+                        )
+                        continue
+                    if isinstance(outcome, dict):
+                        self._restore_location(
+                            report, outcome, keep_locations
+                        )
+                        continue
+                    result, n_images, degraded = outcome
+                    self._record_result(
+                        report, result, n_images, degraded, keep_locations
+                    )
+                    if store is not None:
+                        store.record(
+                            task.index,
+                            self._location_payload(
+                                result, n_images, degraded
+                            ),
+                        )
+
+            report.fees_usd = (
+                self.street_view.usage().fees_usd - fees_before
             )
-        report.coalesce_stats = _totals_since(
-            self._coalesce_totals(), coalesce_before
-        )
+            for clf in self._classifiers():
+                report.retry_stats.merge(
+                    _stats_since(clf.retry_stats, baselines[id(clf)])
+                )
+            report.coalesce_stats = _totals_since(
+                self._coalesce_totals(), coalesce_before
+            )
+        report.metrics = registry.delta_since(metrics_before)
         return drawn
 
     # ------------------------------------------------------------------
@@ -492,7 +536,7 @@ class NeighborhoodDecoder:
         for offset, capture in enumerate(expand_to_captures([point])):
             outcome = self.retry_policy.execute(
                 lambda capture=capture: self.street_view.fetch_capture(
-                    capture, render=False
+                    capture, render=self.render_pixels
                 ),
                 retryable=(TransientNetworkError,),
                 giveup=(StreetViewError,),
@@ -552,8 +596,15 @@ class NeighborhoodDecoder:
 
         The single merge point for both modes: batch/keep retains the
         :class:`LocationResult`, aggregate mode folds its presence
-        into the accumulators and drops it.
+        into the accumulators and drops it.  It is also the single
+        metrics tap for completions, which keeps the global books
+        reconcilable with the report (see :mod:`repro.obs.audit`).
         """
+        metrics = get_metrics()
+        metrics.inc("survey.locations.completed")
+        metrics.inc("survey.images.classified", images)
+        if degraded:
+            metrics.inc("survey.votes.degraded", degraded)
         report.images_classified += images
         report.degraded_votes += degraded
         report.completed_locations += 1

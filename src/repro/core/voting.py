@@ -15,6 +15,7 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from ..gsv.dataset import LabeledImage
+from ..obs.trace import get_tracer
 from ..parallel.executor import ParallelExecutor
 from ..resilience.breaker import CircuitBreaker
 from .classifier import ClassificationError, LLMIndicatorClassifier
@@ -147,6 +148,17 @@ class VotingEnsemble:
         :class:`~repro.core.classifier.ClassificationError` only when
         *every* member fails.
         """
+        with get_tracer().span(
+            "survey.vote", image_id=image.image_id
+        ) as span:
+            record = self._vote_image(image)
+            span.set(
+                members=len(record.members_voted),
+                degraded=record.degraded,
+            )
+            return record
+
+    def _vote_image(self, image: LabeledImage) -> VoteRecord:
         names = sorted(self.classifiers)
         if self.executor is not None:
             member_votes = [

@@ -25,6 +25,8 @@ from pathlib import Path
 import numpy as np
 
 from ..core.indicators import ALL_INDICATORS, Indicator
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from .boxes import clip_boxes, cxcywh_to_xyxy, nms
 from .features import FeatureConfig, extract_features
 
@@ -239,13 +241,17 @@ class NanoDetector:
                 np.zeros((0, config.n_cells, N_CLASSES)),
                 np.zeros((0, config.n_cells, N_CLASSES, 4)),
             )
-        features = np.stack(
-            [
-                extract_features(image, self.config.feature_config)
-                for image in images
-            ]
-        )
-        return self.predict_cells_from_features(features)
+        metrics = get_metrics()
+        metrics.inc("detect.batch.calls")
+        metrics.inc("detect.batch.images", len(images))
+        with get_tracer().span("detect.batch", images=len(images)):
+            features = np.stack(
+                [
+                    extract_features(image, self.config.feature_config)
+                    for image in images
+                ]
+            )
+            return self.predict_cells_from_features(features)
 
     def detect(
         self, image: np.ndarray, conf_threshold: float | None = None

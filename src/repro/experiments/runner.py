@@ -59,6 +59,8 @@ from ..llm.paper_targets import (
     VOTING_MODEL_IDS,
 )
 from ..llm.registry import build_clients
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from ..scene.noise import PAPER_SNR_LEVELS_DB, add_gaussian_noise
 from .config import ExperimentConfig, paper_config
 from .prior_work import prior_work_comparison
@@ -597,22 +599,29 @@ class ExperimentSuite:
             raise ValueError(f"unknown experiments: {unknown}")
         workers = self.workers if workers is None else workers
 
+        registry = get_metrics()
+        metrics_before = registry.snapshot()
         started = time.perf_counter()
-        _ = self.dataset, self.splits, self.trained_detector
-        if any(name in _LLM_EXPERIMENTS for name in names):
-            _ = self.clients
-            for model_id in ALL_MODEL_IDS:
-                self.model_predictions(model_id)
+        with get_tracer().span("suite", experiments=len(names)):
+            _ = self.dataset, self.splits, self.trained_detector
+            if any(name in _LLM_EXPERIMENTS for name in names):
+                _ = self.clients
+                for model_id in ALL_MODEL_IDS:
+                    self.model_predictions(model_id)
 
-        executor = ParallelExecutor(workers=workers, backend="auto")
-        outcomes = executor.run(lambda name: PAPER_RUNNERS[name](self), names)
-        results = {
-            name: outcome.result() for name, outcome in zip(names, outcomes)
-        }
+            executor = ParallelExecutor(workers=workers, backend="auto")
+            outcomes = executor.run(
+                lambda name: PAPER_RUNNERS[name](self), names
+            )
+            results = {
+                name: outcome.result()
+                for name, outcome in zip(names, outcomes)
+            }
         return SuiteRun(
             results=results,
             elapsed_s=time.perf_counter() - started,
             cache_stats=self.cache_stats(),
+            metrics=registry.delta_since(metrics_before),
         )
 
 
@@ -622,12 +631,15 @@ class SuiteRun:
 
     ``cache_stats`` carries the artifact cache's hit/miss counters so
     suite consumers (the CLI, the perf benches) can report how much
-    work was replayed from disk instead of recomputed.
+    work was replayed from disk instead of recomputed.  ``metrics`` is
+    the observability-counter delta the run moved (see
+    :mod:`repro.obs.metrics`) — empty when nothing instrumented ran.
     """
 
     results: dict[str, list[ExperimentResult]]
     elapsed_s: float
     cache_stats: dict
+    metrics: dict = field(default_factory=dict)
 
     def all_results(self) -> list[ExperimentResult]:
         return [result for group in self.results.values() for result in group]

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..geo.coordinates import CARDINAL_HEADINGS, LatLon, normalize_heading
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from ..geo.county import County, ZoneKind
 from ..geo.roadnet import RoadClass
 from ..geo.sampling import CaptureRequest, SamplePoint
@@ -199,50 +201,62 @@ class StreetViewClient:
         scene and billing are identical; call ``require_pixels`` when
         the pixels are actually needed).
         """
-        self._check_key()
-        self._check_quota()
-        self._maybe_fail()
-        if self.latency_s > 0:
-            self.clock.sleep(self.latency_s)
-        heading = int(normalize_heading(heading))
-        if heading not in CARDINAL_HEADINGS:
-            raise ValueError(
-                f"heading must be one of {CARDINAL_HEADINGS}: {heading}"
+        metrics = get_metrics()
+        with get_tracer().span(
+            "gsv.fetch", heading=int(heading), render=render
+        ) as span:
+            metrics.inc("gsv.requests")
+            self._check_key()
+            self._check_quota()
+            self._maybe_fail()
+            if self.latency_s > 0:
+                self.clock.sleep(self.latency_s)
+            heading = int(normalize_heading(heading))
+            if heading not in CARDINAL_HEADINGS:
+                raise ValueError(
+                    f"heading must be one of {CARDINAL_HEADINGS}: {heading}"
+                )
+            county = self._county_for(location)
+            if county is None:
+                raise NoImageryError(
+                    f"no imagery at ({location.lat:.5f}, {location.lon:.5f})"
+                )
+            zone = county.zone_at(location)
+            pano_id = self._pano_id(location, heading)
+            span.set(pano_id=pano_id)
+            scene = self._generator.generate(
+                scene_id=pano_id,
+                zone_kind=zone.kind,
+                road_class=road_class,
+                heading=heading,
+                road_bearing=(
+                    road_bearing
+                    if road_bearing is not None
+                    else float(heading)
+                ),
+                county=county.name,
+                latitude=location.lat,
+                longitude=location.lon,
             )
-        county = self._county_for(location)
-        if county is None:
-            raise NoImageryError(
-                f"no imagery at ({location.lat:.5f}, {location.lon:.5f})"
+            if not render:
+                pixels = None
+            else:
+                with get_tracer().span("gsv.render", size=size):
+                    metrics.inc("gsv.renders")
+                    if self.render_cache is not None:
+                        pixels = self.render_cache.get_or_render(scene, size)
+                    else:
+                        pixels = render_scene(scene, size)
+            self.usage().record_image()
+            metrics.inc("gsv.images_served")
+            return StreetViewImage(
+                location=location,
+                heading=heading,
+                size=size,
+                pixels=pixels,
+                scene=scene,
+                pano_id=pano_id,
             )
-        zone = county.zone_at(location)
-        pano_id = self._pano_id(location, heading)
-        scene = self._generator.generate(
-            scene_id=pano_id,
-            zone_kind=zone.kind,
-            road_class=road_class,
-            heading=heading,
-            road_bearing=(
-                road_bearing if road_bearing is not None else float(heading)
-            ),
-            county=county.name,
-            latitude=location.lat,
-            longitude=location.lon,
-        )
-        if not render:
-            pixels = None
-        elif self.render_cache is not None:
-            pixels = self.render_cache.get_or_render(scene, size)
-        else:
-            pixels = render_scene(scene, size)
-        self.usage().record_image()
-        return StreetViewImage(
-            location=location,
-            heading=heading,
-            size=size,
-            pixels=pixels,
-            scene=scene,
-            pano_id=pano_id,
-        )
 
     def fetch_capture(
         self,
@@ -285,6 +299,7 @@ class StreetViewClient:
                 self.failure_rate > 0
                 and self._failure_rng.random() < self.failure_rate
             ):
+                get_metrics().inc("gsv.transient_failures")
                 raise TransientNetworkError("simulated transport failure")
 
     #: Imagery coverage extends slightly past the county rectangle —

@@ -23,6 +23,8 @@ import threading
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from ..parallel.executor import ParallelExecutor
 from ..resilience.breaker import CircuitBreaker
 from ..resilience.clock import Clock, VirtualClock, WallClock
@@ -84,6 +86,10 @@ class TokenBucket:
                 self._refill()
                 if self._tokens >= 1.0 - self._EPSILON:
                     self._tokens = max(0.0, self._tokens - 1.0)
+                    if waited > 0:
+                        metrics = get_metrics()
+                        metrics.inc("ratelimit.waits")
+                        metrics.inc("ratelimit.waited_s", waited)
                     return waited
                 deficit = (1.0 - self._tokens) / self.rate
             self.clock.sleep(deficit)
@@ -180,6 +186,12 @@ class BatchRunner:
         self, requests: Sequence[ChatRequest]
     ) -> tuple[list[BatchOutcome], BatchStats]:
         """Execute all requests; never raises on per-request failures."""
+        with get_tracer().span("llm.batch", requests=len(requests)):
+            return self._run(requests)
+
+    def _run(
+        self, requests: Sequence[ChatRequest]
+    ) -> tuple[list[BatchOutcome], BatchStats]:
         stats = RetryStats()
         n_requests = len(requests)
 
@@ -266,4 +278,9 @@ class BatchRunner:
             rate_limit_waits=waits,
             coalesced=n_requests - len(representatives),
         )
+        metrics = get_metrics()
+        metrics.inc("llm.batch.requests", batch_stats.total)
+        metrics.inc("llm.batch.coalesced", batch_stats.coalesced)
+        if batch_stats.failed:
+            metrics.inc("llm.batch.failures", batch_stats.failed)
         return outcomes, batch_stats

@@ -26,6 +26,8 @@ import threading
 from pathlib import Path
 from typing import IO
 
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from .base import ChatClient, ChatRequest, ChatResponse, Usage
 
 
@@ -104,11 +106,13 @@ class CachingChatClient(ChatClient):
     # ------------------------------------------------------------------
 
     def complete(self, request: ChatRequest) -> ChatResponse:
+        metrics = get_metrics()
         key = request_fingerprint(request)
         with self._lock:
             cached = self._cache.get(key)
             if cached is not None:
                 self.hits += 1
+                metrics.inc("llm.cache.hits")
                 self.stats.record(Usage(0, 0))  # logical request, zero tokens
                 return ChatResponse(
                     model=cached["model"],
@@ -133,6 +137,7 @@ class CachingChatClient(ChatClient):
             flight.done.wait()
             with self._lock:
                 self.coalesced += 1
+                metrics.inc("llm.cache.coalesced")
                 if flight.error is None:
                     self.stats.record(Usage(0, 0))
             if flight.error is not None:
@@ -144,7 +149,8 @@ class CachingChatClient(ChatClient):
         # concurrent misses on *different* requests overlap instead of
         # queueing.
         try:
-            response = self.inner.complete(request)
+            with get_tracer().span("llm.request", model=request.model):
+                response = self.inner.complete(request)
         except Exception as err:
             flight.error = err
             with self._lock:
@@ -161,6 +167,7 @@ class CachingChatClient(ChatClient):
         flight.response = response
         with self._lock:
             self.misses += 1
+            metrics.inc("llm.cache.misses")
             self._cache[key] = record
             self.stats.record(response.usage)
             self._append(key, record)
@@ -220,6 +227,17 @@ class CachingChatClient(ChatClient):
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def __del__(self) -> None:
+        # Release only the raw journal handle: compaction belongs to
+        # an explicit close() (it rewrites the file, and GC timing
+        # must never decide when that happens).
+        journal = getattr(self, "_journal", None)
+        if journal is not None:
+            try:
+                journal.close()
+            except Exception:  # pragma: no cover - interpreter teardown
+                pass
+
     # ------------------------------------------------------------------
 
     def _append(self, key: str, record: dict) -> None:
@@ -231,6 +249,7 @@ class CachingChatClient(ChatClient):
             self._journal = self.cache_path.open("a", encoding="utf-8")
         self._journal.write(_record_line(key, record))
         self._journal.flush()
+        get_metrics().inc("llm.cache.journal_writes")
 
 
 def _record_line(key: str, record: dict) -> str:

@@ -1,0 +1,53 @@
+"""Structured observability: tracing, metrics, and determinism audits.
+
+The measurement substrate under the survey pipeline (DESIGN.md §11):
+
+* :mod:`repro.obs.trace` — :class:`Span`/:class:`Tracer` with ids,
+  parent links, and monotonic timings; JSONL export; a zero-cost
+  :data:`NULL_TRACER` default.
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry`
+  (counters, gauges, fixed-bucket histograms) whose child-process
+  deltas merge back through the
+  :class:`~repro.parallel.executor.ParallelExecutor` result path.
+* :mod:`repro.obs.audit` — cross-checks the metrics books against the
+  survey report's counters and validates trace structure.
+
+Instrumented code pays almost nothing by default: the tracer is a
+no-op until installed (``repro trace ...`` or :func:`use_tracer`) and
+metric increments are single locked dict updates.
+"""
+
+from .audit import audit_trace, reconcile_survey
+from .metrics import (
+    DEFAULT_BUCKET_EDGES,
+    MetricsRegistry,
+    get_metrics,
+    reset_metrics,
+    use_metrics,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKET_EDGES",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "audit_trace",
+    "get_metrics",
+    "get_tracer",
+    "reconcile_survey",
+    "reset_metrics",
+    "set_tracer",
+    "use_metrics",
+    "use_tracer",
+]

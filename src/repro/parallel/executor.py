@@ -62,6 +62,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any
 
+from ..obs.metrics import get_metrics, nonempty_delta
 from .shm import (
     DEFAULT_MIN_SHARE_BYTES,
     SharedArrayArena,
@@ -87,12 +88,20 @@ class TaskCancelledError(RuntimeError):
 
 @dataclass
 class TaskOutcome:
-    """What one submitted task did, in submission order."""
+    """What one submitted task did, in submission order.
+
+    ``metrics`` carries the metrics delta a child *process*
+    accumulated while running the task (``None`` for in-process
+    backends, which write to the parent registry directly).  The
+    executor merges it into the parent's registry as the outcome is
+    consumed, then clears it.
+    """
 
     index: int
     value: Any = None
     error: Exception | None = None
     cancelled: bool = False
+    metrics: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -135,7 +144,16 @@ class TaskEnvelope:
         item = self.item
         if self.transport is not None:
             item = resolve_item(item)
+        # This code runs inside a worker process: its module-level
+        # registry is private to the child, so the per-task delta is
+        # exactly what this task contributed (the pool reuses workers,
+        # hence the before-snapshot rather than assuming zero).
+        registry = get_metrics()
+        before = registry.snapshot()
         outcome = ParallelExecutor._execute(self.fn, self.index, item)
+        delta = registry.delta_since(before)
+        if nonempty_delta(delta):
+            outcome.metrics = delta
         if self.transport is not None and outcome.ok:
             outcome.value = pack_result(outcome.value, self.transport)
         return outcome
@@ -144,6 +162,26 @@ class TaskEnvelope:
 def _run_envelope(envelope: TaskEnvelope) -> TaskOutcome:
     """Module-level trampoline so the submitted callable always pickles."""
     return envelope.run()
+
+
+def _consume(outcome: TaskOutcome) -> TaskOutcome:
+    """Book one outcome as it reaches the consumer, in submission order.
+
+    Merges any child-process metrics delta into the parent registry
+    (submission order makes the merged totals deterministic) and
+    counts the task's fate.
+    """
+    registry = get_metrics()
+    if outcome.metrics:
+        registry.merge(outcome.metrics)
+        outcome.metrics = None
+    if outcome.cancelled:
+        registry.inc("parallel.tasks.cancelled")
+    elif outcome.error is not None:
+        registry.inc("parallel.tasks.errors")
+    else:
+        registry.inc("parallel.tasks.completed")
+    return outcome
 
 
 def _release_handles(
@@ -335,9 +373,9 @@ class ParallelExecutor:
     ) -> Iterator[TaskOutcome]:
         for index, item in enumerate(items):
             if should_cancel is not None and should_cancel():
-                yield TaskOutcome(index=index, cancelled=True)
+                yield _consume(TaskOutcome(index=index, cancelled=True))
                 continue
-            yield ParallelExecutor._execute(fn, index, item)
+            yield _consume(ParallelExecutor._execute(fn, index, item))
 
     def _submit(
         self,
@@ -398,7 +436,7 @@ class ParallelExecutor:
                     break
                 index, future = pending.popleft()
                 if future is None:
-                    yield TaskOutcome(index=index, cancelled=True)
+                    yield _consume(TaskOutcome(index=index, cancelled=True))
                     continue
                 try:
                     outcome = future.result()
@@ -418,7 +456,7 @@ class ParallelExecutor:
                         outcome.value = arena.unpack_result(outcome.value)
                     except Exception as err:  # noqa: BLE001 - transport failure
                         outcome = TaskOutcome(index=index, error=err)
-                yield outcome
+                yield _consume(outcome)
         finally:
             # A consumer that stops early (or a generator close)
             # must not leave queued tasks running — and any result

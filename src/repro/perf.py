@@ -144,6 +144,10 @@ HEADLINE_METRICS: dict[str, list[dict]] = {
         {"path": "streaming.stream_locations_per_s"},
         {"path": "coalescing.hit_rate"},
     ],
+    "obs": [
+        {"path": "tracing.noop_locations_per_s"},
+        {"path": "tracing.traced_relative_throughput"},
+    ],
 }
 
 

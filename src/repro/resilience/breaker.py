@@ -14,6 +14,7 @@ import enum
 import threading
 from dataclasses import dataclass, field
 
+from ..obs.metrics import get_metrics
 from .clock import Clock, WallClock
 
 
@@ -122,3 +123,4 @@ class CircuitBreaker:
         self._state = CircuitState.OPEN
         self._opened_at = self.clock.now()
         self.opens += 1
+        get_metrics().inc("breaker.trips")

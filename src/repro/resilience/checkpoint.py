@@ -18,6 +18,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from ..obs.metrics import get_metrics
+
 FORMAT_VERSION = 1
 
 
@@ -79,6 +81,7 @@ class SurveyCheckpoint:
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         tmp.write_text(json.dumps(payload))
         tmp.replace(self.path)
+        get_metrics().inc("checkpoint.writes")
 
     # ------------------------------------------------------------------
 

@@ -24,6 +24,7 @@ from typing import Any
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
 from .breaker import CircuitBreaker, CircuitOpenError
 from .clock import Clock, WallClock
 
@@ -88,6 +89,19 @@ class RetryStats:
                 self.breaker_blocks += 1
             if not outcome.ok:
                 self.failures += 1
+        # Absorb is the single funnel every retried operation passes
+        # through exactly once, so it doubles as the metrics tap; the
+        # global books stay reconcilable with any report built by
+        # merging RetryStats deltas (see repro.obs.audit).
+        metrics = get_metrics()
+        metrics.inc("retry.operations")
+        metrics.inc("retry.attempts", outcome.attempts)
+        metrics.inc("retry.retries", outcome.retries)
+        metrics.inc("retry.slept_s", outcome.slept_s)
+        if outcome.breaker_blocked:
+            metrics.inc("retry.breaker_blocks")
+        if not outcome.ok:
+            metrics.inc("retry.failures")
 
     def merge(self, other: "RetryStats") -> None:
         with self._lock:

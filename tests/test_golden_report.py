@@ -1,0 +1,135 @@
+"""Golden end-to-end regression test for the survey pipeline.
+
+One small survey is frozen as ``tests/data/golden_survey_report.json``
+— the exact ``SurveyReport.to_json()`` bytes.  Every execution path
+that promises byte-identity (DESIGN.md §8) must reproduce those bytes:
+the serial batch survey, the thread-pool survey, and the streaming
+engine in both serial and parallel form.  A behavioral change anywhere
+in sampling, fetching, classification, voting, or serialization shows
+up here as a diff against the frozen document.
+
+Regenerate the fixture after an *intentional* behavior change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_golden_report.py -q
+
+Set ``REPRO_TRACE_EXPORT=/path/to/trace.jsonl`` to also export a full
+recorded trace of the golden survey (CI uploads it as a build
+artifact, so every green build ships an inspectable span tree).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import LLMIndicatorClassifier, NeighborhoodDecoder
+from repro.geo import make_durham_like
+from repro.gsv import StreetViewClient
+from repro.obs.audit import audit_trace
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.trace import Tracer, use_tracer
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_survey_report.json"
+
+#: Frozen survey configuration.  Changing any of these invalidates the
+#: fixture — regenerate it in the same commit.
+COUNTY_SEED = 3
+N_LOCATIONS = 6
+SURVEY_SEED = 4
+MODEL_ID = "gemini-1.5-pro"
+
+PATHS = (
+    "serial",
+    "thread-4",
+    "stream-serial",
+    "stream-4",
+)
+
+
+@pytest.fixture(scope="module")
+def county():
+    return make_durham_like(seed=COUNTY_SEED)
+
+
+@pytest.fixture(scope="module")
+def decoder(county, clients):
+    street_view = StreetViewClient(counties=[county], api_key="golden")
+    return NeighborhoodDecoder(
+        street_view=street_view,
+        classifier=LLMIndicatorClassifier(clients[MODEL_ID]),
+    )
+
+
+def _run_path(decoder, county, path_name: str) -> str:
+    if path_name == "serial":
+        report = decoder.survey(county, N_LOCATIONS, seed=SURVEY_SEED)
+    elif path_name == "thread-4":
+        report = decoder.survey(
+            county, N_LOCATIONS, seed=SURVEY_SEED, workers=4
+        )
+    elif path_name == "stream-serial":
+        report = decoder.survey_stream(
+            county, N_LOCATIONS, seed=SURVEY_SEED, keep_locations=True
+        )
+    elif path_name == "stream-4":
+        report = decoder.survey_stream(
+            county,
+            N_LOCATIONS,
+            seed=SURVEY_SEED,
+            workers=4,
+            keep_locations=True,
+        )
+    else:  # pragma: no cover - parametrize guards the names
+        raise ValueError(path_name)
+    return report.to_json()
+
+
+@pytest.fixture(scope="module")
+def golden_json(decoder, county) -> str:
+    """The frozen bytes, regenerating when explicitly asked to."""
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        text = _run_path(decoder, county, "serial")
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(text, encoding="utf-8")
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden fixture missing: {GOLDEN_PATH} "
+            "(regenerate with REPRO_REGEN_GOLDEN=1)"
+        )
+    return GOLDEN_PATH.read_text(encoding="utf-8")
+
+
+class TestGoldenReport:
+    def test_fixture_is_valid_json_with_expected_shape(self, golden_json):
+        document = json.loads(golden_json)
+        assert document["requested_locations"] == N_LOCATIONS
+        assert len(document["locations"]) == N_LOCATIONS
+        assert document["coverage"] == 1.0
+
+    @pytest.mark.parametrize("path_name", PATHS)
+    def test_every_execution_path_matches_the_frozen_bytes(
+        self, decoder, county, golden_json, path_name
+    ):
+        assert _run_path(decoder, county, path_name) == golden_json
+
+    def test_traced_run_still_matches_and_audits_clean(
+        self, decoder, county, golden_json, tmp_path
+    ):
+        """Tracing the golden survey changes nothing and exports cleanly."""
+        tracer = Tracer(trace_id="golden")
+        with use_tracer(tracer), use_metrics(MetricsRegistry()):
+            text = _run_path(decoder, county, "thread-4")
+        assert text == golden_json
+        required = ("survey", "survey.location", "survey.classify",
+                    "survey.merge")
+        assert audit_trace(tracer, required_names=required) == []
+
+        export = os.environ.get("REPRO_TRACE_EXPORT")
+        trace_path = Path(export) if export else tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(trace_path) == len(tracer.spans)
+        for line in trace_path.read_text(encoding="utf-8").splitlines():
+            json.loads(line)

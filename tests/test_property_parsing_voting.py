@@ -1,0 +1,184 @@
+"""Seeded randomized property tests for parsing and voting.
+
+The response parser and the vote combinator sit between untrusted
+model output and the survey's statistics, so their contracts are
+stated as properties and hammered with seeded random inputs rather
+than a handful of examples:
+
+* :func:`~repro.core.parsing.extract_decisions` never raises, on any
+  text, and only ever yields booleans;
+* :func:`~repro.core.parsing.parse_answers` either returns exactly the
+  planted decisions (however mangled the surrounding formatting) or
+  raises :class:`~repro.core.parsing.ResponseParseError` — never
+  anything else;
+* :func:`~repro.core.voting.majority_vote` is invariant under vote
+  permutation and agrees with a brute-force per-indicator count.
+
+Every random stream is seeded, so a failure reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.indicators import ALL_INDICATORS, IndicatorPresence
+from repro.core.parsing import (
+    ResponseParseError,
+    answers_to_presence,
+    extract_decisions,
+    parse_answers,
+)
+from repro.core.voting import majority_vote
+
+#: Yes/No surface forms across the paper's four prompt languages,
+#: with the messy capitalization and punctuation real models emit.
+_YES_FORMS = ("Yes", "YES", "yes", "y", "Sí", "si", "是", "是的", "হ্যাঁ", "True")
+_NO_FORMS = ("No", "NO", "no", "n", "否", "不是", "না", "False")
+
+#: Filler that must never parse as a decision.
+_JUNK = (
+    "Answer:", "the", "image", "shows", "maybe", "presence", "model",
+    "->", "...", "##", "(see", "below)", "claro", "图像", "উত্তর",
+)
+
+_SEPARATORS = (", ", " ", ",", "，", "、", "; ", " / ", "\n", "\t")
+
+
+def _render_reply(rng: random.Random, answers: list[bool]) -> str:
+    """A reply containing exactly ``answers`` plus random junk."""
+    parts: list[str] = []
+    if rng.random() < 0.5:
+        parts.append(rng.choice(_JUNK))
+    for answer in answers:
+        token = rng.choice(_YES_FORMS if answer else _NO_FORMS)
+        if rng.random() < 0.3:
+            token += rng.choice((".", "!", "?", "。", ")"))
+        if rng.random() < 0.2:
+            token = "(" + token
+        parts.append(token)
+    tail = rng.choice(("", rng.choice(_JUNK)))
+    if tail:
+        parts.append(tail)
+    out = parts[0]
+    for part in parts[1:]:
+        out += rng.choice(_SEPARATORS) + part
+    return out
+
+
+class TestParsingProperties:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_extract_decisions_never_raises_on_arbitrary_text(self, seed):
+        rng = random.Random(seed)
+        alphabet = (
+            "abcyn NOYes, 是否;/ \n\t。，！?.'\"()[]{}«»héñ中文ङ্কাαβ\x00\x7f"
+        )
+        for _ in range(300):
+            text = "".join(
+                rng.choice(alphabet)
+                for _ in range(rng.randrange(0, 60))
+            )
+            decisions = extract_decisions(text)
+            assert all(isinstance(d, bool) for d in decisions)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_planted_decisions_survive_any_formatting(self, seed):
+        rng = random.Random(1000 + seed)
+        for _ in range(200):
+            answers = [rng.random() < 0.5 for _ in range(rng.randrange(1, 9))]
+            reply = _render_reply(rng, answers)
+            parsed = parse_answers(reply, expected=len(answers))
+            assert list(parsed.answers) == answers
+            assert parsed.raw == reply
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_parse_answers_raises_only_parse_errors(self, seed):
+        """Truncated/overfull replies fail loudly but predictably."""
+        rng = random.Random(2000 + seed)
+        for _ in range(200):
+            answers = [rng.random() < 0.5 for _ in range(rng.randrange(1, 7))]
+            reply = _render_reply(rng, answers)
+            # Truncate or pad so the count cannot match.
+            if answers and rng.random() < 0.5:
+                expected = len(answers) + rng.randrange(1, 4)
+            else:
+                reply = rng.choice(_JUNK)
+                expected = rng.randrange(1, 4)
+            with pytest.raises(ResponseParseError):
+                parse_answers(reply, expected=expected)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_answers_always_map_to_a_valid_presence_vector(self, seed):
+        rng = random.Random(3000 + seed)
+        for _ in range(200):
+            n = rng.randrange(1, len(ALL_INDICATORS) + 1)
+            indicators = tuple(rng.sample(ALL_INDICATORS, n))
+            answers = tuple(rng.random() < 0.5 for _ in range(n))
+            presence = answers_to_presence(answers, indicators)
+            assert isinstance(presence, IndicatorPresence)
+            for indicator, answer in zip(indicators, answers):
+                assert presence[indicator] is answer
+            for indicator in set(ALL_INDICATORS) - set(indicators):
+                assert presence[indicator] is False
+
+    def test_bilingual_reply_parses_in_order(self):
+        reply = "Sí, no, 是, 否, হ্যাঁ, no"
+        parsed = parse_answers(reply, expected=6)
+        assert parsed.answers == (True, False, True, False, True, False)
+
+    def test_glued_cjk_answers_split_per_character(self):
+        assert extract_decisions("是否是") == [True, False, True]
+
+
+def _random_presence(rng: random.Random) -> IndicatorPresence:
+    return IndicatorPresence(
+        [ind for ind in ALL_INDICATORS if rng.random() < 0.5]
+    )
+
+
+class TestVotingProperties:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_majority_vote_is_invariant_under_permutation(self, seed):
+        rng = random.Random(4000 + seed)
+        for _ in range(200):
+            votes = [
+                _random_presence(rng) for _ in range(rng.randrange(1, 8))
+            ]
+            quorum = (
+                rng.randrange(1, len(votes) + 1)
+                if rng.random() < 0.5
+                else None
+            )
+            baseline = majority_vote(votes, quorum=quorum)
+            shuffled = list(votes)
+            rng.shuffle(shuffled)
+            assert majority_vote(shuffled, quorum=quorum) == baseline
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_majority_vote_matches_brute_force_count(self, seed):
+        rng = random.Random(5000 + seed)
+        for _ in range(200):
+            votes = [
+                _random_presence(rng) for _ in range(rng.randrange(1, 8))
+            ]
+            threshold = len(votes) // 2 + 1
+            result = majority_vote(votes)
+            for indicator in ALL_INDICATORS:
+                tally = sum(1 for vote in votes if vote[indicator])
+                assert result[indicator] is (tally >= threshold)
+
+    def test_unanimous_vote_is_identity(self):
+        rng = random.Random(6000)
+        for _ in range(50):
+            vote = _random_presence(rng)
+            assert majority_vote([vote] * 3) == vote
+
+    def test_invalid_quorum_rejected(self):
+        votes = [IndicatorPresence(), IndicatorPresence()]
+        with pytest.raises(ValueError):
+            majority_vote(votes, quorum=0)
+        with pytest.raises(ValueError):
+            majority_vote(votes, quorum=3)
+        with pytest.raises(ValueError):
+            majority_vote([])
