@@ -1,0 +1,175 @@
+"""Chaos drills: scripted worker deaths that replay identically.
+
+The philosophy of :mod:`repro.resilience.faults` — *scripted* faults
+beat statistical ones because a drill that replays identically can be
+asserted byte-for-byte — extended from API calls to whole processes.
+A :class:`CrashSchedule` maps ``(shard_id, attempt)`` to a
+:class:`CrashAction`:
+
+* ``sigkill`` — the worker SIGKILLs **itself** after ``after_locations``
+  freshly completed (and checkpointed) locations.  No cleanup, no
+  atexit, no flushing: the most violent death a process can die, at a
+  deterministic point in its progress.
+* ``freeze`` — the worker stops heartbeating and blocks forever after
+  the same threshold: alive to the OS, dead to the coordinator.  The
+  only way past it is lease expiry + fencing, which is exactly the
+  straggler path the drill exists to exercise.
+
+The action triggers *after* the Nth fresh location is durably
+checkpointed, so every drill knows precisely how much progress the
+crash preserved — the crash-resume byte-identity tests rely on it.
+
+The schedule rides into the worker inside its task (looked up by the
+coordinator at dispatch, so attempt numbers line up with the durable
+manifest), and hooks in via :class:`ChaosCheckpoint`, a
+:class:`~repro.resilience.checkpoint.SurveyCheckpoint` that counts
+fresh records.  Production never constructs either class.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..resilience.checkpoint import SurveyCheckpoint
+
+__all__ = ["ChaosCheckpoint", "CrashAction", "CrashSchedule"]
+
+
+@dataclass(frozen=True)
+class CrashAction:
+    """What one worker attempt does to itself, and when."""
+
+    kind: str  # "sigkill" | "freeze"
+    after_locations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sigkill", "freeze"):
+            raise ValueError(f"unknown crash kind: {self.kind!r}")
+        if self.after_locations < 0:
+            raise ValueError(
+                f"after_locations must be >= 0: {self.after_locations}"
+            )
+
+
+class CrashSchedule:
+    """A deterministic script of worker deaths, keyed by (shard, attempt).
+
+    Builders chain::
+
+        schedule = (
+            CrashSchedule()
+            .kill(shard_id=1, attempt=1, after_locations=2)
+            .freeze(shard_id=0, attempt=1, after_locations=1)
+        )
+    """
+
+    def __init__(self) -> None:
+        self._plan: dict[tuple[int, int], CrashAction] = {}
+
+    def __len__(self) -> int:
+        return len(self._plan)
+
+    def kill(
+        self, shard_id: int, attempt: int, after_locations: int = 0
+    ) -> "CrashSchedule":
+        """SIGKILL this shard's Nth attempt after N fresh locations."""
+        self._plan[(shard_id, attempt)] = CrashAction(
+            "sigkill", after_locations
+        )
+        return self
+
+    def freeze(
+        self, shard_id: int, attempt: int, after_locations: int = 0
+    ) -> "CrashSchedule":
+        """Freeze (stop heartbeats, block) this shard's Nth attempt."""
+        self._plan[(shard_id, attempt)] = CrashAction(
+            "freeze", after_locations
+        )
+        return self
+
+    def action_for(self, shard_id: int, attempt: int) -> CrashAction | None:
+        return self._plan.get((shard_id, attempt))
+
+    @classmethod
+    def seeded_kills(
+        cls,
+        n_shards: int,
+        *,
+        seed: int,
+        attempts: int = 1,
+        max_after: int = 3,
+        fraction: float = 1.0,
+    ) -> "CrashSchedule":
+        """Random-but-reproducible kills: the standard drill generator.
+
+        Each selected shard's first ``attempts`` dispatches SIGKILL at
+        a seeded-random progress point in ``[0, max_after]``;
+        ``fraction`` < 1 spares a random subset so drills mix crashing
+        and healthy shards.
+        """
+        rng = np.random.default_rng(seed)
+        schedule = cls()
+        for shard_id in range(n_shards):
+            if rng.random() >= fraction:
+                continue
+            for attempt in range(1, attempts + 1):
+                schedule.kill(
+                    shard_id,
+                    attempt,
+                    after_locations=int(rng.integers(0, max_after + 1)),
+                )
+        return schedule
+
+
+class ChaosCheckpoint(SurveyCheckpoint):
+    """A checkpoint store that executes a crash action mid-shard.
+
+    Counts *fresh* records (restored ones were someone else's
+    progress) and triggers the action immediately after the Nth fresh
+    record has been durably persisted — so the drill knows exactly
+    which locations survived the crash.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        key: dict,
+        action: CrashAction | None,
+        on_freeze: Callable[[], None] | None = None,
+    ) -> None:
+        super().__init__(path, key)
+        self.action = action
+        self.on_freeze = on_freeze
+        self._fresh = 0
+
+    def record(self, index: int, payload: dict) -> None:
+        super().record(index, payload)
+        self._fresh += 1
+        if self.action is not None and self._fresh >= max(
+            1, self.action.after_locations
+        ):
+            execute_crash(self.action, on_freeze=self.on_freeze)
+
+
+def execute_crash(
+    action: CrashAction, on_freeze: Callable[[], None] | None = None
+) -> None:
+    """Carry out a crash action in the current (worker) process.
+
+    ``sigkill`` never returns.  ``freeze`` silences the heartbeat (via
+    ``on_freeze``) and then blocks this thread forever — the process
+    stays alive until the coordinator fences it.
+    """
+    if action.kind == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)
+        raise AssertionError("unreachable: SIGKILL is immediate")
+    if on_freeze is not None:
+        on_freeze()
+    threading.Event().wait()

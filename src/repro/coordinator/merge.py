@@ -1,0 +1,322 @@
+"""Deterministic cross-shard merge: durable records in, one report out.
+
+The merged :class:`~repro.core.pipeline.SurveyReport` is built
+entirely from **durable per-location records** — each shard's
+checkpoint payloads plus its result document — folded strictly in
+manifest order (ascending shard id, ascending location index within a
+shard).  Nothing from any in-memory attempt survives into the merge,
+which is precisely why the result is crash-invariant: however many
+attempts a shard burned, its durable records describe each location
+exactly once.
+
+Byte-identity with an undisturbed serial run falls out of three
+reconstructions:
+
+* **fees** — re-accumulated as ``fees += FEE_PER_IMAGE_USD`` once per
+  image in global location order, the *same float additions in the
+  same order* the live :class:`~repro.gsv.api.UsageMeter` performs
+  (every addend is identical, so the attempt-partitioning of the live
+  sums cannot matter);
+* **retry stats** — the sum of every completed location's recorded
+  provenance plus every shard's failed-location remainder, instead of
+  the sum over attempts (a crashed attempt's in-memory stats die with
+  the worker, so attempt sums are not recoverable — per-location
+  provenance is);
+* **metrics** — the survey/retry counter families are rebuilt from
+  the same durable records the report itself is built from, while
+  non-survey families (gsv.*, llm.*, checkpoint.*) merge from the
+  final attempts' deltas in manifest order.
+  :func:`~repro.obs.audit.reconcile_survey` then cross-checks the
+  two — a genuine invariant over the merge arithmetic, since report
+  and counters are assembled by separate code paths.
+
+Quarantined shards degrade exactly like PR 1's per-location failures:
+their checkpointed locations are salvaged, the remainder appear in
+``failed_locations`` with a quarantine reason, and ``coverage``
+drops below 1.0.  ``coalesce_stats`` is left empty deliberately —
+coalescing happened (or not) inside worker processes whose in-flight
+windows are not reconstructible, and the audit skips cache checks for
+an empty dict.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.pipeline import (
+    FailedLocation,
+    SurveyReport,
+    location_from_payload,
+)
+from ..core.metrics import PresenceAccumulator
+from ..geo.sampling import SamplePoint
+from ..gsv.api import FEE_PER_IMAGE_USD
+from ..obs.metrics import MetricsRegistry
+from ..resilience.checkpoint import SurveyCheckpoint
+from ..resilience.retry import RetryStats
+from .manifest import ShardManifest, ShardRecord, ShardState
+from .worker import checkpoint_path, result_path, shard_checkpoint_key
+
+__all__ = ["CoordinatorMergeError", "merge_shards"]
+
+
+class CoordinatorMergeError(RuntimeError):
+    """Durable shard records are inconsistent with the manifest."""
+
+
+def _load_result(state_dir: str | Path, record: ShardRecord) -> dict:
+    path = result_path(state_dir, record.shard_id)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as err:
+        raise CoordinatorMergeError(
+            f"shard {record.shard_id} is COMPLETED but its result "
+            f"document is unreadable: {err}"
+        ) from err
+    return payload
+
+
+def _open_store(
+    state_dir: str | Path, record: ShardRecord, fingerprint: str
+) -> SurveyCheckpoint | None:
+    path = checkpoint_path(state_dir, record.shard_id)
+    if not path.exists():
+        return None
+    return SurveyCheckpoint(
+        path,
+        shard_checkpoint_key(fingerprint, record.shard_id, record.digest),
+    )
+
+
+def merge_shards(
+    manifest: ShardManifest,
+    state_dir: str | Path,
+    points: list[SamplePoint],
+    *,
+    keep_locations: bool = True,
+) -> SurveyReport:
+    """Fold every shard's durable records into one canonical report."""
+    report = SurveyReport(requested_locations=len(points))
+    if not keep_locations:
+        report.presence_stats = PresenceAccumulator()
+        report.zone_stats = {}
+    report.coalesce_stats = {}
+
+    canonical_retry = RetryStats()
+    images_in_order: list[int] = []
+    shard_metrics = MetricsRegistry()
+
+    for record in manifest.shards:
+        if record.state is ShardState.COMPLETED:
+            _merge_completed(
+                record,
+                state_dir,
+                manifest.fingerprint,
+                report,
+                keep_locations,
+                canonical_retry,
+                images_in_order,
+                shard_metrics,
+            )
+        else:
+            _merge_unfinished(
+                record,
+                state_dir,
+                manifest.fingerprint,
+                points,
+                report,
+                keep_locations,
+                canonical_retry,
+                images_in_order,
+            )
+
+    # Fees: identical float additions in identical order to the live
+    # UsageMeter's accumulation — not images * fee, which rounds
+    # differently once the sum leaves exact-float territory.
+    fees = 0.0
+    for images in images_in_order:
+        for _ in range(images):
+            fees += FEE_PER_IMAGE_USD
+    report.fees_usd = fees
+    report.retry_stats = canonical_retry
+    report.coverage = (
+        report.completed_locations / report.requested_locations
+        if report.requested_locations
+        else 0.0
+    )
+    report.metrics = _merged_metrics(shard_metrics, report, canonical_retry)
+    return report
+
+
+def _merge_completed(
+    record: ShardRecord,
+    state_dir: str | Path,
+    fingerprint: str,
+    report: SurveyReport,
+    keep_locations: bool,
+    canonical_retry: RetryStats,
+    images_in_order: list[int],
+    shard_metrics: MetricsRegistry,
+) -> None:
+    result = _load_result(state_dir, record)
+    if result.get("fingerprint") != fingerprint or result.get(
+        "shard_id"
+    ) != record.shard_id:
+        raise CoordinatorMergeError(
+            f"shard {record.shard_id}: result document belongs to a "
+            "different plan or shard"
+        )
+    store = _open_store(state_dir, record, fingerprint)
+    if store is None:
+        raise CoordinatorMergeError(
+            f"shard {record.shard_id} is COMPLETED but has no checkpoint"
+        )
+    failed_by_index = {
+        int(entry["index"]): entry for entry in result.get("failed", [])
+    }
+    covered = set(store.completed_indices) | set(failed_by_index)
+    if covered != set(range(record.size)):
+        raise CoordinatorMergeError(
+            f"shard {record.shard_id}: durable records cover "
+            f"{len(covered)}/{record.size} locations"
+        )
+    for local in range(record.size):
+        if store.has(local):
+            _fold_completed_location(
+                store.get(local),
+                report,
+                keep_locations,
+                canonical_retry,
+                images_in_order,
+            )
+        else:
+            entry = failed_by_index[local]
+            report.failed_locations.append(
+                FailedLocation(
+                    index=record.start + local,
+                    latitude=entry["latitude"],
+                    longitude=entry["longitude"],
+                    reason=entry["reason"],
+                )
+            )
+    canonical_retry.merge(
+        RetryStats.from_dict(result.get("failed_retry", {}))
+    )
+    shard_metrics.merge(result.get("metrics", {}))
+
+
+def _merge_unfinished(
+    record: ShardRecord,
+    state_dir: str | Path,
+    fingerprint: str,
+    points: list[SamplePoint],
+    report: SurveyReport,
+    keep_locations: bool,
+    canonical_retry: RetryStats,
+    images_in_order: list[int],
+) -> None:
+    """Quarantined (or never-finished) shard: salvage, then degrade.
+
+    Checkpointed locations are real, billed progress — they fold in
+    exactly like a completed shard's.  The rest degrade to
+    ``failed_locations`` rows, mirroring how a single survey records
+    locations it could not complete.
+    """
+    store = _open_store(state_dir, record, fingerprint)
+    if record.state is ShardState.QUARANTINED:
+        reason = (
+            f"quarantined after {record.attempts} attempts"
+            + (f": {record.error}" if record.error else "")
+        )
+    else:
+        reason = f"shard not completed (state {record.state.value})"
+    for local in range(record.size):
+        if store is not None and store.has(local):
+            _fold_completed_location(
+                store.get(local),
+                report,
+                keep_locations,
+                canonical_retry,
+                images_in_order,
+            )
+        else:
+            point = points[record.start + local]
+            report.failed_locations.append(
+                FailedLocation(
+                    index=record.start + local,
+                    latitude=point.location.lat,
+                    longitude=point.location.lon,
+                    reason=reason,
+                )
+            )
+
+
+def _fold_completed_location(
+    payload: dict,
+    report: SurveyReport,
+    keep_locations: bool,
+    canonical_retry: RetryStats,
+    images_in_order: list[int],
+) -> None:
+    result = location_from_payload(payload)
+    images = int(payload["images"])
+    degraded = int(payload["degraded_votes"])
+    report.images_classified += images
+    report.degraded_votes += degraded
+    report.completed_locations += 1
+    images_in_order.append(images)
+    canonical_retry.merge(RetryStats.from_dict(payload.get("retry", {})))
+    if keep_locations:
+        report.locations.append(result)
+        return
+    assert report.presence_stats is not None
+    assert report.zone_stats is not None
+    report.presence_stats.update(result.presence)
+    zone = report.zone_stats.setdefault(
+        result.zone_kind, PresenceAccumulator()
+    )
+    zone.update(result.presence)
+
+
+def _merged_metrics(
+    shard_metrics: MetricsRegistry,
+    report: SurveyReport,
+    canonical_retry: RetryStats,
+) -> dict:
+    """The merged report's metrics delta: canonical books, not attempt sums.
+
+    Survey/retry counter families are *rebuilt from durable records*
+    (crashed attempts' registries died with their workers, so the
+    final-attempt deltas under-count restored work's fault handling
+    and over/under-count nothing else — rather than patching them, we
+    recompute from provenance).  All other families — gsv, llm,
+    checkpoint, parallel — merge from the final attempts' deltas in
+    manifest order, preserving their observability value.
+    """
+    delta = shard_metrics.delta_since(
+        {"counters": {}, "gauges": {}, "histograms": {}}
+    )
+    counters = delta.setdefault("counters", {})
+    for name in [
+        key
+        for key in counters
+        if key.startswith("survey.") or key.startswith("retry.")
+    ]:
+        del counters[name]
+
+    def put(name: str, value: float) -> None:
+        if value:
+            counters[name] = float(value)
+
+    put("survey.locations.completed", report.completed_locations)
+    put("survey.locations.failed", len(report.failed_locations))
+    put("survey.images.classified", report.images_classified)
+    put("survey.votes.degraded", report.degraded_votes)
+    put("retry.operations", canonical_retry.operations)
+    put("retry.attempts", canonical_retry.attempts)
+    put("retry.retries", canonical_retry.retries)
+    put("retry.failures", canonical_retry.failures)
+    put("retry.slept_s", canonical_retry.slept_s)
+    put("retry.breaker_blocks", canonical_retry.breaker_blocks)
+    return delta

@@ -32,12 +32,10 @@ from ..gsv.api import (
 )
 from ..gsv.dataset import LabeledImage
 from ..geo.county import County
-from ..geo.roadnet import build_road_network
 from ..geo.sampling import (
     SamplePoint,
-    build_sampling_frame,
     expand_to_captures,
-    select_survey_locations,
+    plan_survey_points,
 )
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
@@ -268,6 +266,7 @@ class NeighborhoodDecoder:
         shard_size: int = DEFAULT_SHARD_SIZE,
         workers: int | None = 1,
         checkpoint: str | Path | None = None,
+        checkpoint_store: SurveyCheckpoint | None = None,
         keep_locations: bool = False,
     ) -> SurveyReport:
         """Memory-bounded :meth:`survey` over a location *stream*.
@@ -292,12 +291,20 @@ class NeighborhoodDecoder:
         ``checkpoint`` requires county mode (an arbitrary iterable has
         no stable identity to key resumption on) and shares its key
         with :meth:`survey`, so a batch run can resume as a stream and
-        vice versa.
+        vice versa.  A caller that *does* own a stable identity for
+        its stream — the shard coordinator, whose manifest fingerprint
+        names each shard's points exactly — passes an already-opened
+        ``checkpoint_store`` instead; the two arguments are mutually
+        exclusive.
         """
         county_mode = county is not None or n_locations is not None
         if county_mode == (locations is not None):
             raise ValueError(
                 "provide either (county, n_locations) or locations=..."
+            )
+        if checkpoint is not None and checkpoint_store is not None:
+            raise ValueError(
+                "provide at most one of checkpoint / checkpoint_store"
             )
         if shard_size < 1:
             raise ValueError(f"shard_size must be positive: {shard_size}")
@@ -306,7 +313,7 @@ class NeighborhoodDecoder:
             report.presence_stats = PresenceAccumulator()
             report.zone_stats = {}
 
-        store: SurveyCheckpoint | None = None
+        store: SurveyCheckpoint | None = checkpoint_store
         if county_mode:
             assert county is not None and n_locations is not None
             report.requested_locations = max(n_locations, 0)
@@ -317,16 +324,19 @@ class NeighborhoodDecoder:
             if points is None:
                 report.coverage = 0.0
                 return report
-            store = self._open_checkpoint(
-                checkpoint, county, n_locations, seed
-            )
+            if store is None:
+                store = self._open_checkpoint(
+                    checkpoint, county, n_locations, seed
+                )
             stream: Iterable[SamplePoint] = points
         else:
             if checkpoint is not None:
                 raise ValueError(
                     "checkpointing a location iterable is not supported: "
                     "an arbitrary stream has no stable identity to key "
-                    "resumption on — use (county, n_locations) mode"
+                    "resumption on — use (county, n_locations) mode, or "
+                    "pass checkpoint_store= if the caller owns a stable "
+                    "identity for the stream"
                 )
             stream = locations  # type: ignore[assignment]
 
@@ -354,14 +364,15 @@ class NeighborhoodDecoder:
     def _select_points(
         county: County, n_locations: int, seed: int
     ) -> list[SamplePoint] | None:
-        """The batch path's sampling, shared verbatim by both entries."""
-        graph = build_road_network(county, seed=seed + 17)
-        frame = build_sampling_frame(county, graph)
-        if not frame:
-            return None
-        return select_survey_locations(
-            {county.name: frame}, n_locations, seed=seed + 23
-        )
+        """The batch path's sampling, shared verbatim by both entries.
+
+        Delegates to :func:`~repro.geo.sampling.plan_survey_points`,
+        the same planner the shard coordinator uses for multi-county
+        frames — one sampling code path, so a coordinated survey's
+        frame is the survey's frame.
+        """
+        points = plan_survey_points([county], n_locations, seed)
+        return points or None
 
     @staticmethod
     def _open_checkpoint(
@@ -403,15 +414,21 @@ class NeighborhoodDecoder:
         tracer = get_tracer()
         registry = get_metrics()
         metrics_before = registry.snapshot()
+        classifiers = self._classifiers()
         baselines = {
-            id(clf): replace(clf.retry_stats)
-            for clf in self._classifiers()
+            id(clf): replace(clf.retry_stats) for clf in classifiers
         }
         coalesce_before = self._coalesce_totals()
         fees_before = self.street_view.usage().fees_usd
         executor = ParallelExecutor(
             workers=workers, max_in_flight=max_in_flight
         )
+        # Per-location retry provenance (persisted into checkpoint
+        # payloads so the coordinator can reconstruct canonical totals
+        # after a crash) is only meaningful when locations run one at a
+        # time: classifier stats are shared objects, so concurrent
+        # locations interleave their deltas.
+        record_provenance = executor.backend == "serial"
 
         # The executor consumes the stream lazily; this window maps the
         # indices of in-flight points back to their coordinates so a
@@ -430,15 +447,20 @@ class NeighborhoodDecoder:
 
             def decode_one(
                 indexed: tuple[int, SamplePoint]
-            ) -> tuple[LocationResult, int, int] | dict:
+            ) -> tuple[LocationResult, int, int, RetryStats, dict | None] | dict:
                 """Fetch+classify one location (runs on a worker thread).
 
                 Checkpointed locations return their stored payload
                 without touching the network; errors propagate to the
                 consumer below, which records the failure in
-                submission order.  The location span parents to the
-                survey root *explicitly* — implicit (contextvar)
-                parenting does not cross the worker-thread boundary.
+                submission order.  Fetch retries accumulate in a
+                *local* stats object merged by the consumer (also in
+                submission order); on failure the local stats travel
+                on the exception so the fault handling a doomed
+                location performed still reaches the report.  The
+                location span parents to the survey root *explicitly*
+                — implicit (contextvar) parenting does not cross the
+                worker-thread boundary.
                 """
                 index, point = indexed
                 with tracer.span(
@@ -447,13 +469,29 @@ class NeighborhoodDecoder:
                     if store is not None and store.has(index):
                         loc_span.set(checkpointed=True)
                         return store.get(index)
-                    images = self._fetch_location(index, point, report)
-                    with tracer.span(
-                        "survey.classify", images=len(images)
-                    ):
-                        presences, degraded = self._predict_location(
-                            images
+                    fetch_stats = RetryStats()
+                    clf_before = (
+                        [replace(clf.retry_stats) for clf in classifiers]
+                        if record_provenance
+                        else None
+                    )
+                    try:
+                        images = self._fetch_location(
+                            index, point, fetch_stats
                         )
+                        with tracer.span(
+                            "survey.classify", images=len(images)
+                        ):
+                            presences, degraded = self._predict_location(
+                                images
+                            )
+                    except (
+                        StreetViewError,
+                        CircuitOpenError,
+                        ClassificationError,
+                    ) as err:
+                        err.retry_provenance = fetch_stats  # type: ignore[attr-defined]
+                        raise
                     union = [
                         ind
                         for ind in ALL_INDICATORS
@@ -466,7 +504,16 @@ class NeighborhoodDecoder:
                         zone_kind=point.zone_kind.value,
                         presence=IndicatorPresence(union),
                     )
-                    return result, len(images), degraded
+                    retry_payload = None
+                    if clf_before is not None:
+                        provenance = RetryStats()
+                        provenance.merge(fetch_stats)
+                        for clf, base in zip(classifiers, clf_before):
+                            provenance.merge(
+                                _stats_since(clf.retry_stats, base)
+                            )
+                        retry_payload = provenance.as_dict()
+                    return result, len(images), degraded, fetch_stats, retry_payload
 
             for task in executor.imap(decode_one, tracked()):
                 point = window.pop(task.index)
@@ -480,6 +527,11 @@ class NeighborhoodDecoder:
                         CircuitOpenError,
                         ClassificationError,
                     ) as err:
+                        provenance = getattr(
+                            err, "retry_provenance", None
+                        )
+                        if provenance is not None:
+                            report.retry_stats.merge(provenance)
                         registry.inc("survey.locations.failed")
                         report.failed_locations.append(
                             FailedLocation(
@@ -495,7 +547,8 @@ class NeighborhoodDecoder:
                             report, outcome, keep_locations
                         )
                         continue
-                    result, n_images, degraded = outcome
+                    result, n_images, degraded, fetch_stats, retry = outcome
+                    report.retry_stats.merge(fetch_stats)
                     self._record_result(
                         report, result, n_images, degraded, keep_locations
                     )
@@ -503,7 +556,7 @@ class NeighborhoodDecoder:
                         store.record(
                             task.index,
                             self._location_payload(
-                                result, n_images, degraded
+                                result, n_images, degraded, retry
                             ),
                         )
 
@@ -529,7 +582,7 @@ class NeighborhoodDecoder:
         return list(self.ensemble.classifiers.values())
 
     def _fetch_location(
-        self, index: int, point: SamplePoint, report: SurveyReport
+        self, index: int, point: SamplePoint, stats: RetryStats
     ) -> list[LabeledImage]:
         """Fetch all headings of one location under the retry policy."""
         images: list[LabeledImage] = []
@@ -542,7 +595,7 @@ class NeighborhoodDecoder:
                 giveup=(StreetViewError,),
                 clock=self.clock,
                 breaker=self.gsv_breaker,
-                stats=report.retry_stats,
+                stats=stats,
             )
             served = outcome.result()
             images.append(
@@ -572,9 +625,12 @@ class NeighborhoodDecoder:
 
     @staticmethod
     def _location_payload(
-        result: LocationResult, images: int, degraded: int
+        result: LocationResult,
+        images: int,
+        degraded: int,
+        retry: dict | None = None,
     ) -> dict:
-        return {
+        payload = {
             "latitude": result.latitude,
             "longitude": result.longitude,
             "county": result.county,
@@ -583,6 +639,9 @@ class NeighborhoodDecoder:
             "images": images,
             "degraded_votes": degraded,
         }
+        if retry is not None:
+            payload["retry"] = retry
+        return payload
 
     @staticmethod
     def _record_result(
@@ -623,19 +682,9 @@ class NeighborhoodDecoder:
     def _restore_location(
         cls, report: SurveyReport, payload: dict, keep_locations: bool = True
     ) -> None:
-        result = LocationResult(
-            latitude=payload["latitude"],
-            longitude=payload["longitude"],
-            county=payload["county"],
-            zone_kind=payload["zone_kind"],
-            presence=IndicatorPresence(
-                Indicator.from_string(value)
-                for value in payload["present"]
-            ),
-        )
         cls._record_result(
             report,
-            result,
+            location_from_payload(payload),
             payload["images"],
             payload["degraded_votes"],
             keep_locations,
@@ -656,6 +705,24 @@ class NeighborhoodDecoder:
         return totals
 
 
+def location_from_payload(payload: dict) -> LocationResult:
+    """Rebuild a :class:`LocationResult` from its checkpoint payload.
+
+    The inverse of :meth:`NeighborhoodDecoder._location_payload`,
+    shared by in-run checkpoint restoration and the coordinator's
+    cross-shard merge (:mod:`repro.coordinator.merge`).
+    """
+    return LocationResult(
+        latitude=payload["latitude"],
+        longitude=payload["longitude"],
+        county=payload["county"],
+        zone_kind=payload["zone_kind"],
+        presence=IndicatorPresence(
+            Indicator.from_string(value) for value in payload["present"]
+        ),
+    )
+
+
 def _totals_since(
     current: dict[str, int], baseline: dict[str, int]
 ) -> dict[str, int]:
@@ -665,11 +732,4 @@ def _totals_since(
 
 def _stats_since(current: RetryStats, baseline: RetryStats) -> RetryStats:
     """The portion of ``current`` accumulated after ``baseline``."""
-    return RetryStats(
-        operations=current.operations - baseline.operations,
-        attempts=current.attempts - baseline.attempts,
-        retries=current.retries - baseline.retries,
-        failures=current.failures - baseline.failures,
-        slept_s=current.slept_s - baseline.slept_s,
-        breaker_blocks=current.breaker_blocks - baseline.breaker_blocks,
-    )
+    return current.subtract(baseline)

@@ -27,7 +27,7 @@ from .coordinates import (
     segment_points,
 )
 from .county import County, ZoneKind
-from .roadnet import RoadClass, iter_edges
+from .roadnet import RoadClass, build_road_network, iter_edges
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,34 @@ def select_survey_locations(
     rng = np.random.default_rng(seed)
     indices = rng.choice(len(pooled), size=n_locations, replace=False)
     return [pooled[int(i)] for i in sorted(indices)]
+
+
+def plan_survey_points(
+    counties: list[County],
+    n_locations: int,
+    seed: int = 0,
+) -> list[SamplePoint]:
+    """Plan a deterministic survey frame across one or many counties.
+
+    This is the single sampling entry point shared by the batch
+    pipeline and the shard coordinator: each county's road network is
+    built from ``seed + 17`` and the pooled draw uses ``seed + 23``,
+    exactly matching the historical single-county path — so a
+    one-county plan is byte-identical to what ``decoder.survey``
+    samples, and a multi-county plan is the natural generalization
+    (pooled proportional draw over the combined frame).
+
+    Returns an empty list when every county yields an empty frame;
+    raises ``ValueError`` (from :func:`select_survey_locations`) when
+    the pooled frame is smaller than ``n_locations``.
+    """
+    frames: dict[str, list[SamplePoint]] = {}
+    for county in counties:
+        graph = build_road_network(county, seed=seed + 17)
+        frames[county.name] = build_sampling_frame(county, graph)
+    if not any(frames.values()):
+        return []
+    return select_survey_locations(frames, n_locations, seed=seed + 23)
 
 
 def expand_to_captures(

@@ -17,7 +17,12 @@ no-op until installed (``repro trace ...`` or :func:`use_tracer`) and
 metric increments are single locked dict updates.
 """
 
-from .audit import audit_trace, reconcile_survey
+from .audit import (
+    COORDINATOR_STAGES,
+    SURVEY_STAGES,
+    audit_trace,
+    reconcile_survey,
+)
 from .metrics import (
     DEFAULT_BUCKET_EDGES,
     MetricsRegistry,
@@ -36,8 +41,10 @@ from .trace import (
 )
 
 __all__ = [
+    "COORDINATOR_STAGES",
     "DEFAULT_BUCKET_EDGES",
     "MetricsRegistry",
+    "SURVEY_STAGES",
     "NULL_TRACER",
     "NullTracer",
     "Span",

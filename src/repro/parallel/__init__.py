@@ -27,6 +27,7 @@ from .shm import (
     SharedArrayHandle,
     ShmTransport,
     shared_memory_support,
+    sweep_result_intents,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "effective_cpu_count",
     "resolve_workers",
     "shared_memory_support",
+    "sweep_result_intents",
 ]

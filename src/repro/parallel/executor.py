@@ -56,6 +56,7 @@ the arena degrades to pickle with a recorded reason.
 from __future__ import annotations
 
 import os
+import tempfile
 from collections import deque
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
@@ -326,8 +327,15 @@ class ParallelExecutor:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 yield from self._imap_pooled(pool, fn, items, should_cancel)
         else:
+            # The intent-ledger directory makes abrupt worker death
+            # (SIGKILL mid-result) leak-free: workers journal each
+            # result block's name into it before creation, and
+            # arena.close() reclaims whatever no consumer resolved.
             arena = (
-                SharedArrayArena(min_bytes=self.shm_min_bytes)
+                SharedArrayArena(
+                    min_bytes=self.shm_min_bytes,
+                    ledger_dir=tempfile.mkdtemp(prefix="repro_shm_ledger_"),
+                )
                 if self.shm
                 else None
             )
@@ -341,9 +349,16 @@ class ParallelExecutor:
             finally:
                 # The pool has joined by now: no child still maps any
                 # block, so force-unlinking whatever survived (nothing,
-                # unless the consumer bailed mid-task) is safe.
+                # unless the consumer bailed mid-task) is safe — and
+                # the ledger sweep inside close() reclaims result
+                # blocks stranded by workers that died abruptly.
                 if arena is not None:
                     arena.close()
+                    if arena.stats.orphans_reclaimed:
+                        get_metrics().inc(
+                            "shm.orphans.reclaimed",
+                            arena.stats.orphans_reclaimed,
+                        )
 
     def run(
         self,
@@ -424,14 +439,19 @@ class ParallelExecutor:
                     if cancelling:
                         pending.append((index, None))
                     else:
-                        pending.append(
-                            (
-                                index,
-                                self._submit(
-                                    pool, fn, index, item, arena, handles
-                                ),
+                        try:
+                            future = self._submit(
+                                pool, fn, index, item, arena, handles
                             )
-                        )
+                        except Exception as err:  # noqa: BLE001
+                            # A pool already broken by a crashed child
+                            # raises at *submit* time; surface it as
+                            # this task's outcome like any other
+                            # transport failure instead of aborting
+                            # the sweep mid-iteration.
+                            future = Future()
+                            future.set_exception(err)
+                        pending.append((index, future))
                 if not pending:
                     break
                 index, future = pending.popleft()

@@ -41,10 +41,13 @@ correct, merely slower.
 
 from __future__ import annotations
 
+import os
 import secrets
+import shutil
 import threading
 import weakref
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -57,6 +60,7 @@ __all__ = [
     "pack_result",
     "resolve_item",
     "shared_memory_support",
+    "sweep_result_intents",
 ]
 
 #: Arrays smaller than this travel by pickle: block creation costs two
@@ -144,9 +148,18 @@ class ShmTransport:
     Carried inside :class:`~repro.parallel.executor.TaskEnvelope` so the
     worker can pack large *result* arrays into fresh blocks without
     holding a reference to the (unpicklable) parent arena.
+
+    ``ledger_dir`` names a parent-owned directory of *intent ledgers*:
+    before creating a result block, the worker appends the block's name
+    to ``<ledger_dir>/<pid>.intents``.  If the worker is killed between
+    creating the block and the parent resolving its handle (SIGKILL
+    mid-result, OOM), the block would otherwise survive in ``/dev/shm``
+    until reboot — the parent sweeps the ledgers after the pool joins
+    and unlinks whatever nobody consumed (:func:`sweep_result_intents`).
     """
 
     min_bytes: int = DEFAULT_MIN_SHARE_BYTES
+    ledger_dir: str | None = None
 
 
 @dataclass
@@ -167,6 +180,7 @@ class ArenaStats:
     arrays_passthrough: int = 0
     blocks_created: int = 0
     block_reuses: int = 0
+    orphans_reclaimed: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -175,6 +189,7 @@ class ArenaStats:
             "arrays_passthrough": self.arrays_passthrough,
             "blocks_created": self.blocks_created,
             "block_reuses": self.block_reuses,
+            "orphans_reclaimed": self.orphans_reclaimed,
         }
 
 
@@ -192,10 +207,17 @@ class SharedArrayArena:
         Arrays below this size pass through by pickle.
     """
 
-    def __init__(self, min_bytes: int = DEFAULT_MIN_SHARE_BYTES) -> None:
+    def __init__(
+        self,
+        min_bytes: int = DEFAULT_MIN_SHARE_BYTES,
+        ledger_dir: str | None = None,
+    ) -> None:
         if min_bytes < 0:
             raise ValueError(f"min_bytes must be non-negative: {min_bytes}")
         self.min_bytes = min_bytes
+        #: Directory of worker intent ledgers; the arena takes
+        #: ownership and removes it (after sweeping) on :meth:`close`.
+        self.ledger_dir = ledger_dir
         cls, reason = shared_memory_support()
         self._shm_cls = cls
         self.fallback_reason = reason
@@ -219,7 +241,9 @@ class SharedArrayArena:
         """Worker-side transport config (``None`` when degraded)."""
         if not self.enabled:
             return None
-        return ShmTransport(min_bytes=self.min_bytes)
+        return ShmTransport(
+            min_bytes=self.min_bytes, ledger_dir=self.ledger_dir
+        )
 
     # ------------------------------------------------------------------
     # sharing
@@ -288,7 +312,14 @@ class SharedArrayArena:
             pass
 
     def close(self) -> None:
-        """Force-release every live block (end-of-run safety net)."""
+        """Force-release every live block (end-of-run safety net).
+
+        Also sweeps the worker intent ledgers: any result block whose
+        creating worker died before the parent resolved its handle is
+        unlinked here, so an abrupt worker death never strands memory
+        in ``/dev/shm``.  Only call after the worker pool has joined —
+        a live worker's just-created block would look orphaned.
+        """
         with self._lock:
             blocks = list(self._blocks.values())
             self._blocks.clear()
@@ -299,6 +330,10 @@ class SharedArrayArena:
                 block.shm.unlink()
             except FileNotFoundError:  # pragma: no cover
                 pass
+        if self.ledger_dir is not None:
+            reclaimed = sweep_result_intents(self.ledger_dir)
+            self.stats.orphans_reclaimed += reclaimed
+            shutil.rmtree(self.ledger_dir, ignore_errors=True)
 
     def __enter__(self) -> "SharedArrayArena":
         return self
@@ -365,6 +400,56 @@ def resolve_item(value):
     return value
 
 
+def _record_intent(ledger_dir: str, name: str) -> None:
+    """Worker side: durably note a result block *before* creating it.
+
+    Append-then-flush is enough — SIGKILL does not lose flushed page
+    cache, and the ledger only ever over-approximates (a name whose
+    block was consumed simply fails to attach during the sweep).
+    """
+    path = os.path.join(ledger_dir, f"{os.getpid()}.intents")
+    try:
+        with open(path, "a", encoding="utf-8") as ledger:
+            ledger.write(name + "\n")
+            ledger.flush()
+    except OSError:  # pragma: no cover - ledger dir vanished; best effort
+        pass
+
+
+def sweep_result_intents(ledger_dir: str | Path) -> int:
+    """Parent side: unlink result blocks whose worker died mid-result.
+
+    Reads every ``*.intents`` ledger under ``ledger_dir`` and attempts
+    to reclaim each named block.  Names whose blocks were already
+    consumed (the normal case — ``resolve()`` unlinks owning handles)
+    fail to attach and are skipped.  Returns the number of orphaned
+    blocks actually reclaimed.  Must run only after the worker pool
+    has joined: a live worker's just-created block is not an orphan.
+    """
+    cls, _ = shared_memory_support()
+    root = Path(ledger_dir)
+    if cls is None or not root.is_dir():
+        return 0
+    reclaimed = 0
+    for ledger in sorted(root.glob("*.intents")):
+        try:
+            names = ledger.read_text(encoding="utf-8").split()
+        except OSError:  # pragma: no cover - racing cleanup
+            continue
+        for name in names:
+            try:
+                block = cls(name=name)
+            except (FileNotFoundError, ValueError):
+                continue
+            block.close()
+            try:
+                block.unlink()
+                reclaimed += 1
+            except FileNotFoundError:  # pragma: no cover - racing reclaim
+                pass
+    return reclaimed
+
+
 def pack_result(value, transport: ShmTransport):
     """Move a result's large arrays into fresh blocks (worker side).
 
@@ -387,10 +472,13 @@ def _pack_result_value(value, transport: ShmTransport, cls):
     if isinstance(value, np.ndarray):
         if not SharedArrayArena._shareable(value, transport.min_bytes):
             return value
+        name = f"repro_result_{secrets.token_hex(8)}"
+        if transport.ledger_dir is not None:
+            _record_intent(transport.ledger_dir, name)
         shm = cls(
             create=True,
             size=max(1, value.nbytes),
-            name=f"repro_result_{secrets.token_hex(8)}",
+            name=name,
         )
         if value.nbytes:
             view = np.ndarray(value.shape, dtype=value.dtype, buffer=shm.buf)

@@ -7,24 +7,54 @@ so aborting at location 812 of 1,000 must not forfeit the first 811.
 atomically) keyed by the survey's identity; a rerun with the same
 identity skips every completed location.
 
+Crash safety: every save goes through a temp-file-then-rename, so the
+file on disk is always the *last complete* document — a worker killed
+mid-write (SIGKILL, OOM, power on the same host) leaves either the
+previous checkpoint or the new one, never a torn page.  Loading is
+belt-and-braces anyway: a document that fails to parse, fails its
+checksum, or has a mangled structure is **quarantined as corrupt**
+(renamed to ``<path>.corrupt``, counted on the
+``checkpoint.corrupt`` metric) and treated as a cold start instead of
+raising — losing a checkpoint must cost a re-fetch, not wedge the
+survey.  A checkpoint whose *key* identifies a different survey is
+still a hard :class:`CheckpointMismatchError`: silently mixing two
+surveys' billing is worse than failing loudly.
+
 The payload stored per location is an opaque JSON dict owned by the
 caller (:class:`~repro.core.pipeline.NeighborhoodDecoder` stores the
-decoded indicators plus billing provenance), which keeps this module
-free of pipeline imports.
+decoded indicators plus billing/retry provenance), which keeps this
+module free of pipeline imports.
+
+Per-record saves deliberately do **not** fsync: the rename already
+survives process death (page cache persists), and a whole-machine
+crash merely re-fetches the tail of one shard.  Rare, high-value
+documents (the coordinator's shard manifest and shard results) do
+fsync — see :mod:`repro.coordinator.manifest`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
 from ..obs.metrics import get_metrics
 
-FORMAT_VERSION = 1
+#: Version 2 adds the ``checksum`` field; version-1 documents (no
+#: checksum) still load so pre-existing checkpoints keep their value.
+FORMAT_VERSION = 2
 
 
 class CheckpointMismatchError(ValueError):
     """The checkpoint on disk belongs to a different survey."""
+
+
+def _checksum(key: dict, locations: dict) -> str:
+    """Content checksum over the canonical serialization of the body."""
+    body = json.dumps(
+        {"key": key, "locations": locations}, sort_keys=True
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 
 class SurveyCheckpoint:
@@ -50,33 +80,75 @@ class SurveyCheckpoint:
     # ------------------------------------------------------------------
 
     def _load(self) -> None:
-        payload = json.loads(self.path.read_text())
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError, UnicodeDecodeError):
+            # Truncated or garbled mid-write — cold start, not a crash.
+            self._quarantine_corrupt("unparseable JSON")
+            return
+        if not isinstance(payload, dict):
+            self._quarantine_corrupt("not a JSON object")
+            return
         version = payload.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in (1, FORMAT_VERSION):
             raise ValueError(
                 f"unsupported checkpoint format version: {version!r}"
             )
         stored_key = payload.get("key", {})
+        locations = payload.get("locations", {})
+        if not isinstance(stored_key, dict) or not isinstance(
+            locations, dict
+        ):
+            self._quarantine_corrupt("mangled structure")
+            return
+        if version == FORMAT_VERSION and payload.get(
+            "checksum"
+        ) != _checksum(stored_key, locations):
+            self._quarantine_corrupt("checksum mismatch")
+            return
         if stored_key != self.key:
             raise CheckpointMismatchError(
                 f"checkpoint at {self.path} is for survey {stored_key!r}, "
                 f"not {self.key!r}"
             )
-        self._records = {
-            int(index): record
-            for index, record in payload.get("locations", {}).items()
-        }
+        try:
+            self._records = {
+                int(index): record
+                for index, record in locations.items()
+            }
+        except (TypeError, ValueError):
+            self._quarantine_corrupt("non-integer location index")
+
+    def _quarantine_corrupt(self, reason: str) -> None:
+        """Count, preserve, and forget a corrupt checkpoint document.
+
+        The damaged file is renamed to ``<path>.corrupt`` for
+        forensics (a later save recreates the real path), the
+        ``checkpoint.corrupt`` counter moves so dashboards see the
+        event, and the store cold-starts.
+        """
+        get_metrics().inc("checkpoint.corrupt")
+        try:
+            self.path.replace(
+                self.path.with_suffix(self.path.suffix + ".corrupt")
+            )
+        except OSError:  # pragma: no cover - best effort only
+            pass
+        self._records = {}
 
     def save(self) -> None:
         """Write atomically (temp file + rename), like a real pipeline."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        key = self.key
+        locations = {
+            str(index): record
+            for index, record in sorted(self._records.items())
+        }
         payload = {
             "format_version": FORMAT_VERSION,
-            "key": self.key,
-            "locations": {
-                str(index): record
-                for index, record in sorted(self._records.items())
-            },
+            "key": key,
+            "locations": locations,
+            "checksum": _checksum(key, locations),
         }
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         tmp.write_text(json.dumps(payload))

@@ -112,6 +112,24 @@ class RetryStats:
             self.slept_s += other.slept_s
             self.breaker_blocks += other.breaker_blocks
 
+    def subtract(self, baseline: "RetryStats") -> "RetryStats":
+        """The portion accumulated after ``baseline`` (``self - baseline``).
+
+        Used to carve a shared stats object into per-phase deltas —
+        e.g. the survey pipeline's per-classifier accounting and the
+        coordinator's "retries spent on locations that ultimately
+        failed" remainder.
+        """
+        with self._lock:
+            return RetryStats(
+                operations=self.operations - baseline.operations,
+                attempts=self.attempts - baseline.attempts,
+                retries=self.retries - baseline.retries,
+                failures=self.failures - baseline.failures,
+                slept_s=self.slept_s - baseline.slept_s,
+                breaker_blocks=self.breaker_blocks - baseline.breaker_blocks,
+            )
+
     def as_dict(self) -> dict[str, float]:
         return {
             "operations": self.operations,
@@ -121,6 +139,18 @@ class RetryStats:
             "slept_s": round(self.slept_s, 6),
             "breaker_blocks": self.breaker_blocks,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryStats":
+        """Rebuild stats persisted via :meth:`as_dict` (checkpoint JSON)."""
+        return cls(
+            operations=int(data.get("operations", 0)),
+            attempts=int(data.get("attempts", 0)),
+            retries=int(data.get("retries", 0)),
+            failures=int(data.get("failures", 0)),
+            slept_s=float(data.get("slept_s", 0.0)),
+            breaker_blocks=int(data.get("breaker_blocks", 0)),
+        )
 
 
 @dataclass

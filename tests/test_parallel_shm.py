@@ -49,6 +49,32 @@ def _scale(item):
     return array * factor
 
 
+class _KillOnPickle:
+    """SIGKILLs its own process when pickled.
+
+    Returned inside a worker's result tuple, it dies *after*
+    ``pack_result`` has created the result's shared block (and recorded
+    the intent) but *before* the owning handle ships to the parent —
+    the precise window where an abrupt worker death used to orphan
+    ``/dev/shm`` blocks until interpreter exit.
+    """
+
+    def __reduce__(self):  # pragma: no cover - executes in the worker
+        import os
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+        raise AssertionError("unreachable")
+
+
+def _big_result_then_die(item):  # pragma: no cover - runs in workers
+    index, array = item
+    result = array * 2.0
+    if index == 2:
+        return (result, _KillOnPickle())
+    return (result, None)
+
+
 def _first_row(array):
     return array[0].copy()
 
@@ -246,6 +272,38 @@ class TestExecutorLeakFreedom:
         next(iterator)
         iterator.close()  # consumer bails mid-sweep
         assert _shm_block_names() == before
+
+    def test_killed_worker_orphans_are_swept(self):
+        """A worker SIGKILLed mid-result must not leak its shm block.
+
+        The intent ledger (written before block creation, flushed, and
+        swept by the arena after the pool joins) is what makes this
+        hold even though the dying worker never shipped its handle.
+        """
+        from repro.obs.metrics import MetricsRegistry, use_metrics
+
+        before = _shm_block_names()
+        rng = np.random.default_rng(19)
+        items = [(i, rng.standard_normal((128, 128))) for i in range(6)]
+        executor = ParallelExecutor(
+            workers=2, backend="process", shm=True, shm_min_bytes=0
+        )
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            outcomes = list(executor.imap(_big_result_then_die, items))
+        # The killed task (and any pool casualties) surface as error
+        # outcomes, not silent gaps — and at least one task died.
+        assert len(outcomes) == len(items)
+        assert any(not outcome.ok for outcome in outcomes)
+        for outcome, (_, array) in zip(outcomes, items):
+            if outcome.ok:
+                value, marker = outcome.value
+                assert marker is None
+                assert np.array_equal(value, array * 2.0)
+        # The dead worker's block(s) were reclaimed from the ledger:
+        # /dev/shm is back to baseline.
+        assert _shm_block_names() == before
+        assert registry.counter("shm.orphans.reclaimed") >= 1.0
 
     def test_large_result_arrays_come_back_intact(self):
         rng = np.random.default_rng(17)

@@ -22,7 +22,13 @@ def _detect_doc(speedup, warm=9.0, capped=False):
 
 class TestCompareBenchmarks:
     def test_registry_covers_every_bench_suite(self):
-        assert set(HEADLINE_METRICS) == {"pipeline", "detect", "stream", "obs"}
+        assert set(HEADLINE_METRICS) == {
+            "pipeline",
+            "detect",
+            "stream",
+            "obs",
+            "coord",
+        }
 
     def test_no_regression_when_fresh_is_equal_or_better(self):
         result = compare_benchmarks(_detect_doc(1.5), _detect_doc(1.5))

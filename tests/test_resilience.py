@@ -386,7 +386,7 @@ class TestSurveyGuards:
     def test_empty_sampling_frame(self, clients, monkeypatch):
         county = make_robeson_like(seed=2)
         monkeypatch.setattr(
-            "repro.core.pipeline.build_sampling_frame",
+            "repro.geo.sampling.build_sampling_frame",
             lambda county, graph: [],
         )
         decoder = NeighborhoodDecoder(
@@ -415,6 +415,91 @@ class TestSurveyCheckpoint:
         SurveyCheckpoint(path, {"seed": 0}).record(0, {})
         with pytest.raises(CheckpointMismatchError):
             SurveyCheckpoint(path, {"seed": 1})
+
+
+class TestCheckpointCorruption:
+    """A damaged checkpoint must cost a re-fetch, never wedge the survey."""
+
+    KEY = {"county": "Durham", "n_locations": 3, "seed": 0}
+
+    def _intact(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        store = SurveyCheckpoint(path, self.KEY)
+        store.record(0, {"present": ["sidewalk"], "images": 4})
+        store.record(1, {"present": [], "images": 4})
+        return path
+
+    def test_truncation_at_every_byte_offset_cold_starts(self, tmp_path):
+        """No prefix of a checkpoint may crash loading or leak records.
+
+        This replays the exact failure a torn write would produce if
+        the atomic rename were ever lost: the file cut at *every*
+        possible byte offset.  Each prefix must either load fully (the
+        empty case never existed on disk) or quarantine and cold-start.
+        """
+        from repro.obs.metrics import MetricsRegistry, use_metrics
+
+        intact = self._intact(tmp_path).read_bytes()
+        reloaded = SurveyCheckpoint(tmp_path / "ckpt.json", self.KEY)
+        assert reloaded.completed_indices == (0, 1)
+
+        for cut in range(len(intact)):
+            path = tmp_path / f"cut_{cut}.json"
+            path.write_bytes(intact[:cut])
+            registry = MetricsRegistry()
+            with use_metrics(registry):
+                store = SurveyCheckpoint(path, self.KEY)
+                # Never partially loaded: a truncated document yields
+                # nothing, and the event is counted and quarantined.
+                assert len(store) == 0, f"cut at byte {cut} leaked records"
+                assert registry.counter("checkpoint.corrupt") == 1.0
+            assert not path.exists()
+            assert path.with_suffix(".json.corrupt").exists()
+            # The store stays usable: recording resumes from cold.
+            store.record(0, {"present": [], "images": 4})
+            assert SurveyCheckpoint(path, self.KEY).completed_indices == (0,)
+
+    def test_checksum_mismatch_quarantines(self, tmp_path):
+        import json as _json
+
+        from repro.obs.metrics import MetricsRegistry, use_metrics
+
+        path = self._intact(tmp_path)
+        doc = _json.loads(path.read_text())
+        doc["locations"]["0"]["images"] = 400  # bit-rot the body
+        path.write_text(_json.dumps(doc))
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            store = SurveyCheckpoint(path, self.KEY)
+        assert len(store) == 0
+        assert registry.counter("checkpoint.corrupt") == 1.0
+        assert path.with_suffix(".json.corrupt").exists()
+
+    def test_unknown_format_version_still_raises(self, tmp_path):
+        """A future format is a config bug, not corruption: fail loudly."""
+        import json as _json
+
+        path = tmp_path / "ckpt.json"
+        path.write_text(_json.dumps({"format_version": 99}))
+        with pytest.raises(ValueError, match="unsupported checkpoint"):
+            SurveyCheckpoint(path, self.KEY)
+
+    def test_version_1_document_without_checksum_loads(self, tmp_path):
+        """Pre-hardening checkpoints keep their value (and their billing)."""
+        import json as _json
+
+        path = tmp_path / "ckpt.json"
+        path.write_text(
+            _json.dumps(
+                {
+                    "format_version": 1,
+                    "key": {k: self.KEY[k] for k in sorted(self.KEY)},
+                    "locations": {"0": {"present": [], "images": 4}},
+                }
+            )
+        )
+        store = SurveyCheckpoint(path, self.KEY)
+        assert store.completed_indices == (0,)
 
 
 class TestScriptedOutageScenario:
