@@ -1,0 +1,140 @@
+"""Perf benchmark: the cascade router's cost/accuracy frontier.
+
+Realizes the frontier of DESIGN.md §13 on a held-out synthetic split
+and freezes it as ``BENCH_cascade.json`` (compared across commits by
+``repro bench --compare``).  The two headline metrics gate the PR's
+acceptance bar:
+
+* ``cascade.fee_reduction`` — the fee-per-location multiple the
+  calibrated default threshold saves against the always-ensemble
+  baseline (must stay ≥ 5×);
+* ``cascade.f1_retention`` — default-threshold micro-F1 relative to
+  the baseline's (an absolute drop beyond one point fails here).
+
+Excluded from tier-1 (``perf`` marker); run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_cascade.py -m perf -q
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cascade import (
+    DEFAULT_THRESHOLD,
+    fit_cascade_calibration,
+    recommend_threshold,
+    render_frontier_table,
+    sweep_frontier,
+)
+from repro.core.classifier import LLMIndicatorClassifier
+from repro.core.voting import VotingEnsemble
+from repro.detect.train import TrainConfig, train_detector
+from repro.gsv.dataset import build_survey_dataset
+from repro.llm.paper_targets import GPT_4O_MINI
+from repro.llm.registry import build_clients
+from repro.perf import Stopwatch, write_bench
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_cascade.json"
+TABLE_PATH = REPO_ROOT / "benchmarks" / "results" / "frontier_cascade.txt"
+
+#: The acceptance workload mirrors the CLI's cascade assembly:
+#: detector trained and calibrated on disjoint synthetic splits, the
+#: frontier realized on a third.
+N_TRAIN, TRAIN_SEED = 160, 21
+N_HOLDOUT, HOLDOUT_SEED = 120, 33
+N_EVAL, EVAL_SEED = 96, 45
+
+#: The PR's acceptance gates at the calibrated default threshold.
+MIN_FEE_REDUCTION = 5.0
+MAX_F1_DROP = 0.01
+
+
+def test_cascade_frontier_trajectory():
+    calibration_scenes = build_survey_dataset(n_images=60, size=256, seed=77)
+    clients = build_clients([image.scene for image in calibration_scenes])
+    scout = LLMIndicatorClassifier(clients[GPT_4O_MINI])
+    ensemble = VotingEnsemble(
+        classifiers={
+            model_id: LLMIndicatorClassifier(client)
+            for model_id, client in clients.items()
+        }
+    )
+
+    with Stopwatch() as train_sw:
+        train_images = build_survey_dataset(
+            n_images=N_TRAIN, size=256, seed=TRAIN_SEED
+        )
+        detector = train_detector(
+            train_images, train_config=TrainConfig(epochs=12, batch_size=16)
+        ).model
+    holdout = build_survey_dataset(
+        n_images=N_HOLDOUT, size=256, seed=HOLDOUT_SEED
+    )
+    calibration = fit_cascade_calibration(detector, holdout)
+    recommended = recommend_threshold(detector, calibration, holdout)
+
+    eval_images = build_survey_dataset(n_images=N_EVAL, size=256, seed=EVAL_SEED)
+    with Stopwatch() as sweep_sw:
+        report = sweep_frontier(
+            detector, calibration, scout, ensemble, eval_images
+        )
+
+    table = render_frontier_table(report)
+    print("\n" + table)
+    TABLE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    TABLE_PATH.write_text(table + "\n", encoding="utf-8")
+
+    point = report.point_at(DEFAULT_THRESHOLD)
+    fee_reduction = point.fee_reduction_vs(report.baseline_fee_usd)
+    f1_retention = point.f1 / report.baseline_f1
+
+    document = write_bench(
+        BENCH_PATH,
+        "cascade",
+        {
+            "config": {
+                "n_train": N_TRAIN,
+                "n_holdout": N_HOLDOUT,
+                "n_eval": N_EVAL,
+                "default_threshold": DEFAULT_THRESHOLD,
+                "recommended_threshold": recommended,
+                "train_s": round(train_sw.elapsed_s, 4),
+                "sweep_s": round(sweep_sw.elapsed_s, 4),
+            },
+            "cascade": {
+                "fee_reduction": round(fee_reduction, 3),
+                "f1_retention": round(f1_retention, 6),
+                "f1": round(point.f1, 6),
+                "baseline_f1": round(report.baseline_f1, 6),
+                "fee_per_location_usd": round(point.fee_per_location_usd, 9),
+                "baseline_fee_per_location_usd": round(
+                    report.baseline_fee_per_location_usd, 9
+                ),
+                "tier0_rate": round(point.tier0_rate, 6),
+                "tier1_rate": round(point.tier1_rate, 6),
+                "tier2_rate": round(point.tier2_rate, 6),
+            },
+            "frontier": report.payload(),
+        },
+        repo_root=REPO_ROOT,
+    )
+
+    assert BENCH_PATH.exists()
+    assert document["cascade"]["fee_reduction"] >= MIN_FEE_REDUCTION, (
+        f"default-threshold fee reduction {fee_reduction:.1f}x "
+        f"below the {MIN_FEE_REDUCTION}x gate"
+    )
+    assert report.baseline_f1 - point.f1 <= MAX_F1_DROP, (
+        f"default-threshold F1 {point.f1:.4f} dropped more than "
+        f"{MAX_F1_DROP} below baseline {report.baseline_f1:.4f}"
+    )
+    # Threshold 0 is the ensemble itself: same F1, no fee saving.
+    zero = report.point_at(0.0)
+    assert zero.f1 == pytest.approx(report.baseline_f1)
+    assert zero.fee_usd == pytest.approx(report.baseline_fee_usd, rel=1e-6)

@@ -157,8 +157,16 @@ def _run_survey(args: argparse.Namespace, traced: bool = False) -> int:
         failure_rate=args.gsv_failure_rate,
         daily_quota=args.daily_quota,
     )
+    use_cascade = bool(getattr(args, "cascade", False)) and not traced
     calibration = build_survey_dataset(n_images=60, size=256, seed=77)
-    model_ids = tuple(VOTING_MODEL_IDS) if traced else (GEMINI_15_PRO,)
+    if traced:
+        model_ids = tuple(VOTING_MODEL_IDS)
+    elif use_cascade:
+        from .llm.paper_targets import ALL_MODEL_IDS
+
+        model_ids = tuple(ALL_MODEL_IDS)
+    else:
+        model_ids = (GEMINI_15_PRO,)
     clients = build_clients(
         [image.scene for image in calibration], model_ids=model_ids
     )
@@ -169,6 +177,12 @@ def _run_survey(args: argparse.Namespace, traced: bool = False) -> int:
                     model_id: LLMIndicatorClassifier(clients[model_id])
                     for model_id in model_ids
                 }
+            )
+        }
+    elif use_cascade:
+        brains = {
+            "cascade": _build_cascade(
+                clients, threshold=args.cascade_threshold
             )
         }
     else:
@@ -215,6 +229,24 @@ def _run_survey(args: argparse.Namespace, traced: bool = False) -> int:
     print(f"images         {report.images_classified}")
     print(f"fees           ${report.fees_usd:.3f}")
     print(f"degraded votes {report.degraded_votes}")
+    if report.skipped_votes:
+        print(f"skipped votes  {report.skipped_votes}")
+    if report.cascade_stats:
+        cs = report.cascade_stats
+        print(
+            f"cascade        tier0 {cs['tier0_indicators']} / "
+            f"tier1 {cs['tier1_indicators']} / "
+            f"tier2 {cs['tier2_indicators']} indicators "
+            f"({cs['split_escalations']} splits, "
+            f"{cs['deep_escalations']} deep, "
+            f"{cs['detector_fallbacks']} fallbacks)"
+        )
+        for stage, totals in decoder.cascade.meter.stage_totals().items():
+            print(
+                f"  {stage:16s} {totals['requests']} calls, "
+                f"{totals['prompt_tokens'] + totals['completion_tokens']} "
+                f"tokens, ${totals['fees_usd']:.6f}"
+            )
     stats = report.retry_stats.as_dict()
     print(
         f"fault handling {stats['retries']} retries, "
@@ -284,6 +316,115 @@ def _build_survey_decoder(county, seed: int = 77):
         street_view=StreetViewClient(counties=[county], api_key="cli-coord"),
         classifier=LLMIndicatorClassifier(clients[GEMINI_15_PRO]),
     )
+
+
+def _build_cascade(clients, threshold: float | None = None, artifacts=None):
+    """Assemble the three-tier cascade the CLI ships.
+
+    Trains the nano detector on one synthetic split, fits the margin
+    calibration on a held-out split (both cached when ``artifacts`` is
+    given), and wires the cheapest model as the tier-1 scout in front
+    of the full four-model ensemble.
+    """
+    from .cascade import CascadeClassifier, load_or_fit_calibration
+    from .core.classifier import LLMIndicatorClassifier
+    from .core.voting import VotingEnsemble
+    from .detect.train import TrainConfig, train_detector
+    from .gsv.dataset import build_survey_dataset
+    from .llm.paper_targets import GPT_4O_MINI
+
+    train_images = build_survey_dataset(n_images=160, size=256, seed=21)
+    holdout = build_survey_dataset(n_images=120, size=256, seed=33)
+    detector = train_detector(
+        train_images,
+        train_config=TrainConfig(epochs=12, batch_size=16),
+        cache=artifacts,
+    ).model
+    calibration = load_or_fit_calibration(artifacts, detector, holdout)
+    ensemble = VotingEnsemble(
+        classifiers={
+            model_id: LLMIndicatorClassifier(client)
+            for model_id, client in clients.items()
+        }
+    )
+    kwargs = {} if threshold is None else {"threshold": threshold}
+    return CascadeClassifier(
+        detector=detector,
+        calibration=calibration,
+        scout=LLMIndicatorClassifier(clients[GPT_4O_MINI]),
+        ensemble=ensemble,
+        **kwargs,
+    )
+
+
+def _run_cascade(args: argparse.Namespace) -> int:
+    """``repro cascade calibrate`` / ``repro cascade frontier``.
+
+    ``calibrate`` fits (and caches, with ``--artifacts``) the margin
+    calibration and prints the recommended doubt threshold for a
+    validation split.  ``frontier`` (the default) sweeps the threshold
+    grid, prints the accuracy-vs-cost table, and writes it (plus the
+    reproducible JSON payload) to ``--frontier-out`` for CI to upload.
+    """
+    from .cascade import (
+        recommend_threshold,
+        render_frontier_table,
+        sweep_frontier,
+    )
+    from .gsv.dataset import build_survey_dataset
+    from .llm.paper_targets import ALL_MODEL_IDS
+    from .llm.registry import build_clients
+
+    artifacts = None
+    if args.artifacts:
+        from .artifacts import ArtifactCache
+
+        artifacts = ArtifactCache(args.artifacts)
+    calibration_images = build_survey_dataset(n_images=60, size=256, seed=77)
+    clients = build_clients(
+        [image.scene for image in calibration_images],
+        model_ids=tuple(ALL_MODEL_IDS),
+    )
+    cascade = _build_cascade(
+        clients, threshold=args.cascade_threshold, artifacts=artifacts
+    )
+    eval_images = build_survey_dataset(n_images=48, size=256, seed=45)
+
+    action = args.action or "frontier"
+    if action == "calibrate":
+        recommended = recommend_threshold(
+            cascade.detector, cascade.calibration, eval_images
+        )
+        print("=== cascade calibration ===")
+        print(f"indicator curves   {len(cascade.calibration.curves)}")
+        print(f"validation images  {len(eval_images)}")
+        print(f"recommended doubt threshold {recommended:.2f}")
+        print(f"configured default          {cascade.threshold:.2f}")
+        if artifacts is not None:
+            print(f"calibration cached under {args.artifacts}")
+        return 0
+
+    report = sweep_frontier(
+        cascade.detector,
+        cascade.calibration,
+        cascade.scout,
+        cascade.ensemble,
+        eval_images,
+        default_threshold=cascade.threshold,
+    )
+    table = render_frontier_table(report)
+    print("=== cascade cost/accuracy frontier ===")
+    print(table)
+    out = Path(args.frontier_out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(table + "\n")
+    json_out = out.with_suffix(".json")
+    json_out.write_text(
+        json.dumps(report.payload(), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"frontier table -> {out}")
+    print(f"frontier data  -> {json_out}")
+    return 0
 
 
 def _run_coordinate(args: argparse.Namespace) -> int:
@@ -604,14 +745,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "bench", "coordinate", "list",
-                                       "survey", "trace"],
+        choices=sorted(EXPERIMENTS) + ["all", "bench", "cascade",
+                                       "coordinate", "list", "survey",
+                                       "trace"],
         help=(
             "which experiment to run ('survey' runs the decoder itself, "
             "'trace' runs it under a recording tracer and audits the "
             "books, 'coordinate' runs the crash-safe sharded "
-            "coordinator, 'bench' runs the perf benchmarks)"
+            "coordinator, 'cascade' calibrates/sweeps the cost-aware "
+            "router, 'bench' runs the perf benchmarks)"
         ),
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        choices=["calibrate", "frontier"],
+        help="cascade: sub-action (default: frontier)",
     )
     parser.add_argument(
         "--scale",
@@ -694,6 +843,34 @@ def main(argv: list[str] | None = None) -> int:
         default=64,
         metavar="N",
         help="stream: max locations in flight at once (default: 64)",
+    )
+    survey_group.add_argument(
+        "--cascade",
+        action="store_true",
+        help=(
+            "classify with the cost-aware cascade (detector-first, "
+            "LLM-on-doubt, full-ensemble last) instead of a single LLM"
+        ),
+    )
+    survey_group.add_argument(
+        "--cascade-threshold",
+        type=float,
+        default=None,
+        metavar="DOUBT",
+        help=(
+            "cascade doubt tolerance in [0, 0.5]; 0 escalates every "
+            "indicator to the full ensemble (default: the calibrated "
+            "DEFAULT_THRESHOLD)"
+        ),
+    )
+    survey_group.add_argument(
+        "--frontier-out",
+        default="frontier_cascade.md",
+        metavar="PATH",
+        help=(
+            "cascade frontier: output table path; the JSON payload is "
+            "written next to it (default: frontier_cascade.md)"
+        ),
     )
     survey_group.add_argument(
         "--gsv-failure-rate",
@@ -789,6 +966,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace(args)
     if args.experiment == "coordinate":
         return _run_coordinate(args)
+    if args.experiment == "cascade":
+        return _run_cascade(args)
     if args.experiment == "bench":
         return _run_bench(args)
 

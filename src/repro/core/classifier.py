@@ -23,7 +23,10 @@ from ..llm.base import (
     DEFAULT_TEMPERATURE,
     DEFAULT_TOP_P,
     ChatClient,
+    ChatMessage,
+    ChatRequest,
     ImageAttachment,
+    Usage,
 )
 from ..llm.errors import RateLimitError, ServerError
 from ..llm.language import Language
@@ -81,12 +84,22 @@ class ClassifierConfig:
 
 @dataclass
 class ClassificationOutcome:
-    """Per-image prediction with provenance."""
+    """Per-image prediction with provenance.
+
+    ``usage`` totals the tokens this classification spent across *all*
+    attempts (a parse-failed reply still billed its tokens), so
+    per-call attribution — the cascade router's per-tier cost books —
+    never undercounts retries.  ``indicators`` records which questions
+    were actually asked (the full configured set, or the escalated
+    subset on a partial-indicator call).
+    """
 
     image_id: str
     presence: IndicatorPresence
     raw_response: str
     attempts: int
+    usage: Usage | None = None
+    indicators: tuple[Indicator, ...] = ()
 
 
 @dataclass
@@ -106,21 +119,49 @@ class LLMIndicatorClassifier:
             self.config.style, self.config.language, self.config.indicators
         )
 
-    def classify_image(self, image: LabeledImage) -> ClassificationOutcome:
+    def prompt_for(self, indicators: tuple[Indicator, ...]) -> str:
+        """The configured prompt restricted to an indicator subset."""
+        return prompt_for_style(
+            self.config.style, self.config.language, indicators
+        )
+
+    def classify_image(
+        self,
+        image: LabeledImage,
+        indicators: tuple[Indicator, ...] | None = None,
+    ) -> ClassificationOutcome:
         """Classify a single image, retrying transient failures.
+
+        ``indicators`` restricts the questions to a subset of the
+        configured ones (the cascade's partial-indicator escalation:
+        ask only about the doubted indicators instead of all six).
+        The simulated models answer each question independently of the
+        others in the prompt, so a subset answer for an indicator is
+        bit-equal to the full-prompt answer for it.
 
         Raises :class:`ClassificationError` (a ``RuntimeError``) when
         the retry budget is exhausted.
         """
+        asked = self.config.indicators if indicators is None else indicators
+        if not asked:
+            raise ValueError("no indicators to classify")
+        unknown = set(asked) - set(self.config.indicators)
+        if unknown:
+            raise ValueError(
+                f"indicators outside the configured set: {sorted(unknown)}"
+            )
+        spent: list[Usage] = []
 
         def attempt() -> tuple[str, IndicatorPresence]:
-            text = self._request(image)
+            text, usage = self._request(image, asked)
+            if usage is not None:
+                spent.append(usage)
             parsed = parse_answers(
                 text,
-                expected=len(self.config.indicators),
+                expected=len(asked),
                 language=self.config.language,
             )
-            return text, answers_to_presence(parsed, self.config.indicators)
+            return text, answers_to_presence(parsed, asked)
 
         outcome = self.config.retry_policy().execute(
             attempt,
@@ -134,15 +175,34 @@ class LLMIndicatorClassifier:
                 f"{outcome.attempts} attempts"
             ) from outcome.error
         text, presence = outcome.value
+        usage = (
+            Usage(
+                prompt_tokens=sum(u.prompt_tokens for u in spent),
+                completion_tokens=sum(u.completion_tokens for u in spent),
+            )
+            if spent
+            else None
+        )
         return ClassificationOutcome(
             image_id=image.image_id,
             presence=presence,
             raw_response=text,
             attempts=outcome.attempts,
+            usage=usage,
+            indicators=tuple(asked),
         )
 
-    def _request(self, image: LabeledImage) -> str:
-        """Issue one chat request for ``image`` (zero- or few-shot)."""
+    def _request(
+        self,
+        image: LabeledImage,
+        indicators: tuple[Indicator, ...],
+    ) -> tuple[str, Usage | None]:
+        """Issue one chat request for ``image`` (zero- or few-shot).
+
+        Returns ``(response text, token usage)``; the request built for
+        the full indicator set is identical to what ``ChatClient.ask``
+        would build, so responses stay bit-equal to the legacy path.
+        """
         if self.config.few_shot_exemplars:
             from .fewshot import build_few_shot_request
 
@@ -151,23 +211,36 @@ class LLMIndicatorClassifier:
                 image=image,
                 exemplars=self.config.few_shot_exemplars,
                 language=self.config.language,
-                indicators=self.config.indicators,
+                indicators=indicators,
                 temperature=self.config.temperature,
                 top_p=self.config.top_p,
             )
-            return self.client.complete(request).content
-        return self.client.ask(
-            self.prompt,
-            ImageAttachment(scene=image.scene),
-            temperature=self.config.temperature,
-            top_p=self.config.top_p,
-        )
+        else:
+            request = ChatRequest(
+                model=self.client.model_name,
+                messages=(
+                    ChatMessage(
+                        role="user",
+                        text=self.prompt_for(indicators),
+                        images=(ImageAttachment(scene=image.scene),),
+                    ),
+                ),
+                temperature=self.config.temperature,
+                top_p=self.config.top_p,
+            )
+        response = self.client.complete(request)
+        return response.content, response.usage
 
     def classify(
-        self, images: Sequence[LabeledImage]
+        self,
+        images: Sequence[LabeledImage],
+        indicators: tuple[Indicator, ...] | None = None,
     ) -> list[ClassificationOutcome]:
         """Classify a batch of images."""
-        return [self.classify_image(image) for image in images]
+        return [
+            self.classify_image(image, indicators=indicators)
+            for image in images
+        ]
 
     def predictions(
         self, images: Sequence[LabeledImage]

@@ -22,8 +22,12 @@ import json
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # cascade imports core; keep the runtime edge one-way
+    from ..cascade.router import CascadeClassifier
 
 from ..gsv.api import (
     StreetViewClient,
@@ -95,6 +99,11 @@ class SurveyReport:
     :mod:`repro.obs.metrics`) — is excluded for the same reason, and so
     that :func:`repro.obs.audit.reconcile_survey` stays an *independent*
     second set of books rather than part of the payload it audits.
+    ``skipped_votes`` (ensemble member calls never issued because the
+    vote was already decided) and ``cascade_stats`` (per-tier routing
+    counters of a cascade-backed survey) are likewise observability,
+    not decoded output, and stay out of the payload — a cascade at
+    threshold 0 must serialize byte-identically to a plain ensemble.
     """
 
     locations: list[LocationResult] = field(default_factory=list)
@@ -110,6 +119,8 @@ class SurveyReport:
     zone_stats: dict[str, PresenceAccumulator] | None = None
     coalesce_stats: dict[str, int] = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
+    skipped_votes: int = 0
+    cascade_stats: dict[str, int] = field(default_factory=dict)
 
     def indicator_rates(self) -> dict[Indicator, float]:
         """Fraction of locations where each indicator was decoded."""
@@ -186,17 +197,18 @@ class SurveyReport:
 
 @dataclass
 class NeighborhoodDecoder:
-    """Survey a county with an LLM classifier or voting ensemble.
+    """Survey a county with a classifier, voting ensemble, or cascade.
 
-    Exactly one of ``classifier`` / ``ensemble`` must be provided.
-    ``retry_policy`` governs street-view fetches (classifier retry is
-    configured on the classifiers themselves); ``gsv_breaker``
-    short-circuits a hard-down imagery endpoint.
+    Exactly one of ``classifier`` / ``ensemble`` / ``cascade`` must be
+    provided.  ``retry_policy`` governs street-view fetches
+    (classifier retry is configured on the classifiers themselves);
+    ``gsv_breaker`` short-circuits a hard-down imagery endpoint.
     """
 
     street_view: StreetViewClient
     classifier: LLMIndicatorClassifier | None = None
     ensemble: VotingEnsemble | None = None
+    cascade: CascadeClassifier | None = None
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     gsv_breaker: CircuitBreaker | None = None
     clock: Clock = field(default_factory=WallClock)
@@ -207,9 +219,10 @@ class NeighborhoodDecoder:
     render_pixels: bool = False
 
     def __post_init__(self) -> None:
-        if (self.classifier is None) == (self.ensemble is None):
+        backends = [self.classifier, self.ensemble, self.cascade]
+        if sum(backend is not None for backend in backends) != 1:
             raise ValueError(
-                "provide exactly one of classifier or ensemble"
+                "provide exactly one of classifier, ensemble, or cascade"
             )
 
     # ------------------------------------------------------------------
@@ -419,6 +432,9 @@ class NeighborhoodDecoder:
             id(clf): replace(clf.retry_stats) for clf in classifiers
         }
         coalesce_before = self._coalesce_totals()
+        cascade_before = (
+            self.cascade.stats.snapshot() if self.cascade is not None else None
+        )
         fees_before = self.street_view.usage().fees_usd
         executor = ParallelExecutor(
             workers=workers, max_in_flight=max_in_flight
@@ -447,7 +463,10 @@ class NeighborhoodDecoder:
 
             def decode_one(
                 indexed: tuple[int, SamplePoint]
-            ) -> tuple[LocationResult, int, int, RetryStats, dict | None] | dict:
+            ) -> (
+                tuple[LocationResult, int, int, int, RetryStats, dict | None]
+                | dict
+            ):
                 """Fetch+classify one location (runs on a worker thread).
 
                 Checkpointed locations return their stored payload
@@ -482,8 +501,8 @@ class NeighborhoodDecoder:
                         with tracer.span(
                             "survey.classify", images=len(images)
                         ):
-                            presences, degraded = self._predict_location(
-                                images
+                            presences, degraded, skipped = (
+                                self._predict_location(images)
                             )
                     except (
                         StreetViewError,
@@ -513,7 +532,14 @@ class NeighborhoodDecoder:
                                 _stats_since(clf.retry_stats, base)
                             )
                         retry_payload = provenance.as_dict()
-                    return result, len(images), degraded, fetch_stats, retry_payload
+                    return (
+                        result,
+                        len(images),
+                        degraded,
+                        skipped,
+                        fetch_stats,
+                        retry_payload,
+                    )
 
             for task in executor.imap(decode_one, tracked()):
                 point = window.pop(task.index)
@@ -547,16 +573,23 @@ class NeighborhoodDecoder:
                             report, outcome, keep_locations
                         )
                         continue
-                    result, n_images, degraded, fetch_stats, retry = outcome
+                    result, n_images, degraded, skipped, fetch_stats, retry = (
+                        outcome
+                    )
                     report.retry_stats.merge(fetch_stats)
                     self._record_result(
-                        report, result, n_images, degraded, keep_locations
+                        report,
+                        result,
+                        n_images,
+                        degraded,
+                        keep_locations,
+                        skipped=skipped,
                     )
                     if store is not None:
                         store.record(
                             task.index,
                             self._location_payload(
-                                result, n_images, degraded, retry
+                                result, n_images, degraded, retry, skipped
                             ),
                         )
 
@@ -570,6 +603,11 @@ class NeighborhoodDecoder:
             report.coalesce_stats = _totals_since(
                 self._coalesce_totals(), coalesce_before
             )
+            if cascade_before is not None:
+                assert self.cascade is not None
+                report.cascade_stats = _totals_since(
+                    self.cascade.stats.snapshot(), cascade_before
+                )
         report.metrics = registry.delta_since(metrics_before)
         return drawn
 
@@ -578,6 +616,8 @@ class NeighborhoodDecoder:
     def _classifiers(self) -> list[LLMIndicatorClassifier]:
         if self.classifier is not None:
             return [self.classifier]
+        if self.cascade is not None:
+            return self.cascade.classifiers()
         assert self.ensemble is not None
         return list(self.ensemble.classifiers.values())
 
@@ -612,15 +652,21 @@ class NeighborhoodDecoder:
 
     def _predict_location(
         self, images: Sequence[LabeledImage]
-    ) -> tuple[list[IndicatorPresence], int]:
-        """Predict one location's images; returns (presences, degraded)."""
+    ) -> tuple[list[IndicatorPresence], int, int]:
+        """Predict one location's images.
+
+        Returns ``(presences, degraded votes, skipped member calls)``.
+        """
         if self.classifier is not None:
-            return self.classifier.predictions(images), 0
+            return self.classifier.predictions(images), 0, 0
+        if self.cascade is not None:
+            return self.cascade.predict_location(images)
         assert self.ensemble is not None
         records = self.ensemble.resilient_predictions(images)
         return (
             [record.presence for record in records],
             sum(1 for record in records if record.degraded),
+            sum(len(record.members_skipped) for record in records),
         )
 
     @staticmethod
@@ -629,6 +675,7 @@ class NeighborhoodDecoder:
         images: int,
         degraded: int,
         retry: dict | None = None,
+        skipped: int = 0,
     ) -> dict:
         payload = {
             "latitude": result.latitude,
@@ -641,6 +688,10 @@ class NeighborhoodDecoder:
         }
         if retry is not None:
             payload["retry"] = retry
+        # Written only when nonzero so pre-existing checkpoint files
+        # (and their fingerprints) remain byte-compatible.
+        if skipped:
+            payload["skipped_votes"] = skipped
         return payload
 
     @staticmethod
@@ -650,6 +701,7 @@ class NeighborhoodDecoder:
         images: int,
         degraded: int,
         keep_locations: bool,
+        skipped: int = 0,
     ) -> None:
         """Fold one completed location into the report.
 
@@ -664,8 +716,11 @@ class NeighborhoodDecoder:
         metrics.inc("survey.images.classified", images)
         if degraded:
             metrics.inc("survey.votes.degraded", degraded)
+        if skipped:
+            metrics.inc("survey.votes.skipped", skipped)
         report.images_classified += images
         report.degraded_votes += degraded
+        report.skipped_votes += skipped
         report.completed_locations += 1
         if keep_locations:
             report.locations.append(result)
@@ -688,6 +743,7 @@ class NeighborhoodDecoder:
             payload["images"],
             payload["degraded_votes"],
             keep_locations,
+            skipped=payload.get("skipped_votes", 0),
         )
 
     def _coalesce_totals(self) -> dict[str, int]:

@@ -25,12 +25,15 @@ from .indicators import ALL_INDICATORS, Indicator, IndicatorPresence
 def majority_vote(
     votes: Sequence[IndicatorPresence],
     quorum: int | None = None,
+    indicators: Sequence[Indicator] = ALL_INDICATORS,
 ) -> IndicatorPresence:
     """Combine presence votes for one image.
 
     ``quorum`` defaults to a strict majority (two of three, three of
     four, ...).  Ties under an even vote count with the default quorum
-    resolve to *present* only when the quorum is met.
+    resolve to *present* only when the quorum is met.  ``indicators``
+    restricts the vote to a subset (partial-indicator escalation: the
+    cascade only brings the doubted indicators to the ensemble).
     """
     if not votes:
         raise ValueError("no votes to combine")
@@ -40,11 +43,56 @@ def majority_vote(
             f"quorum {threshold} invalid for {len(votes)} voters"
         )
     present = []
-    for indicator in ALL_INDICATORS:
+    for indicator in indicators:
         agreement = sum(1 for vote in votes if vote[indicator])
         if agreement >= threshold:
             present.append(indicator)
     return IndicatorPresence(present)
+
+
+def decided_presence(
+    yes_count: int,
+    cast: int,
+    remaining: int,
+    quorum: int | None = None,
+) -> bool | None:
+    """Is one indicator's vote already mathematically decided?
+
+    ``yes_count`` of the ``cast`` successful votes so far said present;
+    ``remaining`` members have not voted yet.  Returns ``True`` /
+    ``False`` when *every* possible completion — each remaining member
+    may vote yes, vote no, or fail — produces that outcome under the
+    ensemble's adaptive threshold (the configured ``quorum`` while
+    enough members survive, else a strict majority of the survivors),
+    and ``None`` while the outcome is still open.
+
+    This is the early-exit oracle: skipping members is sound only when
+    the answer is invariant over all completions, including failures
+    that would have shrunk the surviving quorum.
+    """
+    if yes_count < 0 or yes_count > cast or remaining < 0:
+        raise ValueError(
+            f"inconsistent tally: {yes_count}/{cast} with "
+            f"{remaining} remaining"
+        )
+    always_present = True
+    never_present = True
+    for extra in range(remaining + 1):  # members that go on to vote
+        survivors = cast + extra
+        if survivors == 0:
+            continue  # all remaining fail too: no vote happens at all
+        threshold = survivors // 2 + 1
+        if quorum is not None and quorum <= survivors:
+            threshold = quorum
+        if yes_count < threshold:
+            always_present = False
+        if yes_count + extra >= threshold:
+            never_present = False
+    if always_present and not never_present:
+        return True
+    if never_present and not always_present:
+        return False
+    return None
 
 
 def vote_predictions(
@@ -75,12 +123,20 @@ class VoteRecord:
     whose circuit was open); the vote then proceeded on the surviving
     quorum — the graceful-degradation path a production survey needs
     when one of three commercial APIs is down.
+
+    ``members_skipped`` lists members never asked because the outcome
+    was already mathematically decided (early exit); the tokens they
+    would have spent are the saving.  ``prompt_tokens`` /
+    ``completion_tokens`` total the usage of the members that did vote.
     """
 
     image_id: str
     presence: IndicatorPresence
     members_voted: tuple[str, ...]
     members_failed: tuple[str, ...]
+    members_skipped: tuple[str, ...] = ()
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -101,12 +157,19 @@ class VotingEnsemble:
     three or four *independent* commercial APIs, so member latency
     overlaps instead of adding.  Votes combine by sorted member name
     either way, so the voted result is executor-independent.
+
+    ``early_exit`` stops issuing member calls once every asked
+    indicator is mathematically decided (see :func:`decided_presence`);
+    it only applies on the serial path (an executor has already
+    launched every member) and is off by default because skipping calls
+    changes retry accounting, which golden fixtures pin.
     """
 
     classifiers: dict[str, LLMIndicatorClassifier]
     quorum: int | None = None
     breakers: dict[str, CircuitBreaker] | None = None
     executor: ParallelExecutor | None = None
+    early_exit: bool = False
 
     def __post_init__(self) -> None:
         if len(self.classifiers) < 2:
@@ -139,43 +202,65 @@ class VotingEnsemble:
 
     # -- graceful degradation ------------------------------------------
 
-    def vote_image(self, image: LabeledImage) -> VoteRecord:
+    def vote_image(
+        self,
+        image: LabeledImage,
+        indicators: tuple[Indicator, ...] | None = None,
+    ) -> VoteRecord:
         """Vote one image, dropping members that fail.
 
         The quorum adapts to the survivors: the configured ``quorum``
         applies while enough members voted, otherwise it falls back to
-        a strict majority of the survivors.  Raises
+        a strict majority of the survivors.  ``indicators`` restricts
+        both the member prompts and the vote to a subset (the cascade
+        escalates only the doubted indicators).  Raises
         :class:`~repro.core.classifier.ClassificationError` only when
         *every* member fails.
         """
         with get_tracer().span(
             "survey.vote", image_id=image.image_id
         ) as span:
-            record = self._vote_image(image)
+            record = self._vote_image(image, indicators)
             span.set(
                 members=len(record.members_voted),
                 degraded=record.degraded,
             )
             return record
 
-    def _vote_image(self, image: LabeledImage) -> VoteRecord:
+    def _vote_image(
+        self,
+        image: LabeledImage,
+        indicators: tuple[Indicator, ...] | None = None,
+    ) -> VoteRecord:
         names = sorted(self.classifiers)
+        skipped: list[str] = []
         if self.executor is not None:
             member_votes = [
                 task.result()
                 for task in self.executor.imap(
-                    lambda name: self._member_vote(name, image), names
+                    lambda name: self._member_vote(name, image, indicators),
+                    names,
                 )
             ]
+        elif self.early_exit:
+            member_votes, skipped = self._vote_serial_early_exit(
+                names, image, indicators
+            )
         else:
-            member_votes = [self._member_vote(name, image) for name in names]
+            member_votes = [
+                self._member_vote(name, image, indicators) for name in names
+            ]
         votes: dict[str, IndicatorPresence] = {}
         failed: list[str] = []
-        for name, presence in member_votes:
+        prompt_tokens = completion_tokens = 0
+        for name, presence, usage in member_votes:
             if presence is None:
                 failed.append(name)
             else:
                 votes[name] = presence
+            if usage is not None:
+                prompt_tokens += usage.prompt_tokens
+                completion_tokens += usage.completion_tokens
         if not votes:
             raise ClassificationError(
                 f"all {len(self.classifiers)} ensemble members failed "
@@ -185,32 +270,81 @@ class VotingEnsemble:
         if self.quorum is not None and self.quorum <= len(votes):
             threshold = self.quorum
         presence = majority_vote(
-            [votes[name] for name in sorted(votes)], quorum=threshold
+            [votes[name] for name in sorted(votes)],
+            quorum=threshold,
+            indicators=(
+                ALL_INDICATORS if indicators is None else indicators
+            ),
         )
         return VoteRecord(
             image_id=image.image_id,
             presence=presence,
             members_voted=tuple(sorted(votes)),
             members_failed=tuple(failed),
+            members_skipped=tuple(skipped),
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
         )
 
+    def _vote_serial_early_exit(
+        self,
+        names: Sequence[str],
+        image: LabeledImage,
+        indicators: tuple[Indicator, ...] | None,
+    ) -> tuple[list[tuple[str, IndicatorPresence | None, object]], list[str]]:
+        """Serial member loop that stops once every indicator is decided."""
+        asked = ALL_INDICATORS if indicators is None else indicators
+        member_votes: list[tuple[str, IndicatorPresence | None, object]] = []
+        yes_counts = dict.fromkeys(asked, 0)
+        cast = 0
+        for position, name in enumerate(names):
+            vote = self._member_vote(name, image, indicators)
+            member_votes.append(vote)
+            _, presence, _ = vote
+            if presence is not None:
+                cast += 1
+                for indicator in asked:
+                    if presence[indicator]:
+                        yes_counts[indicator] += 1
+            remaining = len(names) - position - 1
+            if remaining == 0 or cast == 0:
+                continue
+            if all(
+                decided_presence(
+                    yes_counts[indicator], cast, remaining, self.quorum
+                )
+                is not None
+                for indicator in asked
+            ):
+                skipped = list(names[position + 1 :])
+                return member_votes, skipped
+        return member_votes, []
+
     def _member_vote(
-        self, name: str, image: LabeledImage
-    ) -> tuple[str, IndicatorPresence | None]:
-        """One member's vote on one image; ``None`` marks a failure."""
+        self,
+        name: str,
+        image: LabeledImage,
+        indicators: tuple[Indicator, ...] | None = None,
+    ) -> tuple[str, IndicatorPresence | None, object]:
+        """One member's vote on one image; ``None`` marks a failure.
+
+        The third element is the member's token
+        :class:`~repro.llm.base.Usage` (``None`` on failure — tokens a
+        failed member burned are still visible in its client stats).
+        """
         classifier = self.classifiers[name]
         breaker = (self.breakers or {}).get(name)
         if breaker is not None and not breaker.allow():
-            return name, None
+            return name, None, None
         try:
-            outcome = classifier.classify_image(image)
+            outcome = classifier.classify_image(image, indicators=indicators)
         except ClassificationError:
             if breaker is not None:
                 breaker.record_failure()
-            return name, None
+            return name, None, None
         if breaker is not None:
             breaker.record_success()
-        return name, outcome.presence
+        return name, outcome.presence, outcome.usage
 
     def resilient_predictions(
         self, images: Sequence[LabeledImage]

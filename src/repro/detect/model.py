@@ -281,13 +281,59 @@ class NanoDetector:
         the two matmuls — runs once over the whole stack.  Results are
         identical to calling :meth:`detect` per image.
         """
+        detections, _ = self.detect_batch_with_scores(
+            images, conf_threshold=conf_threshold
+        )
+        return detections
+
+    @staticmethod
+    def indicator_scores(scores: np.ndarray) -> np.ndarray:
+        """Per-indicator peak cell score from raw per-cell predictions.
+
+        Reduces ``(..., n_cells, C)`` scores to ``(..., C)`` by taking
+        the maximum over cells — the image-level decision evidence the
+        cascade router calibrates.  The peak is exactly the quantity
+        :meth:`decode_cells` compares against its cutoff, so a margin
+        derived from it moves with the detector's own decision rule.
+        """
+        return np.asarray(scores).max(axis=-2)
+
+    def detect_with_scores(
+        self, image: np.ndarray, conf_threshold: float | None = None
+    ) -> tuple[list[Detection], np.ndarray]:
+        """:meth:`detect` plus the image's per-indicator peak scores.
+
+        The detections are bit-equal to :meth:`detect` — the decoding
+        path is shared — and the second element is the ``(C,)`` peak
+        score vector (see :meth:`indicator_scores`).
+        """
+        scores, boxes = self.predict_cells(image)
+        return (
+            self.decode_cells(scores, boxes, conf_threshold=conf_threshold),
+            self.indicator_scores(scores),
+        )
+
+    def detect_batch_with_scores(
+        self,
+        images: Sequence[np.ndarray],
+        conf_threshold: float | None = None,
+    ) -> tuple[list[list[Detection]], np.ndarray]:
+        """:meth:`detect_batch` plus per-image per-indicator peak scores.
+
+        Returns ``(detections, peaks (N, C))``.  The detections are the
+        *same objects* :meth:`detect_batch` would return (one shared
+        forward + decode), so labels stay bit-equal to the existing
+        path; the peaks expose the decision margins without changing
+        any existing return type.
+        """
         scores, boxes = self.predict_cells_batch(images)
-        return [
+        detections = [
             self.decode_cells(
                 scores[index], boxes[index], conf_threshold=conf_threshold
             )
             for index in range(len(images))
         ]
+        return detections, self.indicator_scores(scores)
 
     def decode_cells(
         self,

@@ -76,30 +76,101 @@ class StreetViewImage:
 
 
 @dataclass
+class StageUsage:
+    """One labeled bucket of metered usage (requests/fees/tokens)."""
+
+    requests: int = 0
+    images: int = 0
+    fees_usd: float = 0.0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "images": self.images,
+            "fees_usd": round(self.fees_usd, 9),
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+        }
+
+
+#: Stage label for plain imagery billing (the only stage GSV itself
+#: records; cascade tiers add their own labels on their own meters).
+IMAGERY_STAGE = "imagery"
+
+
+@dataclass
 class UsageMeter:
     """Tracks request counts and accumulated fees for one API key.
 
     Metering is lock-guarded: parallel surveys hit one meter from
     every worker, and billing must not lose increments to races.
+
+    Usage additionally lands in per-stage labeled buckets
+    (``stages``): previously every consumer's spend collapsed into one
+    undifferentiated pot, so a frontier table could not attribute fees
+    to detector vs LLM vs ensemble tiers, and
+    :func:`repro.obs.audit.reconcile_survey` had nothing to reconcile
+    the split against.  The headline totals (``requests`` /
+    ``images_served`` / ``fees_usd``) remain the sum over imagery
+    exactly as before — stage buckets are attribution, not new billing.
     """
 
     requests: int = 0
     images_served: int = 0
     fees_usd: float = 0.0
+    stages: dict[str, StageUsage] = field(default_factory=dict)
     _lock: threading.Lock = field(
         init=False, repr=False, compare=False, default_factory=threading.Lock
     )
 
-    def record_image(self) -> None:
+    def record_image(self, stage: str = IMAGERY_STAGE) -> None:
         with self._lock:
             self.requests += 1
             self.images_served += 1
             self.fees_usd += FEE_PER_IMAGE_USD
+            bucket = self.stages.setdefault(stage, StageUsage())
+            bucket.requests += 1
+            bucket.images += 1
+            bucket.fees_usd += FEE_PER_IMAGE_USD
 
     def record_metadata(self) -> None:
         # Metadata requests are free, matching the real API.
         with self._lock:
             self.requests += 1
+
+    def record_stage(
+        self,
+        stage: str,
+        *,
+        requests: int = 0,
+        images: int = 0,
+        fees_usd: float = 0.0,
+        prompt_tokens: int = 0,
+        completion_tokens: int = 0,
+    ) -> None:
+        """Book non-imagery usage into a labeled stage bucket.
+
+        Used by the cascade router to attribute per-tier LLM fees and
+        tokens; stage fees never touch ``fees_usd`` (which remains the
+        imagery bill the survey report carries).
+        """
+        with self._lock:
+            bucket = self.stages.setdefault(stage, StageUsage())
+            bucket.requests += requests
+            bucket.images += images
+            bucket.fees_usd += fees_usd
+            bucket.prompt_tokens += prompt_tokens
+            bucket.completion_tokens += completion_tokens
+
+    def stage_totals(self) -> dict[str, dict]:
+        """JSON-ready snapshot of the stage buckets, sorted by label."""
+        with self._lock:
+            return {
+                stage: self.stages[stage].as_dict()
+                for stage in sorted(self.stages)
+            }
 
 
 @dataclass

@@ -16,6 +16,15 @@ slope)``.
 The fit is deterministic: coarse slope grid, exact threshold bisection
 per slope (the expected yes-rate is monotone decreasing in the
 threshold), then a local refinement pass.
+
+The second half of the module calibrates the *detector* rather than
+the simulated LLMs: :class:`MarginCalibration` maps NanoDetector
+per-indicator peak scores (decision margins) to empirical
+P(present) via per-indicator isotonic regression — the confidence
+source of the cascade router (:mod:`repro.cascade`).  The fit is
+pool-adjacent-violators, fully deterministic, and the fitted curves
+round-trip exactly through JSON so they persist in the
+content-addressed artifact cache.
 """
 
 from __future__ import annotations
@@ -185,3 +194,209 @@ def fit_policy(
         target_tpr=target_tpr,
         target_fpr=target_fpr,
     )
+
+
+# ----------------------------------------------------------------------
+# detector margin → probability calibration (cascade tier-0 confidence)
+
+#: Probabilities are clipped into ``[EPS, 1-EPS]``: an isotonic fit on
+#: finite data happily emits exact 0/1 blocks, but the cascade treats
+#: "certain" as "doubt is exactly zero" nowhere — every indicator keeps
+#: a strictly positive doubt, which is what makes a doubt threshold of
+#: 0 escalate *everything* (the full-ensemble byte-identity guarantee).
+CALIBRATION_EPS = 1e-3
+
+#: Artifact-cache kind under which fitted calibrations persist.
+CALIBRATION_KIND = "calibration"
+
+
+@dataclass(frozen=True)
+class IsotonicCurve:
+    """A monotone non-decreasing step function score → probability.
+
+    ``positions`` are the ascending anchor scores observed in the fit;
+    ``values`` the pooled (PAV) probabilities, one per anchor.  A query
+    score takes the value of the largest anchor ≤ it (scores below the
+    first anchor take the first value) — a right-continuous step
+    function, evaluated by binary search.
+    """
+
+    positions: tuple[float, ...]
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.positions or len(self.positions) != len(self.values):
+            raise ValueError("curve needs aligned, non-empty anchors")
+        if any(
+            b <= a for a, b in zip(self.positions, self.positions[1:])
+        ):
+            raise ValueError("anchor positions must be strictly ascending")
+        if any(
+            b < a for a, b in zip(self.values, self.values[1:])
+        ):
+            raise ValueError("values must be non-decreasing")
+
+    def probability(self, scores: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation of the step function."""
+        anchors = np.asarray(self.positions, dtype=np.float64)
+        values = np.asarray(self.values, dtype=np.float64)
+        index = np.searchsorted(anchors, np.asarray(scores), side="right") - 1
+        return values[np.clip(index, 0, len(values) - 1)]
+
+
+def _pool_adjacent_violators(
+    positions: np.ndarray, means: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Weighted PAV: the monotone fit minimizing squared error.
+
+    Classic stack algorithm over pre-pooled (position, mean, weight)
+    groups in ascending position order; deterministic, O(n).
+    """
+    blocks: list[list[float]] = []  # [mean, weight]
+    for mean, weight in zip(means, weights):
+        blocks.append([float(mean), float(weight)])
+        while len(blocks) > 1 and blocks[-2][0] >= blocks[-1][0]:
+            m2, w2 = blocks.pop()
+            m1, w1 = blocks.pop()
+            blocks.append([(m1 * w1 + m2 * w2) / (w1 + w2), w1 + w2])
+    fitted = np.empty(len(positions), dtype=np.float64)
+    start = 0
+    cursor = 0
+    for mean, weight in blocks:
+        # Walk forward until this block's weight is exhausted.
+        spent = 0.0
+        while spent < weight - 1e-9 and cursor < len(weights):
+            fitted[cursor] = mean
+            spent += weights[cursor]
+            cursor += 1
+        start = cursor
+    assert start == len(positions)
+    return fitted
+
+
+def fit_isotonic_curve(
+    scores: np.ndarray, labels: np.ndarray, eps: float = CALIBRATION_EPS
+) -> IsotonicCurve:
+    """Fit one indicator's score → P(present) curve.
+
+    Ties in score are pooled before PAV so the curve is a function of
+    the score alone; fitted probabilities are clipped into
+    ``[eps, 1-eps]`` (see :data:`CALIBRATION_EPS`).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if scores.size == 0 or scores.shape != labels.shape:
+        raise ValueError("need aligned, non-empty scores and labels")
+    order = np.argsort(scores, kind="stable")
+    positions, starts = np.unique(scores[order], return_index=True)
+    sums = np.add.reduceat(labels[order], starts)
+    counts = np.diff(np.append(starts, len(order))).astype(np.float64)
+    fitted = _pool_adjacent_violators(positions, sums / counts, counts)
+    clipped = np.clip(fitted, eps, 1.0 - eps)
+    return IsotonicCurve(
+        positions=tuple(float(p) for p in positions),
+        values=tuple(float(v) for v in clipped),
+    )
+
+
+@dataclass(frozen=True)
+class MarginCalibration:
+    """Per-indicator detector-margin calibration.
+
+    Operates on arrays shaped ``(..., C)`` whose last axis follows the
+    canonical indicator order (``repro.core.indicators.ALL_INDICATORS``)
+    — the same order :meth:`NanoDetector.indicator_scores` emits — so
+    this module stays free of a ``core`` import.
+    """
+
+    curves: tuple[IsotonicCurve, ...]
+
+    def __post_init__(self) -> None:
+        if not self.curves:
+            raise ValueError("calibration needs at least one curve")
+
+    @property
+    def n_indicators(self) -> int:
+        return len(self.curves)
+
+    def probabilities(self, peaks: np.ndarray) -> np.ndarray:
+        """Calibrated P(present), shape-preserving over ``(..., C)``."""
+        peaks = np.asarray(peaks, dtype=np.float64)
+        if peaks.shape[-1] != len(self.curves):
+            raise ValueError(
+                f"expected {len(self.curves)} indicator columns, "
+                f"got {peaks.shape[-1]}"
+            )
+        out = np.empty_like(peaks)
+        for column, curve in enumerate(self.curves):
+            out[..., column] = curve.probability(peaks[..., column])
+        return out
+
+    def doubts(self, peaks: np.ndarray) -> np.ndarray:
+        """Calibrated doubt ``min(p, 1-p)`` — strictly positive."""
+        probabilities = self.probabilities(peaks)
+        return np.minimum(probabilities, 1.0 - probabilities)
+
+    def leans(self, peaks: np.ndarray) -> np.ndarray:
+        """The detector's calibrated answer: P(present) ≥ 0.5."""
+        return self.probabilities(peaks) >= 0.5
+
+    def to_payload(self) -> dict:
+        """JSON-exact representation (floats survive json round-trips)."""
+        return {
+            "curves": [
+                {
+                    "positions": list(curve.positions),
+                    "values": list(curve.values),
+                }
+                for curve in self.curves
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MarginCalibration":
+        return cls(
+            curves=tuple(
+                IsotonicCurve(
+                    positions=tuple(entry["positions"]),
+                    values=tuple(entry["values"]),
+                )
+                for entry in payload["curves"]
+            )
+        )
+
+
+def fit_margin_calibration(
+    peaks: np.ndarray, truths: np.ndarray, eps: float = CALIBRATION_EPS
+) -> MarginCalibration:
+    """Fit all indicator curves from labeled detector peaks.
+
+    ``peaks`` is ``(N, C)`` per-image peak scores, ``truths`` the
+    aligned boolean ground-truth presence matrix.
+    """
+    peaks = np.asarray(peaks, dtype=np.float64)
+    truths = np.asarray(truths, dtype=bool)
+    if peaks.ndim != 2 or peaks.shape != truths.shape:
+        raise ValueError(
+            f"peaks {peaks.shape} and truths {truths.shape} must be "
+            "aligned (N, C) matrices"
+        )
+    return MarginCalibration(
+        curves=tuple(
+            fit_isotonic_curve(peaks[:, column], truths[:, column], eps=eps)
+            for column in range(peaks.shape[1])
+        )
+    )
+
+
+def save_margin_calibration(cache, key: str, calibration: MarginCalibration) -> None:
+    """Persist a fitted calibration in the artifact cache."""
+    cache.put_json(CALIBRATION_KIND, key, calibration.to_payload())
+
+
+def load_margin_calibration(cache, key: str) -> MarginCalibration | None:
+    """Load a calibration back, or ``None`` on a cache miss."""
+    payload = cache.get_json(CALIBRATION_KIND, key)
+    if payload is None:
+        return None
+    return MarginCalibration.from_payload(payload)

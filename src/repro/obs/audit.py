@@ -79,6 +79,7 @@ def reconcile_survey(
         "images classified",
     )
     check("survey.votes.degraded", report.degraded_votes, "degraded votes")
+    check("survey.votes.skipped", report.skipped_votes, "skipped votes")
     stats = report.retry_stats
     check("retry.operations", stats.operations, "retry operations")
     check("retry.attempts", stats.attempts, "retry attempts")
@@ -95,6 +96,24 @@ def reconcile_survey(
             "llm.cache.coalesced",
             report.coalesce_stats.get("coalesced", 0),
             "coalesced requests",
+        )
+    if report.cascade_stats:
+        cascade = report.cascade_stats
+        check(
+            "cascade.images",
+            cascade.get("images", 0),
+            "cascade images",
+        )
+        for tier in (0, 1, 2):
+            check(
+                f"cascade.tier{tier}.indicators",
+                cascade.get(f"tier{tier}_indicators", 0),
+                f"cascade tier-{tier} indicators",
+            )
+        check(
+            "cascade.fallbacks",
+            cascade.get("detector_fallbacks", 0),
+            "cascade detector fallbacks",
         )
     return mismatches
 

@@ -125,6 +125,10 @@ def machine_info() -> dict:
 #: honesty flags (e.g. ``core_capped`` on single-core hosts) mark
 #: numbers the machine cannot physically improve.
 HEADLINE_METRICS: dict[str, list[dict]] = {
+    "cascade": [
+        {"path": "cascade.fee_reduction"},
+        {"path": "cascade.f1_retention"},
+    ],
     "pipeline": [
         {"path": "survey.speedup"},
         {"path": "llm_cache.warm_speedup"},

@@ -26,14 +26,21 @@ from pathlib import Path
 
 import pytest
 
+from repro.cascade import CascadeClassifier, fit_cascade_calibration
 from repro.core import LLMIndicatorClassifier, NeighborhoodDecoder
+from repro.core.voting import VotingEnsemble
+from repro.detect.train import TrainConfig, train_detector
 from repro.geo import make_durham_like
-from repro.gsv import StreetViewClient
+from repro.gsv import StreetViewClient, build_survey_dataset
+from repro.llm.paper_targets import ALL_MODEL_IDS, GPT_4O_MINI
 from repro.obs.audit import audit_trace
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.trace import Tracer, use_tracer
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_survey_report.json"
+ENSEMBLE_GOLDEN_PATH = (
+    Path(__file__).parent / "data" / "golden_ensemble_report.json"
+)
 
 #: Frozen survey configuration.  Changing any of these invalidates the
 #: fixture — regenerate it in the same commit.
@@ -103,6 +110,60 @@ def golden_json(decoder, county) -> str:
     return GOLDEN_PATH.read_text(encoding="utf-8")
 
 
+def _ensemble(clients) -> VotingEnsemble:
+    return VotingEnsemble(
+        classifiers={
+            model_id: LLMIndicatorClassifier(clients[model_id])
+            for model_id in ALL_MODEL_IDS
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def ensemble_decoder(county, clients):
+    street_view = StreetViewClient(counties=[county], api_key="golden-ens")
+    return NeighborhoodDecoder(
+        street_view=street_view, ensemble=_ensemble(clients)
+    )
+
+
+@pytest.fixture(scope="module")
+def cascade_decoder(county, clients):
+    """A threshold-0 cascade over the same four models.
+
+    The detector and calibration are deliberately tiny: at threshold 0
+    every doubt lands in the deep band, so their quality is irrelevant
+    — every indicator must route to the full ensemble regardless.
+    """
+    images = build_survey_dataset(n_images=16, size=256, seed=91)
+    detector = train_detector(
+        images, train_config=TrainConfig(epochs=2, batch_size=8)
+    ).model
+    cascade = CascadeClassifier(
+        detector=detector,
+        calibration=fit_cascade_calibration(detector, images),
+        scout=LLMIndicatorClassifier(clients[GPT_4O_MINI]),
+        ensemble=_ensemble(clients),
+        threshold=0.0,
+    )
+    street_view = StreetViewClient(counties=[county], api_key="golden-ens")
+    return NeighborhoodDecoder(street_view=street_view, cascade=cascade)
+
+
+@pytest.fixture(scope="module")
+def ensemble_golden_json(ensemble_decoder, county) -> str:
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        text = _run_path(ensemble_decoder, county, "serial")
+        ENSEMBLE_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        ENSEMBLE_GOLDEN_PATH.write_text(text, encoding="utf-8")
+    if not ENSEMBLE_GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden fixture missing: {ENSEMBLE_GOLDEN_PATH} "
+            "(regenerate with REPRO_REGEN_GOLDEN=1)"
+        )
+    return ENSEMBLE_GOLDEN_PATH.read_text(encoding="utf-8")
+
+
 class TestGoldenReport:
     def test_fixture_is_valid_json_with_expected_shape(self, golden_json):
         document = json.loads(golden_json)
@@ -133,3 +194,50 @@ class TestGoldenReport:
         assert tracer.export_jsonl(trace_path) == len(tracer.spans)
         for line in trace_path.read_text(encoding="utf-8").splitlines():
             json.loads(line)
+
+
+class TestGoldenEnsembleCascadeIdentity:
+    """The cascade at threshold 0 IS the plain ensemble, byte for byte.
+
+    DESIGN.md §13's escape-hatch guarantee: with a zero doubt
+    tolerance every indicator of every image escalates straight to the
+    full four-model vote, so the survey report must serialize to
+    exactly the always-ensemble bytes on every execution path.
+    """
+
+    def test_fixture_shape(self, ensemble_golden_json):
+        document = json.loads(ensemble_golden_json)
+        assert document["requested_locations"] == N_LOCATIONS
+        assert document["coverage"] == 1.0
+        assert "cascade_stats" not in document
+        assert "skipped_votes" not in document
+
+    @pytest.mark.parametrize("path_name", PATHS)
+    def test_ensemble_paths_match_the_frozen_bytes(
+        self, ensemble_decoder, county, ensemble_golden_json, path_name
+    ):
+        assert (
+            _run_path(ensemble_decoder, county, path_name)
+            == ensemble_golden_json
+        )
+
+    @pytest.mark.parametrize("path_name", PATHS)
+    def test_threshold_zero_cascade_is_byte_identical(
+        self, cascade_decoder, county, ensemble_golden_json, path_name
+    ):
+        assert (
+            _run_path(cascade_decoder, county, path_name)
+            == ensemble_golden_json
+        )
+
+    def test_cascade_run_still_counts_its_routing(
+        self, cascade_decoder, county
+    ):
+        """Identity bytes do not mean the cascade went unmeasured."""
+        with use_metrics(MetricsRegistry()):
+            report = cascade_decoder.survey(county, N_LOCATIONS, seed=SURVEY_SEED)
+        stats = report.cascade_stats
+        assert stats["images"] == report.images_classified
+        assert stats["tier0_indicators"] == 0
+        assert stats["tier1_indicators"] == 0
+        assert stats["tier2_indicators"] > 0

@@ -12,6 +12,7 @@ from repro.gsv import (
     StreetViewClient,
     TransientNetworkError,
 )
+from repro.gsv.api import IMAGERY_STAGE, UsageMeter
 
 
 @pytest.fixture(scope="module")
@@ -118,3 +119,48 @@ class TestFailureInjection:
     def test_failure_rate_validated(self, counties):
         with pytest.raises(ValueError):
             StreetViewClient(counties=counties, failure_rate=1.5)
+
+
+class TestStageAttribution:
+    def test_imagery_fills_the_imagery_bucket(self, client, in_county):
+        for heading in (0, 90):
+            client.fetch(in_county, heading=heading, render=False)
+        stages = client.usage().stage_totals()
+        assert stages == {
+            IMAGERY_STAGE: {
+                "requests": 2,
+                "images": 2,
+                "fees_usd": round(2 * FEE_PER_IMAGE_USD, 9),
+                "prompt_tokens": 0,
+                "completion_tokens": 0,
+            }
+        }
+
+    def test_record_stage_books_tokens_without_touching_headline_fees(self):
+        meter = UsageMeter()
+        meter.record_stage(
+            "tier1.scout",
+            requests=3,
+            fees_usd=0.25,
+            prompt_tokens=100,
+            completion_tokens=40,
+        )
+        meter.record_stage("tier1.scout", requests=1, fees_usd=0.05)
+        # Stage fees are attribution, not billing: the imagery bill
+        # (which golden fixtures pin) must be untouched.
+        assert meter.fees_usd == 0.0
+        assert meter.requests == 0
+        bucket = meter.stage_totals()["tier1.scout"]
+        assert bucket["requests"] == 4
+        assert bucket["fees_usd"] == pytest.approx(0.30)
+        assert bucket["prompt_tokens"] == 100
+        assert bucket["completion_tokens"] == 40
+
+    def test_stage_totals_sorted_by_label(self):
+        meter = UsageMeter()
+        meter.record_stage("tier2.ensemble", requests=1)
+        meter.record_stage("tier0.detector", requests=1)
+        assert list(meter.stage_totals()) == [
+            "tier0.detector",
+            "tier2.ensemble",
+        ]

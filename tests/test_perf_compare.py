@@ -23,6 +23,7 @@ def _detect_doc(speedup, warm=9.0, capped=False):
 class TestCompareBenchmarks:
     def test_registry_covers_every_bench_suite(self):
         assert set(HEADLINE_METRICS) == {
+            "cascade",
             "pipeline",
             "detect",
             "stream",
