@@ -149,6 +149,12 @@ class CascadeClassifier:
     ensemble: VotingEnsemble
     threshold: float = DEFAULT_THRESHOLD
     deep_factor: float = DEFAULT_DEEP_FACTOR
+    #: Inference tier for the tier-0 detector forward (see
+    #: :data:`repro.detect.model.PRECISIONS`).  Defaults to the
+    #: float32 fast path: the doubt tolerance dwarfs the tier's
+    #: ~1e-6 score perturbation, and tier 0 runs on *every* image,
+    #: so this is where the fused-kernel speedup actually lands.
+    precision: str = "float32"
     meter: UsageMeter = field(default_factory=UsageMeter)
     stats: CascadeStats = field(default_factory=CascadeStats)
 
@@ -160,6 +166,12 @@ class CascadeClassifier:
         if self.deep_factor < 1.0:
             raise ValueError(
                 f"deep_factor must be >= 1: {self.deep_factor}"
+            )
+        from ..detect.model import PRECISIONS
+
+        if self.precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}: {self.precision}"
             )
 
     def classifiers(self) -> list[LLMIndicatorClassifier]:
@@ -181,7 +193,9 @@ class CascadeClassifier:
             return [], 0, 0
         metrics = get_metrics()
         pixels = [image.render() for image in images]
-        scores, _ = self.detector.predict_cells_batch(pixels)
+        scores, _ = self.detector.predict_cells_batch(
+            pixels, precision=self.precision
+        )
         peaks = NanoDetector.indicator_scores(scores)
         probabilities = self.calibration.probabilities(peaks)
         doubts = np.minimum(probabilities, 1.0 - probabilities)

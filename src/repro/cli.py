@@ -182,7 +182,9 @@ def _run_survey(args: argparse.Namespace, traced: bool = False) -> int:
     elif use_cascade:
         brains = {
             "cascade": _build_cascade(
-                clients, threshold=args.cascade_threshold
+                clients,
+                threshold=args.cascade_threshold,
+                precision=args.detector_precision,
             )
         }
     else:
@@ -318,13 +320,20 @@ def _build_survey_decoder(county, seed: int = 77):
     )
 
 
-def _build_cascade(clients, threshold: float | None = None, artifacts=None):
+def _build_cascade(
+    clients,
+    threshold: float | None = None,
+    artifacts=None,
+    precision: str | None = None,
+):
     """Assemble the three-tier cascade the CLI ships.
 
     Trains the nano detector on one synthetic split, fits the margin
     calibration on a held-out split (both cached when ``artifacts`` is
     given), and wires the cheapest model as the tier-1 scout in front
-    of the full four-model ensemble.
+    of the full four-model ensemble.  ``precision`` picks the tier-0
+    inference tier (``--detector-precision``); ``None`` keeps the
+    router's float32 default.
     """
     from .cascade import CascadeClassifier, load_or_fit_calibration
     from .core.classifier import LLMIndicatorClassifier
@@ -347,7 +356,9 @@ def _build_cascade(clients, threshold: float | None = None, artifacts=None):
             for model_id, client in clients.items()
         }
     )
-    kwargs = {} if threshold is None else {"threshold": threshold}
+    kwargs: dict = {} if threshold is None else {"threshold": threshold}
+    if precision is not None:
+        kwargs["precision"] = precision
     return CascadeClassifier(
         detector=detector,
         calibration=calibration,
@@ -386,7 +397,10 @@ def _run_cascade(args: argparse.Namespace) -> int:
         model_ids=tuple(ALL_MODEL_IDS),
     )
     cascade = _build_cascade(
-        clients, threshold=args.cascade_threshold, artifacts=artifacts
+        clients,
+        threshold=args.cascade_threshold,
+        artifacts=artifacts,
+        precision=args.detector_precision,
     )
     eval_images = build_survey_dataset(n_images=48, size=256, seed=45)
 
@@ -643,9 +657,17 @@ def _run_bench(args: argparse.Namespace) -> int:
     from .perf import git_sha
 
     repo_root = Path(__file__).resolve().parents[2]
+    only = getattr(args, "only", None)
+    if only is not None:
+        target = repo_root / "benchmarks" / f"test_perf_{only}.py"
+        if not target.exists():
+            print(f"no such benchmark: {target.name}")
+            return 2
     sha = git_sha(repo_root)
     documents = []
     for path in sorted(repo_root.glob("BENCH_*.json")):
+        if only is not None and path.name != f"BENCH_{only}.json":
+            continue
         try:
             documents.append((path, json.loads(path.read_text())))
         except (OSError, json.JSONDecodeError):
@@ -678,16 +700,19 @@ def _run_bench(args: argparse.Namespace) -> int:
 
     # The command-line -m overrides the "not perf" exclusion baked
     # into the project addopts.
-    status = int(
-        pytest.main(["-m", "perf", "-q", str(repo_root / "benchmarks")])
+    bench_target = (
+        repo_root / "benchmarks"
+        if only is None
+        else repo_root / "benchmarks" / f"test_perf_{only}.py"
     )
+    status = int(pytest.main(["-m", "perf", "-q", str(bench_target)]))
     if status != 0 or not args.compare:
         return status
-    return _compare_against_trajectory(repo_root, trajectory_path)
+    return _compare_against_trajectory(repo_root, trajectory_path, only=only)
 
 
 def _compare_against_trajectory(
-    repo_root: Path, trajectory_path: Path
+    repo_root: Path, trajectory_path: Path, only: str | None = None
 ) -> int:
     """Diff fresh ``BENCH_*.json`` against the last trajectory entries."""
     from .perf import compare_benchmarks
@@ -707,6 +732,8 @@ def _compare_against_trajectory(
 
     regressed = False
     for path in sorted(repo_root.glob("BENCH_*.json")):
+        if only is not None and path.name != f"BENCH_{only}.json":
+            continue
         try:
             fresh = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
@@ -791,6 +818,15 @@ def main(argv: list[str] | None = None) -> int:
             "regression"
         ),
     )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="NAME",
+        help=(
+            "bench: run only benchmarks/test_perf_<NAME>.py (e.g. "
+            "'detect') and compare only its document"
+        ),
+    )
     survey_group = parser.add_argument_group("survey options")
     survey_group.add_argument(
         "--county",
@@ -861,6 +897,16 @@ def main(argv: list[str] | None = None) -> int:
             "cascade doubt tolerance in [0, 0.5]; 0 escalates every "
             "indicator to the full ensemble (default: the calibrated "
             "DEFAULT_THRESHOLD)"
+        ),
+    )
+    survey_group.add_argument(
+        "--detector-precision",
+        default=None,
+        choices=["float64", "float32", "int8"],
+        metavar="TIER",
+        help=(
+            "cascade tier-0 inference tier: float64 (exact), float32 "
+            "(fast, default), or int8 (quantized, fastest)"
         ),
     )
     survey_group.add_argument(

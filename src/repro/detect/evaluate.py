@@ -324,23 +324,36 @@ def _detect_chunk(payload) -> list[list[Detection]]:
     Module-level so the process backend can pickle it; the model rides
     along in the payload (~100 KB of weights) once per chunk.
     """
-    model, images, conf_threshold = payload
+    model, images, conf_threshold, precision = payload
     pixels = [image.render() for image in images]
-    return model.detect_batch(pixels, conf_threshold=conf_threshold)
+    return model.detect_batch(
+        pixels, conf_threshold=conf_threshold, precision=precision
+    )
 
 
-def prediction_key(model: NanoDetector, image: LabeledImage, conf_threshold: float) -> str:
-    """Artifact-cache key for one image's detections under one model."""
+def prediction_key(
+    model: NanoDetector,
+    image: LabeledImage,
+    conf_threshold: float,
+    precision: str = "float64",
+) -> str:
+    """Artifact-cache key for one image's detections under one model.
+
+    The ``precision`` tier joins the key only when it is not the
+    float64 default, so every pre-existing cache entry keeps its
+    address.
+    """
     from ..artifacts import fingerprint, image_fingerprint, model_fingerprint
 
-    return fingerprint(
-        {
-            "artifact": "detections",
-            "model": model_fingerprint(model),
-            "image": image_fingerprint(image),
-            "conf_threshold": conf_threshold,
-        }
-    )
+    payload = {
+        "artifact": "detections",
+        "model": model_fingerprint(model),
+        "image": image_fingerprint(image),
+        "conf_threshold": conf_threshold,
+    }
+    if precision != "float64":
+        payload["precision"] = precision
+    return fingerprint(payload)
 
 
 def _encode_detections(detections: list[Detection]) -> list:
@@ -383,6 +396,7 @@ def _predict_shard(
     workers: int | str,
     cache,
     batch_size: int,
+    precision: str,
 ) -> list[list[Detection]]:
     """The materialized-list prediction core (one shard at a time).
 
@@ -399,7 +413,11 @@ def _predict_shard(
             chunk = images[start : start + batch_size]
             pixels = [image_transform(image.render()) for image in chunk]
             for offset, dets in enumerate(
-                model.detect_batch(pixels, conf_threshold=conf_threshold)
+                model.detect_batch(
+                    pixels,
+                    conf_threshold=conf_threshold,
+                    precision=precision,
+                )
             ):
                 detections[start + offset] = dets
         return detections
@@ -408,7 +426,9 @@ def _predict_shard(
     missing: list[int] = []
     if cache is not None:
         for index, image in enumerate(images):
-            keys[index] = prediction_key(model, image, conf_threshold)
+            keys[index] = prediction_key(
+                model, image, conf_threshold, precision
+            )
             stored = cache.get_json("predictions", keys[index])
             if stored is not None:
                 detections[index] = _decode_detections(stored)
@@ -425,7 +445,12 @@ def _predict_shard(
             for start in range(0, len(missing), batch_size)
         ]
         payloads = [
-            (model, [images[index] for index in chunk], conf_threshold)
+            (
+                model,
+                [images[index] for index in chunk],
+                conf_threshold,
+                precision,
+            )
             for chunk in chunks
         ]
         executor = ParallelExecutor(workers=workers, cpu_bound=True)
@@ -450,8 +475,13 @@ def iter_predictions(
     cache=None,
     batch_size: int = EVAL_BATCH_SIZE,
     shard_size: int | None = None,
+    precision: str = "float64",
 ) -> Iterator[tuple[LabeledImage, list[Detection]]]:
     """Yield ``(image, detections)`` pairs, consuming ``images`` lazily.
+
+    ``precision`` selects the inference tier (see
+    :data:`repro.detect.model.PRECISIONS`); cached detections are
+    keyed per tier so float32/int8 runs never alias float64 entries.
 
     A list input with no ``shard_size`` is processed as one shard —
     exactly the legacy :func:`predict_images` behavior, same batch
@@ -487,6 +517,7 @@ def iter_predictions(
             workers,
             cache,
             batch_size,
+            precision,
         )
         yield from zip(shard, results)
 
@@ -500,6 +531,7 @@ def predict_images(
     cache=None,
     batch_size: int = EVAL_BATCH_SIZE,
     shard_size: int | None = None,
+    precision: str = "float64",
 ) -> list[list[Detection]]:
     """Per-image detections, batched, optionally parallel and cached.
 
@@ -520,6 +552,7 @@ def predict_images(
             cache=cache,
             batch_size=batch_size,
             shard_size=shard_size,
+            precision=precision,
         )
     ]
 
@@ -533,6 +566,7 @@ def evaluate_detector(
     workers: int | str = 1,
     cache=None,
     shard_size: int | None = None,
+    precision: str = "float64",
 ) -> EvaluationReport:
     """Evaluate a trained detector on labeled images.
 
@@ -563,6 +597,7 @@ def evaluate_detector(
         workers=workers,
         cache=cache,
         shard_size=shard_size,
+        precision=precision,
     ):
         accumulator.update(image, detections)
     return accumulator.report()

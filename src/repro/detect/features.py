@@ -12,16 +12,43 @@ paper's ablations behave faithfully: additive Gaussian noise corrupts
 the gradient channels first (Fig. 3), and rotating an image moves sky
 color and vertical-pole energy into configurations never seen in
 training (Fig. 2).
+
+Two kernels produce the same feature layout (DESIGN.md §14):
+
+* :func:`extract_features` with ``precision="float64"`` runs the
+  **fused exact kernel**: one pass over per-image scratch buffers (a
+  :class:`~repro.parallel.arena.TensorArena`), stacked blocked
+  reductions, and bit-identical output to the original multi-pass
+  extractor (kept as :func:`extract_features_legacy` and pinned by
+  exact-equality tests plus the golden report fixtures).
+* ``precision="float32"`` runs the **fast kernel**: float32 end to
+  end with cell reductions expressed as BLAS matrix products
+  (pooling-operator matmuls).  It is tolerance-tested against float64
+  rather than bit-identical — the fast tier trades the last float of
+  precision for several-fold throughput.
+
+:func:`extract_features_batch` drives either kernel over an image
+stack while reusing one arena and writing into one preallocated
+output tensor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import NamedTuple
 
 import numpy as np
 
+from ..parallel.arena import TensorArena
+
 #: Default grid resolution (16×16 cells over the image).
 DEFAULT_GRID = 16
+
+#: Supported numeric tiers for feature extraction.  ``"int8"`` is
+#: accepted as an alias of the float32 backbone — quantization applies
+#: to the MLP head (``model.py``), not to feature extraction.
+FEATURE_PRECISIONS = ("float64", "float32", "int8")
 
 
 @dataclass(frozen=True)
@@ -47,6 +74,39 @@ class FeatureConfig:
     @property
     def dim(self) -> int:
         return FEATURE_DIM
+
+
+def _feature_dtype(precision: str) -> np.dtype:
+    if precision not in FEATURE_PRECISIONS:
+        raise ValueError(
+            f"unknown precision {precision!r}; expected one of "
+            f"{FEATURE_PRECISIONS}"
+        )
+    return np.dtype(np.float64 if precision == "float64" else np.float32)
+
+
+def _blocked_view(array: np.ndarray, grid: int) -> np.ndarray:
+    """Reshape trailing ``(H, W)`` axes into ``(grid, ch, grid, cw)`` blocks.
+
+    The one trim-and-reshape implementation behind every cell
+    reduction: leading axes (channel stacks, batches) pass through
+    unchanged, and reducing the returned blocks over ``axis=(-3, -1)``
+    visits each cell's ``ch × cw`` elements in the same order as a
+    single-channel reduction — which is what keeps stacked reductions
+    bit-identical to per-channel loops (see :func:`_cell_reduce_stack`).
+
+    Returns a view when the trailing axes divide evenly by ``grid``;
+    a trimmed (copying) reshape otherwise.
+    """
+    height, width = array.shape[-2:]
+    ch = height // grid
+    cw = width // grid
+    if ch < 1 or cw < 1:
+        raise ValueError(
+            f"cannot tile {height}x{width} into a {grid}x{grid} grid"
+        )
+    trimmed = array[..., : ch * grid, : cw * grid]
+    return trimmed.reshape(*array.shape[:-2], grid, ch, grid, cw)
 
 
 def _box_blur(rgb: np.ndarray, radius: int = 1) -> np.ndarray:
@@ -93,27 +153,19 @@ def _cell_reduce_stack(channels: np.ndarray, grid: int) -> np.ndarray:
     replaced (a trailing channel axis changes numpy's pairwise
     summation tree and drifts in the last ulp).
     """
-    n, height, width = channels.shape
-    ch = height // grid
-    cw = width // grid
-    trimmed = channels[:, : ch * grid, : cw * grid]
-    blocks = trimmed.reshape(n, grid, ch, grid, cw)
-    return np.moveaxis(blocks.mean(axis=(2, 4)), 0, -1)
+    blocks = _blocked_view(channels, grid)
+    return np.moveaxis(blocks.mean(axis=(-3, -1)), 0, -1)
 
 
 def _cell_reduce(channel: np.ndarray, grid: int, how: str) -> np.ndarray:
     """Reduce an (H, W) channel to per-cell statistics, (grid, grid)."""
-    height, width = channel.shape
-    ch = height // grid
-    cw = width // grid
-    trimmed = channel[: ch * grid, : cw * grid]
-    blocks = trimmed.reshape(grid, ch, grid, cw)
+    blocks = _blocked_view(channel, grid)
     if how == "mean":
-        return blocks.mean(axis=(1, 3))
+        return blocks.mean(axis=(-3, -1))
     if how == "std":
-        return blocks.std(axis=(1, 3))
+        return blocks.std(axis=(-3, -1))
     if how == "max":
-        return blocks.max(axis=(1, 3))
+        return blocks.max(axis=(-3, -1))
     raise ValueError(f"unknown reduction: {how}")
 
 
@@ -152,6 +204,13 @@ _LOCAL_DIM = (
 #: above a pole from foliage above a tree trunk) + cell position.
 FEATURE_DIM = _LOCAL_DIM * 2 + 2
 
+#: Rows of the fused kernel's mean stack: r, g, b, |gx|, mag, |gy|,
+#: six orientation bins, ten color masks.
+_N_MEAN = 6 + _N_ORIENT + len(_COLOR_NAMES)
+
+#: Luminance projection (ITU-R 601), shared by both kernels.
+_GRAY_WEIGHTS = np.array([0.299, 0.587, 0.114])
+
 
 def _neighborhood_mean(channels: np.ndarray) -> np.ndarray:
     """3×3 box-filtered copy of a ``(grid, grid, D)`` channel stack."""
@@ -174,27 +233,27 @@ def _cell_centroid(
     of a thin pole inside its cell comes from the vertical-edge-energy
     centroid.  Cells with no energy report the neutral midpoint 0.5.
     """
-    height, width = weight.shape
-    ch = height // grid
-    cw = width // grid
-    trimmed = weight[: ch * grid, : cw * grid]
-    blocks = trimmed.reshape(grid, ch, grid, cw)
+    blocks = _blocked_view(weight, grid)
+    ch, cw = blocks.shape[-3], blocks.shape[-1]
     if axis == "x":
         ramp = (np.arange(cw) + 0.5) / cw
-        weighted = (blocks * ramp[None, None, None, :]).sum(axis=(1, 3))
+        weighted = (blocks * ramp[None, None, None, :]).sum(axis=(-3, -1))
     elif axis == "y":
         ramp = (np.arange(ch) + 0.5) / ch
-        weighted = (blocks * ramp[None, :, None, None]).sum(axis=(1, 3))
+        weighted = (blocks * ramp[None, :, None, None]).sum(axis=(-3, -1))
     else:
         raise ValueError(f"axis must be 'x' or 'y': {axis}")
-    totals = blocks.sum(axis=(1, 3))
+    totals = blocks.sum(axis=(-3, -1))
     return np.where(totals > 1e-9, weighted / (totals + 1e-12), 0.5)
 
 
-def _color_masks(rgb: np.ndarray) -> dict[str, np.ndarray]:
-    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
-    value = rgb.max(axis=-1)
-    spread = value - rgb.min(axis=-1)
+def _color_mask_stack(r, g, b, value, spread) -> dict[str, np.ndarray]:
+    """The ten color-prototype predicates from channel/derived planes.
+
+    Shared by the legacy extractor and both fused kernels: comparisons
+    are exact at any dtype, so as long as the inputs match, the masks
+    match.
+    """
     return {
         "yellow_paint": (r > 0.55) & (g > 0.45) & (b < 0.38) & (r - b > 0.25),
         "white_paint": (value > 0.82) & (spread < 0.12),
@@ -209,29 +268,55 @@ def _color_masks(rgb: np.ndarray) -> dict[str, np.ndarray]:
     }
 
 
-def extract_features(
-    image: np.ndarray, config: FeatureConfig | None = None
-) -> np.ndarray:
-    """Per-cell feature matrix of shape ``(grid*grid, FEATURE_DIM)``.
+def _color_masks(rgb: np.ndarray) -> dict[str, np.ndarray]:
+    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
+    value = rgb.max(axis=-1)
+    spread = value - rgb.min(axis=-1)
+    return _color_mask_stack(r, g, b, value, spread)
 
-    Cells are ordered row-major (top-left first).  Accepts uint8 or
-    float RGB images of any square-ish resolution ≥ the grid size.
-    """
-    if config is None:
-        config = FeatureConfig()
-    grid = config.grid
-    rgb = _to_float(image)
-    if rgb.ndim != 3 or rgb.shape[2] != 3:
-        raise ValueError(f"expected (H, W, 3) image, got {rgb.shape}")
-    height, width = rgb.shape[:2]
+
+@lru_cache(maxsize=32)
+def _position_channels(grid: int) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized, read-only (rows, cols) position planes for one grid."""
+    rows = np.repeat(np.arange(grid), grid).reshape(grid, grid) / (grid - 1)
+    cols = np.tile(np.arange(grid), grid).reshape(grid, grid) / (grid - 1)
+    rows.setflags(write=False)
+    cols.setflags(write=False)
+    return rows, cols
+
+
+def _validate_image(image: np.ndarray, grid: int) -> tuple[int, int]:
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got {image.shape}")
+    height, width = image.shape[:2]
     if height < grid or width < grid:
         raise ValueError(
             f"image {height}x{width} smaller than the {grid}x{grid} grid"
         )
+    return height, width
+
+
+def extract_features_legacy(
+    image: np.ndarray, config: FeatureConfig | None = None
+) -> np.ndarray:
+    """The original multi-pass extractor, kept as the numeric reference.
+
+    ~30 independent passes over the image: one :func:`_cell_reduce`
+    call per channel/statistic, python-level ``sum`` loops in
+    :func:`_box_blur`, and per-bin orientation masking.  The fused
+    float64 kernel is bit-identical to this function (regression-tested
+    on random images); the perf bench measures its speedup against it.
+    """
+    if config is None:
+        config = FeatureConfig()
+    grid = config.grid
+    image = np.asarray(image)
+    _validate_image(image, grid)
+    rgb = _to_float(image)
     if config.smooth:
         rgb = _box_blur(rgb)
 
-    gray = rgb @ np.array([0.299, 0.587, 0.114])
+    gray = rgb @ _GRAY_WEIGHTS
     gx, gy = _sobel(gray)
     mag = np.hypot(gx, gy)
 
@@ -301,21 +386,471 @@ def extract_features(
     return stacked
 
 
-def cell_centers(grid: int = DEFAULT_GRID) -> np.ndarray:
-    """Normalized (x, y) centers of every grid cell, row-major."""
+# ----------------------------------------------------------------------
+# fused kernels
+
+
+def _edge_pad_rows(dst: np.ndarray, src: np.ndarray) -> None:
+    """Fill ``dst`` (src padded by one edge row top and bottom)."""
+    dst[1:-1] = src
+    dst[0] = src[0]
+    dst[-1] = src[-1]
+
+
+def _fused_front_end(image, config, arena, tag, dtype):
+    """Shared elementwise stage of both fused kernels.
+
+    Converts/blurs the image, computes gray/Sobel/magnitude/orientation
+    planes and the color masks, and returns ``(ms, gray, gx, gy, tmp)``
+    where ``ms`` is the ``(_N_MEAN, H, W)`` mean stack with rows
+    ``[r, g, b, |gx|, mag, |gy|, orient×6, colors×10]`` — every row a
+    contiguous plane ready for blocked or matmul reduction.
+
+    Each float64 operation replicates the legacy extractor's exact
+    expression and evaluation order (same ufuncs, same operand order),
+    only redirected into arena buffers — that is the entire
+    bit-identity argument, checked by the exact-equality tests.
+    """
+    height, width = image.shape[:2]
+    rgb = arena.take(f"{tag}.rgb", (height, width, 3), dtype)
+    if image.dtype == np.uint8:
+        np.divide(image, 255.0, out=rgb)
+    else:
+        rgb[...] = image
+
+    if config.smooth:
+        # Legacy _box_blur: edge pad rows, (p0+p1+p2)/3, then columns.
+        pad_rows = arena.take(f"{tag}.padrows", (height + 2, width, 3), dtype)
+        _edge_pad_rows(pad_rows, rgb)
+        vertical = arena.take(f"{tag}.vertical", (height, width, 3), dtype)
+        np.add(pad_rows[0:height], pad_rows[1 : height + 1], out=vertical)
+        np.add(vertical, pad_rows[2 : height + 2], out=vertical)
+        np.divide(vertical, 3.0, out=vertical)
+        pad_cols = arena.take(f"{tag}.padcols", (height, width + 2, 3), dtype)
+        pad_cols[:, 1:-1] = vertical
+        pad_cols[:, 0] = vertical[:, 0]
+        pad_cols[:, -1] = vertical[:, -1]
+        np.add(pad_cols[:, 0:width], pad_cols[:, 1 : width + 1], out=rgb)
+        np.add(rgb, pad_cols[:, 2 : width + 2], out=rgb)
+        np.divide(rgb, 3.0, out=rgb)
+
+    gray = arena.take(f"{tag}.gray", (height, width), dtype)
+    np.matmul(rgb, _GRAY_WEIGHTS.astype(dtype), out=gray)
+
+    # Sobel on an edge-padded copy, replicating _sobel's exact
+    # left-to-right expression order.
+    gp = arena.take(f"{tag}.graypad", (height + 2, width + 2), dtype)
+    gp[1:-1, 1:-1] = gray
+    gp[0, 1:-1] = gray[0]
+    gp[-1, 1:-1] = gray[-1]
+    gp[:, 0] = gp[:, 1]
+    gp[:, -1] = gp[:, -2]
+    gx = arena.take(f"{tag}.gx", (height, width), dtype)
+    gy = arena.take(f"{tag}.gy", (height, width), dtype)
+    tmp = arena.take(f"{tag}.tmp", (height, width), dtype)
+    np.multiply(2.0, gp[1:-1, 2:], out=tmp)
+    np.add(gp[:-2, 2:], tmp, out=gx)
+    np.add(gx, gp[2:, 2:], out=gx)
+    np.subtract(gx, gp[:-2, :-2], out=gx)
+    np.multiply(2.0, gp[1:-1, :-2], out=tmp)
+    np.subtract(gx, tmp, out=gx)
+    np.subtract(gx, gp[2:, :-2], out=gx)
+    np.multiply(2.0, gp[2:, 1:-1], out=tmp)
+    np.add(gp[2:, :-2], tmp, out=gy)
+    np.add(gy, gp[2:, 2:], out=gy)
+    np.subtract(gy, gp[:-2, :-2], out=gy)
+    np.multiply(2.0, gp[:-2, 1:-1], out=tmp)
+    np.subtract(gy, tmp, out=gy)
+    np.subtract(gy, gp[:-2, 2:], out=gy)
+
+    ms = arena.take(f"{tag}.meanstack", (_N_MEAN, height, width), dtype)
+    r, g, b = ms[0], ms[1], ms[2]
+    r[...] = rgb[..., 0]
+    g[...] = rgb[..., 1]
+    b[...] = rgb[..., 2]
+    abs_gx, mag, abs_gy = ms[3], ms[4], ms[5]
+    np.abs(gx, out=abs_gx)
+    np.abs(gy, out=abs_gy)
+    np.hypot(gx, gy, out=mag)
+
+    # angle = np.mod(arctan2(gy, gx), pi) without the (slow) modulo
+    # ufunc: arctan2 lands in [-pi, pi], where mod reduces to "add pi
+    # when negative" — with two bit-exactness corners: an input of
+    # exactly +pi maps to 0 (fmod), while a *sum* that rounds up to pi
+    # stays pi (numpy's mod does not post-correct the addition).
+    angle = arena.take(f"{tag}.angle", (height, width), dtype)
+    np.arctan2(gy, gx, out=angle)
+    flags = arena.take(f"{tag}.flags", (height, width), bool)
+    np.equal(angle, np.pi, out=flags)
+    angle[flags] = 0.0
+    np.less(angle, 0.0, out=flags)
+    np.add(angle, np.pi, out=tmp)
+    np.copyto(angle, tmp, where=flags)
+
+    # Legacy: (angle / pi * N).astype(int) then clamp.  Truncation to
+    # int8 matches astype(int) for the value range [0, N].
+    bins = arena.take(f"{tag}.bins", (height, width), np.int8)
+    np.divide(angle, np.pi, out=tmp)
+    np.multiply(tmp, float(_N_ORIENT), out=tmp)
+    bins[...] = tmp
+    np.minimum(bins, _N_ORIENT - 1, out=bins)
+    for orient_bin in range(_N_ORIENT):
+        np.equal(bins, orient_bin, out=flags)
+        # bool × mag ≡ where(bin == o, mag, 0.0): mag is finite and
+        # non-negative, so False rows give exactly +0.0.
+        np.multiply(flags, mag, out=ms[6 + orient_bin])
+
+    value = arena.take(f"{tag}.value", (height, width), dtype)
+    spread = arena.take(f"{tag}.spread", (height, width), dtype)
+    np.maximum(r, g, out=value)
+    np.maximum(value, b, out=value)
+    np.minimum(r, g, out=spread)
+    np.minimum(spread, b, out=spread)
+    np.subtract(value, spread, out=spread)
+    masks = _color_mask_stack(r, g, b, value, spread)
+    for color_index, name in enumerate(_COLOR_NAMES):
+        ms[6 + _N_ORIENT + color_index][...] = masks[name]
+
+    return ms, gray, gx, gy, tmp
+
+
+def _assemble_output(
+    out3, config, means, stds_rgb, mag_std, mag_max, gray_max, gray_min,
+    wx, wy, tot3, arena, tag, dtype,
+):
+    """Common back end: column layout, orientation norm, context, position.
+
+    ``means`` is the ``(_N_MEAN, grid, grid)`` blocked mean stack;
+    ``wx``/``wy``/``tot3`` are the centroid weighted sums and totals
+    for weights ``[|gx|, mag]`` (x), ``[mag, |gy|]`` (y) and
+    ``[|gx|, mag, |gy|]``.
+    """
+    grid = config.grid
+    local = out3[:, :, :_LOCAL_DIM]
+    for channel in range(3):
+        local[..., channel] = means[channel]
+        local[..., 3 + channel] = stds_rgb[channel]
+    local[..., 6] = means[3]  # mean |gx|
+    local[..., 7] = means[5]  # mean |gy|
+    local[..., 8] = mag_std
+    local[..., 9] = mag_max
+
+    orient = means[6 : 6 + _N_ORIENT]
+    totals = orient.sum(axis=0)
+    ok = totals > 1e-9
+    denom = totals + 1e-9
+    for orient_bin in range(_N_ORIENT):
+        local[..., 10 + orient_bin] = np.where(
+            ok, orient[orient_bin] / denom, 0.0
+        )
+    for color_index in range(len(_COLOR_NAMES)):
+        local[..., 16 + color_index] = means[6 + _N_ORIENT + color_index]
+    local[..., 26] = gray_max
+    local[..., 27] = gray_min
+
+    # Centroids: tot3 rows are [|gx|, mag, |gy|]; wx rows [|gx|, mag]
+    # (x-weighted); wy rows [mag, |gy|] (y-weighted).
+    local[..., 28] = np.where(tot3[0] > 1e-9, wx[0] / (tot3[0] + 1e-12), 0.5)
+    local[..., 29] = np.where(tot3[2] > 1e-9, wy[1] / (tot3[2] + 1e-12), 0.5)
+    local[..., 30] = np.where(tot3[1] > 1e-9, wx[1] / (tot3[1] + 1e-12), 0.5)
+    local[..., 31] = np.where(tot3[1] > 1e-9, wy[0] / (tot3[1] + 1e-12), 0.5)
+
+    context = out3[:, :, _LOCAL_DIM : 2 * _LOCAL_DIM]
+    if config.context:
+        # Replicates _neighborhood_mean: edge pad, nine-term
+        # accumulation in (dy, dx) order, divide by 9.
+        padded = arena.take(
+            f"{tag}.ctxpad", (grid + 2, grid + 2, _LOCAL_DIM), dtype
+        )
+        padded[1:-1, 1:-1] = local
+        padded[0, 1:-1] = local[0]
+        padded[-1, 1:-1] = local[-1]
+        padded[:, 0] = padded[:, 1]
+        padded[:, -1] = padded[:, -2]
+        total = arena.zeros(f"{tag}.ctxtotal", (grid, grid, _LOCAL_DIM), dtype)
+        for dy in range(3):
+            for dx in range(3):
+                total += padded[dy : dy + grid, dx : dx + grid]
+        np.divide(total, 9.0, out=context)
+    else:
+        context[...] = 0.0
+
+    rows, cols = _position_channels(grid)
+    out3[:, :, -2] = rows
+    out3[:, :, -1] = cols
+
+
+def _fused_features_f64(image, config, arena, out) -> None:
+    """Fused exact kernel: bit-identical to :func:`extract_features_legacy`."""
+    grid = config.grid
+    ms, gray, _gx, _gy, tmp = _fused_front_end(
+        image, config, arena, "f64", np.float64
+    )
+    out3 = out.reshape(grid, grid, FEATURE_DIM)
+
+    blocked = _blocked_view(ms, grid)
+    means = blocked.mean(axis=(-3, -1))  # row 4 (mag) unused, costs 1/22
+    stds_rgb = _blocked_view(ms[0:3], grid).std(axis=(-3, -1))
+    mag_blocks = _blocked_view(ms[4], grid)
+    mag_std = mag_blocks.std(axis=(-3, -1))
+    mag_max = mag_blocks.max(axis=(-3, -1))
+    gray_max = _blocked_view(gray, grid).max(axis=(-3, -1))
+    np.subtract(1.0, gray, out=tmp)
+    gray_min = 1.0 - _blocked_view(tmp, grid).max(axis=(-3, -1))
+
+    # Centroid sums, stacked with a leading weight axis so each
+    # reduction matches _cell_centroid's per-weight call bit for bit.
+    ch = image.shape[0] // grid
+    cw = image.shape[1] // grid
+    ramp_x = (np.arange(cw) + 0.5) / cw
+    ramp_y = (np.arange(ch) + 0.5) / ch
+    tot3 = _blocked_view(ms[3:6], grid).sum(axis=(-3, -1))
+    product = arena.take("f64.centprod", (2, ch * grid, cw * grid))
+    product_blocks = product.reshape(2, grid, ch, grid, cw)
+    np.multiply(_blocked_view(ms[3:5], grid), ramp_x, out=product_blocks)
+    wx = product_blocks.sum(axis=(-3, -1))
+    np.multiply(
+        _blocked_view(ms[4:6], grid),
+        ramp_y.reshape(-1, 1, 1),
+        out=product_blocks,
+    )
+    wy = product_blocks.sum(axis=(-3, -1))
+
+    _assemble_output(
+        out3, config, means, stds_rgb, mag_std, mag_max, gray_max, gray_min,
+        wx, wy, tot3, arena, "f64", np.float64,
+    )
+
+
+class _PoolingOperators(NamedTuple):
+    """Dense pooling matrices turning cell reductions into matmuls."""
+
+    row_mean: np.ndarray  # (grid, Ht): averages each cell's rows
+    row_sum: np.ndarray  # (grid, Ht)
+    row_ramp: np.ndarray  # (grid, Ht): y-ramp-weighted row sums
+    col_mean: np.ndarray  # (Wt, grid)
+    col_sum: np.ndarray  # (Wt, grid)
+    col_ramp: np.ndarray  # (Wt, grid): x-ramp-weighted column sums
+    trim: tuple[int, int]  # (Ht, Wt)
+
+
+@lru_cache(maxsize=16)
+def _pooling_operators(height: int, width: int, grid: int) -> _PoolingOperators:
+    """Memoized float32 pooling matrices for one image/grid geometry.
+
+    A blocked mean over cells factorizes into two matrix products
+    (rows then columns); BLAS sgemm runs those several times faster
+    than a strided multi-axis reduction, which is the fast kernel's
+    main structural win.
+    """
+    ch = height // grid
+    cw = width // grid
+    ht, wt = ch * grid, cw * grid
+    row_sum = np.zeros((grid, ht), dtype=np.float32)
+    row_ramp = np.zeros((grid, ht), dtype=np.float32)
+    ramp_y = ((np.arange(ch) + 0.5) / ch).astype(np.float32)
+    for cell in range(grid):
+        row_sum[cell, cell * ch : (cell + 1) * ch] = 1.0
+        row_ramp[cell, cell * ch : (cell + 1) * ch] = ramp_y
+    col_sum = np.zeros((wt, grid), dtype=np.float32)
+    col_ramp = np.zeros((wt, grid), dtype=np.float32)
+    ramp_x = ((np.arange(cw) + 0.5) / cw).astype(np.float32)
+    for cell in range(grid):
+        col_sum[cell * cw : (cell + 1) * cw, cell] = 1.0
+        col_ramp[cell * cw : (cell + 1) * cw, cell] = ramp_x
+    row_mean = row_sum / np.float32(ch)
+    col_mean = col_sum / np.float32(cw)
+    for array in (row_mean, row_sum, row_ramp, col_mean, col_sum, col_ramp):
+        array.setflags(write=False)
+    return _PoolingOperators(
+        row_mean, row_sum, row_ramp, col_mean, col_sum, col_ramp, (ht, wt)
+    )
+
+
+def _fused_features_f32(image, config, arena, out) -> None:
+    """Fast float32 kernel: tolerance-equal to float64, sgemm reductions."""
+    grid = config.grid
+    height, width = image.shape[:2]
+    ms, gray, _gx, _gy, _tmp = _fused_front_end(
+        image, config, arena, "f32", np.float32
+    )
+    out3 = out.reshape(grid, grid, FEATURE_DIM)
+    ops = _pooling_operators(height, width, grid)
+    ht, wt = ops.trim
+    stack = ms if (ht, wt) == (height, width) else ms[:, :ht, :wt]
+
+    # Means for all rows: (N*Ht, Wt) @ (Wt, grid) then (grid, Ht) @ ·.
+    col_pooled = arena.take("f32.colpool", (_N_MEAN, ht, grid), np.float32)
+    np.matmul(
+        stack.reshape(_N_MEAN * ht, wt),
+        ops.col_mean,
+        out=col_pooled.reshape(_N_MEAN * ht, grid),
+    )
+    means = arena.take("f32.means", (_N_MEAN, grid, grid), np.float32)
+    np.matmul(ops.row_mean, col_pooled, out=means)
+
+    # Stds for r, g, b, mag via E[x²] − mean² on the contiguous slab
+    # rows 0..4 (row 3, |gx|, is computed and discarded).
+    squares = arena.take("f32.squares", (5, ht, wt), np.float32)
+    np.multiply(stack[0:5], stack[0:5], out=squares)
+    sq_col = arena.take("f32.sqcol", (5, ht, grid), np.float32)
+    np.matmul(
+        squares.reshape(5 * ht, wt),
+        ops.col_mean,
+        out=sq_col.reshape(5 * ht, grid),
+    )
+    second_moment = arena.take("f32.m2", (5, grid, grid), np.float32)
+    np.matmul(ops.row_mean, sq_col, out=second_moment)
+    variance = second_moment
+    np.subtract(second_moment, means[0:5] * means[0:5], out=variance)
+    np.maximum(variance, 0.0, out=variance)
+    np.sqrt(variance, out=variance)
+    stds_rgb = variance[0:3]
+    mag_std = variance[4]
+
+    mag_blocks = _blocked_view(stack[4], grid)
+    mag_max = mag_blocks.max(axis=(-3, -1))
+    gray_trim = gray if (ht, wt) == (height, width) else gray[:ht, :wt]
+    gray_blocks = _blocked_view(gray_trim, grid)
+    gray_max = gray_blocks.max(axis=(-3, -1))
+    # Tolerance tier: a direct blocked min instead of 1 − max(1 − g).
+    gray_min = gray_blocks.min(axis=(-3, -1))
+
+    # Centroids: row-sum once for [|gx|, mag, |gy|], then one sgemm per
+    # weighted/unweighted column reduction.
+    row_pooled = arena.take("f32.rowpool", (3, grid, wt), np.float32)
+    np.matmul(ops.row_sum, stack[3:6], out=row_pooled)
+    tot3 = arena.take("f32.tot3", (3, grid, grid), np.float32)
+    np.matmul(row_pooled, ops.col_sum, out=tot3)
+    wx = arena.take("f32.wx", (2, grid, grid), np.float32)
+    np.matmul(row_pooled[0:2], ops.col_ramp, out=wx)
+    wy_rows = arena.take("f32.wyrows", (2, grid, wt), np.float32)
+    np.matmul(ops.row_ramp, stack[4:6], out=wy_rows)
+    wy = arena.take("f32.wy", (2, grid, grid), np.float32)
+    np.matmul(wy_rows, ops.col_sum, out=wy)
+
+    _assemble_output(
+        out3, config, means, stds_rgb, mag_std, mag_max, gray_max, gray_min,
+        wx, wy, tot3, arena, "f32", np.float32,
+    )
+
+
+def extract_features(
+    image: np.ndarray,
+    config: FeatureConfig | None = None,
+    *,
+    precision: str = "float64",
+    arena: TensorArena | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-cell feature matrix of shape ``(grid*grid, FEATURE_DIM)``.
+
+    Cells are ordered row-major (top-left first).  Accepts uint8 or
+    float RGB images of any square-ish resolution ≥ the grid size.
+
+    ``precision`` picks the kernel tier: ``"float64"`` (default) is
+    bit-identical to the original extractor; ``"float32"`` (and its
+    alias ``"int8"``, whose quantization lives in the MLP head) runs
+    the BLAS-pooled fast kernel, tolerance-equal to float64.  ``arena``
+    supplies reusable scratch buffers — pass one when extracting many
+    images to stop per-image reallocation.  ``out``, when given, must
+    be a C-contiguous ``(n_cells, FEATURE_DIM)`` array of the tier's
+    dtype and is returned filled.
+    """
+    if config is None:
+        config = FeatureConfig()
+    dtype = _feature_dtype(precision)
+    image = np.asarray(image)
+    _validate_image(image, config.grid)
+    if arena is None:
+        arena = TensorArena()
+    if out is None:
+        out = np.empty((config.n_cells, FEATURE_DIM), dtype=dtype)
+    elif out.shape != (config.n_cells, FEATURE_DIM) or out.dtype != dtype:
+        raise ValueError(
+            f"out must be ({config.n_cells}, {FEATURE_DIM}) {dtype}, "
+            f"got {out.shape} {out.dtype}"
+        )
+    if dtype == np.float64:
+        _fused_features_f64(image, config, arena, out)
+    else:
+        _fused_features_f32(image, config, arena, out)
+    return out
+
+
+def extract_features_batch(
+    images,
+    config: FeatureConfig | None = None,
+    *,
+    precision: str = "float64",
+    arena: TensorArena | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Feature tensors for an image stack, ``(N, n_cells, FEATURE_DIM)``.
+
+    The batched entry point behind ``predict_cells_batch`` and tensor
+    building: one arena's scratch buffers serve every image and each
+    image's features are written straight into the (preallocated)
+    output stack — no per-image allocation, no ``np.stack`` copy.
+    Row ``i`` is bit-identical to ``extract_features(images[i], ...)``
+    at the same precision.
+    """
+    if config is None:
+        config = FeatureConfig()
+    dtype = _feature_dtype(precision)
+    n_images = len(images)
+    if out is None:
+        out = np.empty((n_images, config.n_cells, FEATURE_DIM), dtype=dtype)
+    elif out.shape != (n_images, config.n_cells, FEATURE_DIM) or (
+        out.dtype != dtype
+    ):
+        raise ValueError(
+            f"out must be ({n_images}, {config.n_cells}, {FEATURE_DIM}) "
+            f"{dtype}, got {out.shape} {out.dtype}"
+        )
+    if arena is None:
+        arena = TensorArena()
+    for index, image in enumerate(images):
+        extract_features(
+            image, config, precision=precision, arena=arena, out=out[index]
+        )
+    return out
+
+
+@lru_cache(maxsize=32)
+def _cell_centers_cached(grid: int) -> np.ndarray:
     step = 1.0 / grid
     ys, xs = np.mgrid[0:grid, 0:grid]
     centers = np.stack(
         [(xs + 0.5) * step, (ys + 0.5) * step], axis=-1
     ).reshape(-1, 2)
+    centers.setflags(write=False)
     return centers
 
 
-def cell_bounds(grid: int = DEFAULT_GRID) -> np.ndarray:
-    """Normalized xyxy bounds of every grid cell, row-major."""
+@lru_cache(maxsize=32)
+def _cell_bounds_cached(grid: int) -> np.ndarray:
     step = 1.0 / grid
     ys, xs = np.mgrid[0:grid, 0:grid]
     bounds = np.stack(
         [xs * step, ys * step, (xs + 1) * step, (ys + 1) * step], axis=-1
     ).reshape(-1, 4)
+    bounds.setflags(write=False)
     return bounds
+
+
+def cell_centers(grid: int = DEFAULT_GRID) -> np.ndarray:
+    """Normalized (x, y) centers of every grid cell, row-major.
+
+    Memoized per grid size (callers like ``assign_targets`` ask once
+    per annotation); the returned array is read-only — copy to mutate.
+    """
+    return _cell_centers_cached(int(grid))
+
+
+def cell_bounds(grid: int = DEFAULT_GRID) -> np.ndarray:
+    """Normalized xyxy bounds of every grid cell, row-major.
+
+    Memoized per grid size; the returned array is read-only.
+    """
+    return _cell_bounds_cached(int(grid))

@@ -27,13 +27,40 @@ import numpy as np
 from ..core.indicators import ALL_INDICATORS, Indicator
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
+from ..parallel.arena import TensorArena
 from .boxes import clip_boxes, cxcywh_to_xyxy, nms
-from .features import FeatureConfig, extract_features
+from .features import FeatureConfig, extract_features, extract_features_batch
 
 N_CLASSES = len(ALL_INDICATORS)
 
 #: Outputs per class: 1 objectness logit + 4 box parameters.
 _PER_CLASS = 5
+
+#: Inference tiers, cheapest-exactness first: ``float64`` is the
+#: bit-exact reference, ``float32`` a tolerance-tested fast path, and
+#: ``int8`` a dynamically-quantized MLP forward (per-layer weight
+#: scales, per-batch activation scales) whose presence decisions agree
+#: with float64 within the benched micro-F1 delta.
+PRECISIONS = ("float64", "float32", "int8")
+
+#: int8 quantization range (symmetric).
+_QLEVELS = 127.0
+
+
+def _quantize_symmetric(
+    matrix: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-output-column symmetric int8 quantization of a weight matrix.
+
+    Returns ``(q, scale)`` with ``q`` int8-valued (stored as float32 so
+    BLAS sgemm does the integer accumulation exactly — products of
+    magnitude ≤ 127² summed over ≤ 1k terms stay below 2²⁴, float32's
+    exact-integer range) and ``matrix ≈ q * scale`` columnwise.
+    """
+    absmax = np.abs(matrix).max(axis=0)
+    scale = np.where(absmax > 0, absmax / _QLEVELS, 1.0).astype(np.float32)
+    q = np.rint(matrix / scale).astype(np.float32)
+    return q, scale
 
 
 @dataclass(frozen=True)
@@ -143,20 +170,134 @@ class NanoDetector:
         self.feat_std = np.where(np.asarray(std) > 1e-9, std, 1.0)
 
     # ------------------------------------------------------------------
+    # dtype-tiered inference
+
+    def _parameters(self) -> tuple:
+        return (
+            self.w1, self.b1, self.w2, self.b2, self.feat_mean, self.feat_std
+        )
+
+    def _inference_tier(self, precision: str) -> dict:
+        """Lazily built (and identity-invalidated) weights for one tier.
+
+        Keyed by the *identity* of the current parameter arrays: any
+        path that installs new weights — ``initialize``, ``from_dict``,
+        ``set_normalization``, every SGD parameter update — binds fresh
+        arrays, so a stale cache entry simply stops matching.  Holding
+        references to the source arrays keeps their identities stable.
+        """
+        self._require_initialized()
+        cache = self.__dict__.setdefault("_tier_cache", {})
+        params = self._parameters()
+        entry = cache.get(precision)
+        if entry is not None and all(
+            cached is live for cached, live in zip(entry["params"], params)
+        ):
+            return entry
+        if precision == "float32":
+            entry = {
+                "params": params,
+                "arrays": tuple(
+                    np.asarray(p, dtype=np.float32) for p in params
+                ),
+            }
+        elif precision == "int8":
+            w1_q, w1_scale = _quantize_symmetric(self.w1)
+            w2_q, w2_scale = _quantize_symmetric(self.w2)
+            entry = {
+                "params": params,
+                "w1_q": w1_q,
+                "w1_scale": w1_scale,
+                "w2_q": w2_q,
+                "w2_scale": w2_scale,
+                "b1": self.b1.astype(np.float32),
+                "b2": self.b2.astype(np.float32),
+                "mean": self.feat_mean.astype(np.float32),
+                "std": self.feat_std.astype(np.float32),
+            }
+        else:
+            raise ValueError(
+                f"unknown precision {precision!r}; expected one of "
+                f"{PRECISIONS}"
+            )
+        cache[precision] = entry
+        return entry
+
+    @staticmethod
+    def _quantize_activations(x: np.ndarray) -> tuple[np.ndarray, float]:
+        """Dynamic symmetric int8 activation quantization (one scale)."""
+        absmax = float(np.abs(x).max()) if x.size else 0.0
+        scale = absmax / _QLEVELS if absmax > 0 else 1.0
+        q = np.clip(np.rint(x / np.float32(scale)), -_QLEVELS, _QLEVELS)
+        return q.astype(np.float32), scale
+
+    def _infer_logits(self, features: np.ndarray, precision: str) -> np.ndarray:
+        """Forward pass for inference at the requested numeric tier."""
+        if precision == "float64":
+            logits, _, _ = self.forward(features)
+            return logits
+        if precision == "float32":
+            w1, b1, w2, b2, mean, std = self._inference_tier(precision)[
+                "arrays"
+            ]
+            x = (np.asarray(features, dtype=np.float32) - mean) / std
+            hidden = np.maximum(x @ w1 + b1, np.float32(0.0))
+            return hidden @ w2 + b2
+        if precision == "int8":
+            tier = self._inference_tier(precision)
+            x = (np.asarray(features, dtype=np.float32) - tier["mean"]) / (
+                tier["std"]
+            )
+            x_q, x_scale = self._quantize_activations(x)
+            hidden = (x_q @ tier["w1_q"]) * (
+                np.float32(x_scale) * tier["w1_scale"]
+            ) + tier["b1"]
+            np.maximum(hidden, np.float32(0.0), out=hidden)
+            h_q, h_scale = self._quantize_activations(hidden)
+            return (h_q @ tier["w2_q"]) * (
+                np.float32(h_scale) * tier["w2_scale"]
+            ) + tier["b2"]
+        raise ValueError(
+            f"unknown precision {precision!r}; expected one of {PRECISIONS}"
+        )
+
+    # ------------------------------------------------------------------
     # forward / backward
 
     def forward(
-        self, features: np.ndarray
+        self, features: np.ndarray, arena: TensorArena | None = None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Forward pass on standardized inputs.
 
         Returns ``(logits, hidden_activations, standardized_inputs)``;
-        the latter two are retained for the backward pass.
+        the latter two are retained for the backward pass.  With an
+        ``arena`` the three tensors live in reusable buffers (the SGD
+        loop calls this thousands of times at the same shapes); the
+        operations and their order are identical either way, so the
+        results are bit-equal — only ownership of the memory changes.
+        Arena-returned tensors are invalidated by the next same-shape
+        ``forward`` call.
         """
         self._require_initialized()
-        x = (features - self.feat_mean) / self.feat_std
-        hidden = np.maximum(x @ self.w1 + self.b1, 0.0)
-        logits = hidden @ self.w2 + self.b2
+        if arena is None:
+            x = (features - self.feat_mean) / self.feat_std
+            hidden = np.maximum(x @ self.w1 + self.b1, 0.0)
+            logits = hidden @ self.w2 + self.b2
+            return logits, hidden, x
+        x = arena.take("forward.x", features.shape)
+        np.subtract(features, self.feat_mean, out=x)
+        np.divide(x, self.feat_std, out=x)
+        hidden = arena.take(
+            "forward.hidden", (features.shape[0], self.w1.shape[1])
+        )
+        np.matmul(x, self.w1, out=hidden)
+        np.add(hidden, self.b1, out=hidden)
+        np.maximum(hidden, 0.0, out=hidden)
+        logits = arena.take(
+            "forward.logits", (features.shape[0], self.w2.shape[1])
+        )
+        np.matmul(hidden, self.w2, out=logits)
+        np.add(logits, self.b2, out=logits)
         return logits, hidden, x
 
     def backward(
@@ -164,14 +305,32 @@ class NanoDetector:
         grad_logits: np.ndarray,
         hidden: np.ndarray,
         x: np.ndarray,
+        arena: TensorArena | None = None,
     ) -> dict[str, np.ndarray]:
-        """Gradients of the loss w.r.t. every parameter."""
-        grad_w2 = hidden.T @ grad_logits
-        grad_b2 = grad_logits.sum(axis=0)
-        grad_hidden = grad_logits @ self.w2.T
+        """Gradients of the loss w.r.t. every parameter.
+
+        Same arena contract as :meth:`forward`: buffers are reused
+        across calls, values are bit-equal to the allocating path.
+        """
+        if arena is None:
+            grad_w2 = hidden.T @ grad_logits
+            grad_b2 = grad_logits.sum(axis=0)
+            grad_hidden = grad_logits @ self.w2.T
+            grad_hidden[hidden <= 0.0] = 0.0
+            grad_w1 = x.T @ grad_hidden
+            grad_b1 = grad_hidden.sum(axis=0)
+            return {"w1": grad_w1, "b1": grad_b1, "w2": grad_w2, "b2": grad_b2}
+        grad_w2 = arena.take("backward.w2", self.w2.shape)
+        np.matmul(hidden.T, grad_logits, out=grad_w2)
+        grad_b2 = arena.take("backward.b2", self.b2.shape)
+        grad_logits.sum(axis=0, out=grad_b2)
+        grad_hidden = arena.take("backward.hidden", hidden.shape)
+        np.matmul(grad_logits, self.w2.T, out=grad_hidden)
         grad_hidden[hidden <= 0.0] = 0.0
-        grad_w1 = x.T @ grad_hidden
-        grad_b1 = grad_hidden.sum(axis=0)
+        grad_w1 = arena.take("backward.w1", self.w1.shape)
+        np.matmul(x.T, grad_hidden, out=grad_w1)
+        grad_b1 = arena.take("backward.b1", self.b1.shape)
+        grad_hidden.sum(axis=0, out=grad_b1)
         return {"w1": grad_w1, "b1": grad_b1, "w2": grad_w2, "b2": grad_b2}
 
     # ------------------------------------------------------------------
@@ -191,7 +350,7 @@ class NanoDetector:
     # inference
 
     def predict_cells_from_features(
-        self, features: np.ndarray
+        self, features: np.ndarray, precision: str = "float64"
     ) -> tuple[np.ndarray, np.ndarray]:
         """Raw per-cell predictions from precomputed backbone features.
 
@@ -201,11 +360,18 @@ class NanoDetector:
         setup instead of paying it per image.  Returns
         ``(scores (..., n_cells, C), boxes (..., n_cells, C, 4) xyxy)``
         with the leading batch axis mirroring the input.
+
+        ``precision`` selects the numeric tier (see :data:`PRECISIONS`);
+        scores and boxes come back float64 at every tier so downstream
+        decoding is tier-agnostic.
         """
-        features = np.asarray(features, dtype=np.float64)
+        features = np.asarray(
+            features,
+            dtype=np.float64 if precision == "float64" else np.float32,
+        )
         batched = features.ndim == 3
         flat = features.reshape(-1, features.shape[-1])
-        logits, _, _ = self.forward(flat)
+        logits = self._infer_logits(flat, precision)
         obj_logits, box_logits = self.split_logits(logits)
         scores = sigmoid(obj_logits)
         boxes_cxcywh = sigmoid(box_logits)
@@ -218,22 +384,31 @@ class NanoDetector:
             boxes_xyxy = boxes_xyxy.reshape(n_images, n_cells, N_CLASSES, 4)
         return scores, boxes_xyxy
 
-    def predict_cells(self, image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def predict_cells(
+        self, image: np.ndarray, precision: str = "float64"
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Raw per-cell predictions for one image.
 
         Returns ``(scores (n_cells, C), boxes (n_cells, C, 4) xyxy)``.
         """
-        features = extract_features(image, self.config.feature_config)
-        return self.predict_cells_from_features(features)
+        features = extract_features(
+            image, self.config.feature_config, precision=precision
+        )
+        return self.predict_cells_from_features(features, precision=precision)
 
     def predict_cells_batch(
-        self, images: Sequence[np.ndarray]
+        self,
+        images: Sequence[np.ndarray],
+        precision: str = "float64",
+        arena: TensorArena | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Raw per-cell predictions for an image stack in one forward pass.
 
         Returns ``(scores (N, n_cells, C), boxes (N, n_cells, C, 4))``
         numerically identical to calling :meth:`predict_cells` per
-        image (verified by tier-1 tests).
+        image (verified by tier-1 tests).  Feature extraction shares
+        one :class:`~repro.parallel.arena.TensorArena` across the stack
+        and writes into a single preallocated tensor.
         """
         if len(images) == 0:
             config = self.config.feature_config
@@ -245,13 +420,31 @@ class NanoDetector:
         metrics.inc("detect.batch.calls")
         metrics.inc("detect.batch.images", len(images))
         with get_tracer().span("detect.batch", images=len(images)):
-            features = np.stack(
-                [
-                    extract_features(image, self.config.feature_config)
-                    for image in images
-                ]
+            features = extract_features_batch(
+                images,
+                self.config.feature_config,
+                precision=precision,
+                arena=arena,
             )
-            return self.predict_cells_from_features(features)
+            return self.predict_cells_from_features(
+                features, precision=precision
+            )
+
+    def predict(
+        self,
+        image: np.ndarray,
+        precision: str = "float64",
+        conf_threshold: float | None = None,
+    ) -> list[Detection]:
+        """Detect objects at a chosen numeric tier.
+
+        The dtype-tiered front door: ``precision="float64"`` is
+        :meth:`detect` exactly; ``"float32"`` runs backbone and head in
+        float32 (tolerance-equal); ``"int8"`` adds the quantized MLP
+        forward.  See the exactness-vs-speed rows in BENCH_detect.json.
+        """
+        scores, boxes = self.predict_cells(image, precision=precision)
+        return self.decode_cells(scores, boxes, conf_threshold=conf_threshold)
 
     def detect(
         self, image: np.ndarray, conf_threshold: float | None = None
@@ -273,6 +466,7 @@ class NanoDetector:
         self,
         images: Sequence[np.ndarray],
         conf_threshold: float | None = None,
+        precision: str = "float64",
     ) -> list[list[Detection]]:
         """Detect objects in an image stack with one batched forward pass.
 
@@ -282,7 +476,7 @@ class NanoDetector:
         identical to calling :meth:`detect` per image.
         """
         detections, _ = self.detect_batch_with_scores(
-            images, conf_threshold=conf_threshold
+            images, conf_threshold=conf_threshold, precision=precision
         )
         return detections
 
@@ -317,6 +511,7 @@ class NanoDetector:
         self,
         images: Sequence[np.ndarray],
         conf_threshold: float | None = None,
+        precision: str = "float64",
     ) -> tuple[list[list[Detection]], np.ndarray]:
         """:meth:`detect_batch` plus per-image per-indicator peak scores.
 
@@ -326,7 +521,7 @@ class NanoDetector:
         path; the peaks expose the decision margins without changing
         any existing return type.
         """
-        scores, boxes = self.predict_cells_batch(images)
+        scores, boxes = self.predict_cells_batch(images, precision=precision)
         detections = [
             self.decode_cells(
                 scores[index], boxes[index], conf_threshold=conf_threshold

@@ -5,6 +5,19 @@ Follows the paper's protocol (Section IV-B1): 20 epochs, batch size
 objectness binary cross-entropy (with positive-class weighting to
 counter the heavy cell-level imbalance) and an L2 box-regression term
 applied only at positive cells.
+
+The SGD loop runs over a :class:`~repro.parallel.arena.TensorArena`:
+batch gathers, forward activations and backward gradients live in
+reusable buffers instead of being reallocated thousands of times per
+run.  The operations themselves are unchanged, so trained weights are
+bit-identical to the historical allocating loop.
+
+**Incremental training** (DESIGN.md §14): when an artifact cache is
+supplied and only part of the dataset's per-image tensors changed
+since the last run with the same configs, :func:`train_detector` can
+fine-tune the cached weights on the changed images (plus a replay
+sample of unchanged ones) instead of retraining from scratch — gated
+in tests by an eval-metric equivalence check against full retraining.
 """
 
 from __future__ import annotations
@@ -15,8 +28,9 @@ import numpy as np
 
 from ..core.indicators import ALL_INDICATORS
 from ..gsv.dataset import LabeledImage
+from ..parallel.arena import TensorArena
 from .boxes import xyxy_to_cxcywh
-from .features import cell_bounds, extract_features
+from .features import FEATURE_DIM, cell_bounds, extract_features_batch
 from .model import N_CLASSES, ModelConfig, NanoDetector, sigmoid
 
 #: A cell is positive for an object covering at least this fraction of
@@ -39,12 +53,38 @@ class TrainConfig:
     seed: int = 0
 
 
+@dataclass(frozen=True)
+class IncrementalConfig:
+    """Knobs for the cached-weights fine-tuning path.
+
+    ``max_changed_fraction`` bounds how different the dataset may be
+    before falling back to a full retrain; ``replay_ratio`` controls
+    how many unchanged images accompany each changed one in the
+    fine-tuning subset (pure-delta fine-tuning forgets; full-set
+    fine-tuning wastes the reuse).
+    """
+
+    max_changed_fraction: float = 0.35
+    fine_tune_epochs: int = 6
+    lr_scale: float = 0.25
+    replay_ratio: float = 2.0
+
+
 @dataclass
 class TrainResult:
-    """Fitted model plus the loss trajectory."""
+    """Fitted model plus the loss trajectory and training provenance.
+
+    ``mode`` is ``"full"`` (fresh SGD), ``"cached"`` (exact
+    artifact-cache hit) or ``"incremental"`` (fine-tuned from cached
+    base weights); ``reused_images`` counts images whose tensors
+    matched the cached base run.
+    """
 
     model: NanoDetector
     loss_history: list[float] = field(default_factory=list)
+    mode: str = "full"
+    reused_images: int = 0
+    trained_images: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -111,31 +151,31 @@ def assign_targets(
     return obj, box
 
 
-def _image_tensors(
-    image: LabeledImage, grid: int, use_occupancy: bool, config
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Features and targets for one image (the unit of caching)."""
-    features = extract_features(image.render(), config)
-    if use_occupancy:
-        annotations = annotations_with_occupancy(image)
-    else:
-        annotations = [(ind, box, [box]) for ind, box in image.annotations]
-    obj, box = assign_targets(annotations, grid)
-    return features, obj, box
-
-
 def _tensor_chunk(payload) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
     """Process-pool worker: tensors for a chunk of images.
 
     Module-level (and fed a single picklable payload) so the process
     backend can ship it to children; per-image results are independent
     of how images are chunked, which is what makes the fan-out
-    byte-identical to the serial path.
+    byte-identical to the serial path.  Feature extraction runs through
+    :func:`extract_features_batch` with one arena per chunk, so scratch
+    buffers are reused across the chunk's images.
     """
     images, grid, use_occupancy, config = payload
-    return [
-        _image_tensors(image, grid, use_occupancy, config) for image in images
-    ]
+    features = extract_features_batch(
+        [image.render() for image in images], config, arena=TensorArena()
+    )
+    results = []
+    for index, image in enumerate(images):
+        if use_occupancy:
+            annotations = annotations_with_occupancy(image)
+        else:
+            annotations = [
+                (ind, box, [box]) for ind, box in image.annotations
+            ]
+        obj, box = assign_targets(annotations, grid)
+        results.append((features[index], obj, box))
+    return results
 
 
 def image_tensor_key(
@@ -183,6 +223,10 @@ def build_training_tensors(
     :class:`~repro.artifacts.ArtifactCache`) persists per-image
     tensors, so an augmentation sweep that reuses base images only
     pays for the transformed copies.
+
+    The three output tensors are preallocated once and filled in place
+    — per-image results are copied straight into their rows instead of
+    accumulating a list and paying a doubling ``np.stack`` at the end.
     """
     from ..parallel import ParallelExecutor
     from .features import FeatureConfig
@@ -190,23 +234,34 @@ def build_training_tensors(
     config = feature_config or FeatureConfig(grid=grid)
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be positive: {chunk_size}")
+    if not images:
+        raise ValueError(
+            "no images to build training tensors from (empty image list)"
+        )
 
-    per_image: list[tuple[np.ndarray, np.ndarray, np.ndarray] | None]
-    per_image = [None] * len(images)
+    n_images = len(images)
+    n_cells = grid * grid
+    features = np.empty((n_images, config.n_cells, FEATURE_DIM))
+    obj = np.empty((n_images, n_cells, N_CLASSES))
+    box = np.empty((n_images, n_cells, N_CLASSES, 4))
+
+    def _store(index, tensors):
+        features[index] = tensors[0]
+        obj[index] = tensors[1]
+        box[index] = tensors[2]
+
     missing: list[int] = []
-    keys: list[str | None] = [None] * len(images)
+    keys: list[str | None] = [None] * n_images
     if cache is not None:
         for index, image in enumerate(images):
             keys[index] = image_tensor_key(image, grid, use_occupancy, config)
             stored = cache.get_arrays("tensors", keys[index])
             if stored is not None:
-                per_image[index] = (
-                    stored["features"], stored["obj"], stored["box"]
-                )
+                _store(index, (stored["features"], stored["obj"], stored["box"]))
             else:
                 missing.append(index)
     else:
-        missing = list(range(len(images)))
+        missing = list(range(n_images))
 
     if missing:
         chunks = [
@@ -222,21 +277,17 @@ def build_training_tensors(
             chunks, executor.map_results(_tensor_chunk, payloads)
         ):
             for index, tensors in zip(chunk, results):
-                per_image[index] = tensors
+                _store(index, tensors)
                 if cache is not None:
-                    features, obj, box = tensors
                     cache.put_arrays(
                         "tensors",
                         keys[index],
-                        features=features,
-                        obj=obj,
-                        box=box,
+                        features=tensors[0],
+                        obj=tensors[1],
+                        box=tensors[2],
                     )
 
-    feats = [tensors[0] for tensors in per_image]
-    objs = [tensors[1] for tensors in per_image]
-    boxes = [tensors[2] for tensors in per_image]
-    return np.stack(feats), np.stack(objs), np.stack(boxes)
+    return features, obj, box
 
 
 def annotations_with_occupancy(image: LabeledImage) -> list:
@@ -302,77 +353,80 @@ def _weights_key(
     )
 
 
-def train_detector(
-    images: list[LabeledImage],
-    model_config: ModelConfig | None = None,
-    train_config: TrainConfig | None = None,
-    precomputed: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
-    workers: int | str = 1,
-    cache=None,
-) -> TrainResult:
-    """Train a NanoDetector on labeled images.
+def _incremental_base_key(
+    model_config: ModelConfig, train_config: TrainConfig
+) -> str:
+    """Cache key for the incremental-training base entry.
 
-    ``precomputed`` lets callers reuse ``build_training_tensors``
-    output across experiments (the augmentation sweep retrains many
-    times on overlapping data).  ``workers`` parallelizes tensor
-    building across processes (the SGD loop itself stays serial — it
-    is a strict sequential dependence and already BLAS-vectorized).
-    ``cache`` persists both per-image tensors and the trained weights;
-    a rerun with identical inputs loads the fitted model from disk.
+    Deliberately *not* keyed on the tensors: the entry is the "last
+    training run with these configs", and the changed-fraction guard
+    decides whether the current dataset is close enough to reuse it.
     """
-    if model_config is None:
-        model_config = ModelConfig()
-    if train_config is None:
-        train_config = TrainConfig()
-    if not images and precomputed is None:
-        raise ValueError("no training images")
+    from ..artifacts import fingerprint
 
-    if precomputed is not None:
-        features, obj_targets, box_targets = precomputed
-    else:
-        features, obj_targets, box_targets = build_training_tensors(
-            images,
-            model_config.grid,
-            feature_config=model_config.feature_config,
-            workers=workers,
-            cache=cache,
-        )
+    return fingerprint(
+        {
+            "artifact": "incremental-base",
+            "model_config": repr(model_config),
+            "train_config": repr(train_config),
+        }
+    )
 
-    weights_key = None
-    if cache is not None:
-        weights_key = _weights_key(
-            features, obj_targets, box_targets, model_config, train_config
-        )
-        stored = cache.get_json("models", weights_key)
-        if stored is not None:
-            return TrainResult(
-                model=NanoDetector.from_dict(stored["model"]),
-                loss_history=list(stored["loss_history"]),
-            )
+
+def _run_sgd(
+    model: NanoDetector,
+    features: np.ndarray,
+    obj_targets: np.ndarray,
+    box_targets: np.ndarray,
+    train_config: TrainConfig,
+    rng: np.random.Generator,
+    epochs: int,
+    learning_rate: float,
+    arena: TensorArena | None = None,
+) -> list[float]:
+    """The SGD loop, shared by full training and incremental fine-tuning.
+
+    Batch gathers, activations and gradients live in ``arena`` buffers;
+    every floating-point operation matches the historical allocating
+    loop in kind and order, so the fitted weights are bit-identical to
+    it (the parameter arrays themselves are still freshly bound each
+    step — callers' arrays are never mutated, and the model's
+    inference-tier caches invalidate by identity).
+    """
+    if arena is None:
+        arena = TensorArena()
     n_images, n_cells, feature_dim = features.shape
-
-    rng = np.random.default_rng(train_config.seed)
-    model = NanoDetector(config=model_config)
-    model.initialize(feature_dim, rng)
-    flat = features.reshape(-1, feature_dim)
-    model.set_normalization(flat.mean(axis=0), flat.std(axis=0))
-
     pos_weight = _positive_weights(obj_targets, train_config.pos_weight_cap)
-    velocity = {"w1": 0.0, "b1": 0.0, "w2": 0.0, "b2": 0.0}
-    lr = train_config.learning_rate
-    loss_history = []
+    velocity = {
+        name: np.zeros_like(getattr(model, name))
+        for name in ("w1", "b1", "w2", "b2")
+    }
+    lr = learning_rate
+    loss_history: list[float] = []
 
-    for _epoch in range(train_config.epochs):
+    for _epoch in range(epochs):
         order = rng.permutation(n_images)
         epoch_loss = 0.0
         n_batches = 0
         for start in range(0, n_images, train_config.batch_size):
             batch = order[start : start + train_config.batch_size]
-            x = features[batch].reshape(-1, feature_dim)
-            obj_t = obj_targets[batch].reshape(-1, N_CLASSES)
-            box_t = box_targets[batch].reshape(-1, N_CLASSES, 4)
+            gathered = arena.take(
+                "sgd.x", (len(batch), n_cells, feature_dim)
+            )
+            np.take(features, batch, axis=0, out=gathered)
+            x = gathered.reshape(-1, feature_dim)
+            obj_gathered = arena.take(
+                "sgd.obj", (len(batch), n_cells, N_CLASSES)
+            )
+            np.take(obj_targets, batch, axis=0, out=obj_gathered)
+            obj_t = obj_gathered.reshape(-1, N_CLASSES)
+            box_gathered = arena.take(
+                "sgd.box", (len(batch), n_cells, N_CLASSES, 4)
+            )
+            np.take(box_targets, batch, axis=0, out=box_gathered)
+            box_t = box_gathered.reshape(-1, N_CLASSES, 4)
 
-            logits, hidden, x_std = model.forward(x)
+            logits, hidden, x_std = model.forward(x, arena=arena)
             obj_logits, box_logits = model.split_logits(logits)
             obj_p = sigmoid(obj_logits)
             box_p = sigmoid(box_logits)
@@ -409,31 +463,220 @@ def train_detector(
                 / n_pos
             )
 
-            grad_logits = np.empty_like(logits)
+            grad_logits = arena.take("sgd.grad_logits", logits.shape)
             reshaped = grad_logits.reshape(n, N_CLASSES, 5)
             reshaped[:, :, 0] = grad_obj
             reshaped[:, :, 1:] = grad_box
 
-            grads = model.backward(grad_logits, hidden, x_std)
+            grads = model.backward(grad_logits, hidden, x_std, arena=arena)
             for name in ("w1", "b1", "w2", "b2"):
                 parameter = getattr(model, name)
                 grad = grads[name]
                 if name in ("w1", "w2"):
-                    grad = grad + train_config.weight_decay * parameter
-                velocity[name] = (
-                    train_config.momentum * velocity[name] - lr * grad
-                )
+                    # grad += weight_decay * parameter, legacy order.
+                    decay = arena.take(f"sgd.decay.{name}", parameter.shape)
+                    np.multiply(train_config.weight_decay, parameter, out=decay)
+                    np.add(grad, decay, out=grad)
+                # velocity = momentum * velocity - lr * grad, in place.
+                np.multiply(train_config.momentum, velocity[name], out=velocity[name])
+                np.multiply(lr, grad, out=grad)
+                np.subtract(velocity[name], grad, out=velocity[name])
+                # Bind a fresh parameter array (never mutate the old
+                # one): callers may hold references, and the inference
+                # tier caches invalidate by array identity.
                 setattr(model, name, parameter + velocity[name])
 
             epoch_loss += obj_loss + box_loss
             n_batches += 1
         loss_history.append(epoch_loss / max(n_batches, 1))
         lr *= train_config.lr_decay
+    return loss_history
 
-    if cache is not None and weights_key is not None:
-        cache.put_json(
-            "models",
-            weights_key,
-            {"model": model.to_dict(), "loss_history": loss_history},
+
+def train_detector(
+    images: list[LabeledImage],
+    model_config: ModelConfig | None = None,
+    train_config: TrainConfig | None = None,
+    precomputed: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    workers: int | str = 1,
+    cache=None,
+    incremental: bool = False,
+    incremental_config: IncrementalConfig | None = None,
+) -> TrainResult:
+    """Train a NanoDetector on labeled images.
+
+    ``precomputed`` lets callers reuse ``build_training_tensors``
+    output across experiments (the augmentation sweep retrains many
+    times on overlapping data).  ``workers`` parallelizes tensor
+    building across processes (the SGD loop itself stays serial — it
+    is a strict sequential dependence and already BLAS-vectorized).
+    ``cache`` persists both per-image tensors and the trained weights;
+    a rerun with identical inputs loads the fitted model from disk.
+
+    ``incremental=True`` (requires ``cache`` and ``images``) enables
+    delta fine-tuning: if a previous run with the same configs trained
+    on mostly the same per-image tensors, the cached weights are
+    fine-tuned on the changed images plus a replay sample instead of
+    retraining from scratch.  The result records its provenance in
+    :attr:`TrainResult.mode`; only full retrains populate the exact
+    weights cache, so incremental runs can never shadow a full run's
+    artifact.
+    """
+    if model_config is None:
+        model_config = ModelConfig()
+    if train_config is None:
+        train_config = TrainConfig()
+    if not images and precomputed is None:
+        raise ValueError("no training images")
+
+    if precomputed is not None:
+        features, obj_targets, box_targets = precomputed
+        features = np.asarray(features)
+        obj_targets = np.asarray(obj_targets)
+        box_targets = np.asarray(box_targets)
+        if features.shape[0] == 0:
+            raise ValueError(
+                "precomputed training tensors contain no images"
+            )
+    else:
+        features, obj_targets, box_targets = build_training_tensors(
+            images,
+            model_config.grid,
+            feature_config=model_config.feature_config,
+            workers=workers,
+            cache=cache,
         )
-    return TrainResult(model=model, loss_history=loss_history)
+
+    weights_key = None
+    if cache is not None:
+        weights_key = _weights_key(
+            features, obj_targets, box_targets, model_config, train_config
+        )
+        stored = cache.get_json("models", weights_key)
+        if stored is not None:
+            return TrainResult(
+                model=NanoDetector.from_dict(stored["model"]),
+                loss_history=list(stored["loss_history"]),
+                mode="cached",
+                reused_images=features.shape[0],
+                trained_images=0,
+            )
+    n_images, n_cells, feature_dim = features.shape
+
+    rng = np.random.default_rng(train_config.seed)
+    arena = TensorArena()
+    mode = "full"
+    reused_images = 0
+    trained_images = n_images
+    image_keys: list[str] | None = None
+    base_key = None
+    model: NanoDetector | None = None
+    loss_history: list[float] = []
+
+    if incremental and cache is not None and images and precomputed is None:
+        image_keys = [
+            image_tensor_key(
+                image, model_config.grid, True, model_config.feature_config
+            )
+            for image in images
+        ]
+        base_key = _incremental_base_key(model_config, train_config)
+        base = cache.get_json("models", base_key)
+        if base is not None:
+            base_keys = set(base.get("image_keys", ()))
+            changed = [
+                index
+                for index, key in enumerate(image_keys)
+                if key not in base_keys
+            ]
+            changed_fraction = len(changed) / n_images
+            incr = incremental_config or IncrementalConfig()
+            if changed_fraction <= incr.max_changed_fraction:
+                candidate = NanoDetector.from_dict(base["model"])
+                if (
+                    candidate.config == model_config
+                    and candidate.w1.shape[0] == feature_dim
+                ):
+                    model = candidate
+                    mode = "incremental"
+                    reused_images = n_images - len(changed)
+                    unchanged = np.array(
+                        [
+                            index
+                            for index in range(n_images)
+                            if image_keys[index] in base_keys
+                        ],
+                        dtype=int,
+                    )
+                    n_replay = min(
+                        len(unchanged),
+                        int(np.ceil(incr.replay_ratio * max(len(changed), 1))),
+                    )
+                    replay = (
+                        rng.choice(unchanged, size=n_replay, replace=False)
+                        if n_replay
+                        else np.zeros(0, dtype=int)
+                    )
+                    subset = np.sort(
+                        np.concatenate([np.array(changed, dtype=int), replay])
+                    )
+                    trained_images = len(subset)
+                    if trained_images:
+                        loss_history = _run_sgd(
+                            model,
+                            features[subset],
+                            obj_targets[subset],
+                            box_targets[subset],
+                            train_config,
+                            rng,
+                            epochs=incr.fine_tune_epochs,
+                            learning_rate=(
+                                train_config.learning_rate * incr.lr_scale
+                            ),
+                            arena=arena,
+                        )
+                    else:
+                        loss_history = list(base.get("loss_history", ()))
+
+    if model is None:
+        model = NanoDetector(config=model_config)
+        model.initialize(feature_dim, rng)
+        flat = features.reshape(-1, feature_dim)
+        model.set_normalization(flat.mean(axis=0), flat.std(axis=0))
+        loss_history = _run_sgd(
+            model,
+            features,
+            obj_targets,
+            box_targets,
+            train_config,
+            rng,
+            epochs=train_config.epochs,
+            learning_rate=train_config.learning_rate,
+            arena=arena,
+        )
+
+    if cache is not None:
+        if weights_key is not None and mode == "full":
+            cache.put_json(
+                "models",
+                weights_key,
+                {"model": model.to_dict(), "loss_history": loss_history},
+            )
+        if incremental and base_key is not None and image_keys is not None:
+            cache.put_json(
+                "models",
+                base_key,
+                {
+                    "model": model.to_dict(),
+                    "loss_history": loss_history,
+                    "image_keys": image_keys,
+                    "mode": mode,
+                },
+            )
+    return TrainResult(
+        model=model,
+        loss_history=loss_history,
+        mode=mode,
+        reused_images=reused_images,
+        trained_images=trained_images,
+    )

@@ -13,6 +13,7 @@ DESIGN.md §8 for the thread execution model and §9 for the process
 backend and its pickling constraints.
 """
 
+from .arena import TensorArena
 from .executor import (
     ParallelExecutor,
     TaskCancelledError,
@@ -39,6 +40,7 @@ __all__ = [
     "TaskCancelledError",
     "TaskEnvelope",
     "TaskOutcome",
+    "TensorArena",
     "effective_cpu_count",
     "resolve_workers",
     "shared_memory_support",

@@ -118,12 +118,16 @@ def machine_info() -> dict:
 
 
 #: The metrics ``repro bench --compare`` guards, per benchmark name.
-#: Every entry is a dotted path into the benchmark document; all are
+#: Every entry is a dotted path into the benchmark document; most are
 #: higher-is-better ratios (speedups, rates, throughputs) so "regressed"
-#: always means "dropped".  ``waived_by`` names a boolean path that,
-#: when true in *either* document, exempts the metric — the recorded
-#: honesty flags (e.g. ``core_capped`` on single-core hosts) mark
-#: numbers the machine cannot physically improve.
+#: usually means "dropped".  An entry with ``lower_is_better: True``
+#: inverts the direction (error deltas, latencies); its optional
+#: ``floor`` sets the smallest baseline magnitude used as the relative
+#: denominator, so near-zero baselines don't turn measurement noise
+#: into a reported regression.  ``waived_by`` names a boolean path
+#: that, when true in *either* document, exempts the metric — the
+#: recorded honesty flags (e.g. ``core_capped`` on single-core hosts)
+#: mark numbers the machine cannot physically improve.
 HEADLINE_METRICS: dict[str, list[dict]] = {
     "cascade": [
         {"path": "cascade.fee_reduction"},
@@ -139,6 +143,13 @@ HEADLINE_METRICS: dict[str, list[dict]] = {
             "waived_by": "process_parallel.core_capped",
         },
         {"path": "artifact_cache.warm_speedup"},
+        {"path": "detect.extract_speedup"},
+        {"path": "detect.int8_speedup"},
+        {
+            "path": "detect.int8_f1_delta",
+            "lower_is_better": True,
+            "floor": 0.005,
+        },
     ],
     "stream": [
         {
@@ -216,7 +227,17 @@ def compare_benchmarks(
             continue
         entry = {"path": path, "baseline": old, "fresh": new}
         result["compared"].append(entry)
-        if old > 0:
+        if spec.get("lower_is_better"):
+            # A *rise* regresses.  The denominator is floored so a
+            # near-perfect baseline (e.g. an F1 delta of 1e-4) does
+            # not make any nonzero fresh value look like a blow-up.
+            denominator = max(abs(old), float(spec.get("floor", 0.0)))
+            if denominator > 0:
+                rise = (new - old) / denominator
+                entry["relative_change"] = round(rise, 4)
+                if rise > threshold:
+                    result["regressions"].append(entry)
+        elif old > 0:
             drop = (old - new) / old
             entry["relative_change"] = round(-drop, 4)
             if drop > threshold:

@@ -9,7 +9,19 @@ from repro.detect import (
     cell_bounds,
     cell_centers,
     extract_features,
+    extract_features_batch,
+    extract_features_legacy,
 )
+from repro.parallel import TensorArena
+
+
+def _random_image(rng, as_uint8=True):
+    height = int(rng.integers(48, 180))
+    width = int(rng.integers(48, 180))
+    pixels = rng.uniform(size=(height, width, 3))
+    if as_uint8:
+        return (pixels * 255).astype(np.uint8)
+    return pixels
 
 
 @pytest.fixture()
@@ -172,3 +184,140 @@ class TestCellReduceStack:
                 np.where(bin_index == b, mag, 0.0), 8, "mean"
             )
             assert np.array_equal(fast[:, :, b], reference)
+
+
+class TestBlockedView:
+    """The one trim/reshape helper behind every cell reduction."""
+
+    @pytest.mark.parametrize(
+        "shape,grid",
+        [
+            ((64, 64), 8),
+            ((67, 53), 8),  # trimming on both axes
+            ((5, 67, 53), 8),  # leading stack axis
+            ((2, 3, 40, 24), 4),  # two leading axes
+        ],
+    )
+    def test_blocked_reduction_matches_manual_trim(self, shape, grid):
+        from repro.detect.features import _blocked_view
+
+        rng = np.random.default_rng(sum(shape))
+        array = rng.standard_normal(shape)
+        height, width = shape[-2], shape[-1]
+        ch, cw = height // grid, width // grid
+        trimmed = array[..., : ch * grid, : cw * grid]
+        blocked = _blocked_view(array, grid)
+        assert blocked.shape == (*shape[:-2], grid, ch, grid, cw)
+        manual = trimmed.reshape(*shape[:-2], grid, ch, grid, cw)
+        assert np.array_equal(
+            blocked.mean(axis=(-3, -1)), manual.mean(axis=(-3, -1))
+        )
+        assert np.array_equal(
+            blocked.max(axis=(-3, -1)), manual.max(axis=(-3, -1))
+        )
+
+    def test_rejects_grid_larger_than_image(self):
+        from repro.detect.features import _blocked_view
+
+        with pytest.raises(ValueError):
+            _blocked_view(np.zeros((4, 4)), 8)
+
+
+class TestFusedKernelExactEquality:
+    """The fused float64 kernel is *bit*-identical to the legacy
+    multi-pass extractor — every channel, every config, boundary
+    pixels and all.  This is what lets the golden survey fixtures pin
+    the fused path without regeneration."""
+
+    @pytest.mark.parametrize("as_uint8", [True, False])
+    @pytest.mark.parametrize("smooth", [True, False])
+    @pytest.mark.parametrize("context", [True, False])
+    def test_fused_matches_legacy_exactly(self, as_uint8, smooth, context):
+        config = FeatureConfig(grid=8, smooth=smooth, context=context)
+        rng = np.random.default_rng(
+            1000 * as_uint8 + 100 * smooth + 10 * context
+        )
+        for _ in range(3):
+            image = _random_image(rng, as_uint8=as_uint8)
+            fused = extract_features(image, config)
+            legacy = extract_features_legacy(image, config)
+            assert np.array_equal(fused, legacy)
+
+    def test_fused_matches_legacy_on_structured_images(self):
+        # Edges, flat regions, saturated colors: the cases where an
+        # op-reordering bug would show up as a one-ulp drift.
+        config = FeatureConfig(grid=8)
+        flat = np.full((96, 96, 3), 128, dtype=np.uint8)
+        edge = np.zeros((96, 96, 3), dtype=np.uint8)
+        edge[:, 48:] = 255
+        stripes = np.zeros((96, 96, 3), dtype=np.uint8)
+        stripes[::4, :, 0] = 255
+        for image in (flat, edge, stripes):
+            assert np.array_equal(
+                extract_features(image, config),
+                extract_features_legacy(image, config),
+            )
+
+    def test_batch_rows_match_per_image_calls(self):
+        rng = np.random.default_rng(7)
+        config = FeatureConfig(grid=8)
+        images = [_random_image(rng) for _ in range(4)]
+        batch = extract_features_batch(images, config)
+        assert batch.shape == (4, config.n_cells, FEATURE_DIM)
+        for index, image in enumerate(images):
+            assert np.array_equal(
+                batch[index], extract_features(image, config)
+            )
+
+    def test_arena_reuse_does_not_leak_between_images(self):
+        # Same arena, different images back to back: the second result
+        # must not inherit anything from the first's scratch buffers.
+        rng = np.random.default_rng(13)
+        config = FeatureConfig(grid=8)
+        arena = TensorArena()
+        first = (rng.uniform(size=(80, 80, 3)) * 255).astype(np.uint8)
+        second = (rng.uniform(size=(80, 80, 3)) * 255).astype(np.uint8)
+        extract_features(first, config, arena=arena)
+        reused = extract_features(second, config, arena=arena)
+        assert np.array_equal(reused, extract_features(second, config))
+
+    def test_empty_batch_returns_empty_tensor(self):
+        config = FeatureConfig(grid=8)
+        batch = extract_features_batch([], config)
+        assert batch.shape == (0, config.n_cells, FEATURE_DIM)
+
+    def test_float32_precision_within_tolerance(self):
+        rng = np.random.default_rng(29)
+        config = FeatureConfig(grid=8)
+        for _ in range(3):
+            image = _random_image(rng)
+            exact = extract_features(image, config)
+            fast = extract_features(image, config, precision="float32")
+            assert fast.dtype == np.float32
+            assert float(np.abs(fast - exact).max()) < 5e-2
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            extract_features(
+                np.zeros((64, 64, 3)), FeatureConfig(grid=8), precision="f16"
+            )
+
+
+class TestGridMemoization:
+    """cell_centers/cell_bounds are memoized per grid and immutable."""
+
+    def test_same_array_returned_for_same_grid(self):
+        assert cell_centers(8) is cell_centers(8)
+        assert cell_bounds(8) is cell_bounds(8)
+
+    def test_different_grids_do_not_collide(self):
+        assert cell_centers(4).shape == (16, 2)
+        assert cell_centers(8).shape == (64, 2)
+
+    def test_memoized_arrays_are_readonly(self):
+        centers = cell_centers(8)
+        bounds = cell_bounds(8)
+        with pytest.raises((ValueError, RuntimeError)):
+            centers[0, 0] = 99.0
+        with pytest.raises((ValueError, RuntimeError)):
+            bounds[0, 0] = 99.0

@@ -1,0 +1,229 @@
+"""Incremental training and the empty-input guards.
+
+Covers the delta fine-tuning protocol (DESIGN.md §14): a cached base
+run plus a mostly-unchanged dataset fine-tunes the cached weights on
+the changed images instead of retraining from scratch, and the result
+must stay within the documented eval tolerance (mean F1 and mAP50
+within 0.05) of a full retrain on the same data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactCache
+from repro.detect import (
+    IncrementalConfig,
+    ModelConfig,
+    TrainConfig,
+    build_training_tensors,
+    evaluate_detector,
+    train_detector,
+)
+
+#: The documented incremental-vs-full eval equivalence tolerance.
+EQUIVALENCE_TOLERANCE = 0.05
+
+MODEL_CONFIG = ModelConfig(hidden=32)
+TRAIN_CONFIG = TrainConfig(epochs=3, seed=1)
+
+
+class TestEmptyInputGuards:
+    """Satellite: empty image lists fail fast with a clear message,
+    not an opaque ``np.stack([])`` ValueError."""
+
+    def test_build_training_tensors_rejects_empty_list(self):
+        with pytest.raises(ValueError, match="empty image list"):
+            build_training_tensors([], 16)
+
+    @pytest.mark.parametrize("chunk_size", [1, 4, 8])
+    def test_empty_list_rejected_at_any_chunk_size(self, chunk_size):
+        # The empty check must not depend on how chunking would have
+        # split the (nonexistent) work.
+        with pytest.raises(ValueError, match="empty image list"):
+            build_training_tensors([], 16, chunk_size=chunk_size)
+
+    def test_invalid_chunk_size_reported_first(self):
+        # Both inputs are bad: the chunk_size diagnostic wins so the
+        # caller fixes the config error before the data error.
+        with pytest.raises(ValueError, match="chunk_size"):
+            build_training_tensors([], 16, chunk_size=0)
+
+    def test_train_detector_rejects_no_images(self):
+        with pytest.raises(ValueError, match="no training images"):
+            train_detector([])
+
+    def test_train_detector_rejects_empty_precomputed(self):
+        empty = (
+            np.zeros((0, 256, 34)),
+            np.zeros((0, 256, 5)),
+            np.zeros((0, 256, 5, 4)),
+        )
+        with pytest.raises(ValueError, match="no images"):
+            train_detector([], precomputed=empty)
+
+
+@pytest.fixture(scope="module")
+def splits(small_dataset):
+    return small_dataset.split(seed=0)
+
+
+def _seed_base(splits, tmp_path, name="artifacts"):
+    """A fresh cache seeded with one full base run on 20 images.
+
+    Every incremental run *rewrites* the base entry, so tests that
+    invoke the incremental path each seed their own cache instead of
+    sharing one and coupling through execution order.
+    """
+    base_images = splits.train[:20]
+    cache = ArtifactCache(tmp_path / name)
+    base = train_detector(
+        base_images,
+        model_config=MODEL_CONFIG,
+        train_config=TRAIN_CONFIG,
+        cache=cache,
+        incremental=True,
+    )
+    changed_images = list(base_images[:-2]) + list(splits.train[20:22])
+    return base_images, changed_images, cache, base
+
+
+class TestIncrementalTraining:
+    def test_first_run_is_full_and_seeds_the_base(self, splits, tmp_path):
+        _, _, _, base = _seed_base(splits, tmp_path)
+        assert base.mode == "full"
+        assert base.trained_images == 20
+
+    def test_identical_rerun_hits_the_exact_weights_cache(
+        self, splits, tmp_path
+    ):
+        base_images, _, cache, base = _seed_base(splits, tmp_path)
+        rerun = train_detector(
+            base_images,
+            model_config=MODEL_CONFIG,
+            train_config=TRAIN_CONFIG,
+            cache=cache,
+            incremental=True,
+        )
+        assert rerun.mode == "cached"
+        assert np.array_equal(rerun.model.w1, base.model.w1)
+
+    def test_ten_percent_change_fine_tunes_cached_weights(
+        self, splits, tmp_path
+    ):
+        _, changed_images, cache, _ = _seed_base(splits, tmp_path)
+        hits_before = cache.hits
+        result = train_detector(
+            changed_images,
+            model_config=MODEL_CONFIG,
+            train_config=TRAIN_CONFIG,
+            cache=cache,
+            incremental=True,
+        )
+        assert result.mode == "incremental"
+        assert result.reused_images == 18
+        # 2 changed + replay_ratio * 2 replay images.
+        assert result.trained_images == 6
+        # The 18 unchanged images' tensors replay from the cache: only
+        # the 2 new images pay feature extraction.
+        assert cache.hits - hits_before >= 18
+
+    def test_matches_full_retrain_within_documented_tolerance(
+        self, splits, tmp_path
+    ):
+        _, changed_images, cache, _ = _seed_base(splits, tmp_path)
+        incremental = train_detector(
+            changed_images,
+            model_config=MODEL_CONFIG,
+            train_config=TRAIN_CONFIG,
+            cache=cache,
+            incremental=True,
+        )
+        assert incremental.mode == "incremental"
+        full = train_detector(
+            changed_images,
+            model_config=MODEL_CONFIG,
+            train_config=TRAIN_CONFIG,
+        )
+        eval_images = splits.test[:24]
+        report_incremental = evaluate_detector(
+            incremental.model, eval_images
+        )
+        report_full = evaluate_detector(full.model, eval_images)
+        assert abs(
+            report_incremental.mean_f1 - report_full.mean_f1
+        ) <= EQUIVALENCE_TOLERANCE
+        assert abs(
+            report_incremental.map50 - report_full.map50
+        ) <= EQUIVALENCE_TOLERANCE
+
+    def test_large_change_falls_back_to_full_retrain(
+        self, splits, tmp_path
+    ):
+        base_images, _, cache, _ = _seed_base(splits, tmp_path)
+        mostly_new = list(base_images[:4]) + list(splits.train[22:38])
+        result = train_detector(
+            mostly_new,
+            model_config=MODEL_CONFIG,
+            train_config=TRAIN_CONFIG,
+            cache=cache,
+            incremental=True,
+        )
+        assert result.mode == "full"
+
+    def test_tighter_config_rejects_the_same_delta(self, splits, tmp_path):
+        _, changed_images, cache, _ = _seed_base(splits, tmp_path)
+        result = train_detector(
+            changed_images,
+            model_config=MODEL_CONFIG,
+            train_config=TRAIN_CONFIG,
+            cache=cache,
+            incremental=True,
+            incremental_config=IncrementalConfig(max_changed_fraction=0.05),
+        )
+        assert result.mode == "full"
+
+    def test_without_flag_no_base_entry_is_consulted(
+        self, splits, tmp_path
+    ):
+        images = splits.train[:12]
+        cache = ArtifactCache(tmp_path / "plain")
+        first = train_detector(
+            images,
+            model_config=MODEL_CONFIG,
+            train_config=TRAIN_CONFIG,
+            cache=cache,
+        )
+        changed = list(images[:-1]) + [splits.train[30]]
+        second = train_detector(
+            changed,
+            model_config=MODEL_CONFIG,
+            train_config=TRAIN_CONFIG,
+            cache=cache,
+        )
+        assert first.mode == "full"
+        assert second.mode == "full"
+
+    def test_incremental_weights_never_pollute_the_exact_cache(
+        self, splits, tmp_path
+    ):
+        # A full retrain of the changed dataset after an incremental
+        # run must compute fresh weights, not replay the fine-tuned
+        # ones from the exact-weights cache.
+        _, changed_images, cache, _ = _seed_base(splits, tmp_path)
+        incremental = train_detector(
+            changed_images,
+            model_config=MODEL_CONFIG,
+            train_config=TRAIN_CONFIG,
+            cache=cache,
+            incremental=True,
+        )
+        assert incremental.mode == "incremental"
+        full = train_detector(
+            changed_images,
+            model_config=MODEL_CONFIG,
+            train_config=TRAIN_CONFIG,
+            cache=cache,
+            incremental=False,
+        )
+        assert full.mode == "full"
+        assert not np.array_equal(full.model.w1, incremental.model.w1)

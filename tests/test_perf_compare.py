@@ -12,11 +12,23 @@ import pytest
 from repro.perf import HEADLINE_METRICS, compare_benchmarks
 
 
-def _detect_doc(speedup, warm=9.0, capped=False):
+def _detect_doc(
+    speedup,
+    warm=9.0,
+    capped=False,
+    extract=4.0,
+    int8=1.2,
+    f1_delta=0.005,
+):
     return {
         "bench": "detect",
         "process_parallel": {"speedup": speedup, "core_capped": capped},
         "artifact_cache": {"warm_speedup": warm},
+        "detect": {
+            "extract_speedup": extract,
+            "int8_speedup": int8,
+            "int8_f1_delta": f1_delta,
+        },
     }
 
 
@@ -34,7 +46,7 @@ class TestCompareBenchmarks:
     def test_no_regression_when_fresh_is_equal_or_better(self):
         result = compare_benchmarks(_detect_doc(1.5), _detect_doc(1.5))
         assert result["regressions"] == []
-        assert len(result["compared"]) == 2
+        assert len(result["compared"]) == 5
 
     def test_drop_beyond_threshold_is_a_regression(self):
         result = compare_benchmarks(_detect_doc(0.7), _detect_doc(1.0))
@@ -88,3 +100,41 @@ class TestCompareBenchmarks:
             _detect_doc(0.9), _detect_doc(1.0), threshold=0.05
         )
         assert len(tight.get("regressions")) == 1
+
+
+class TestLowerIsBetterMetrics:
+    """``detect.int8_f1_delta`` regresses when it *rises*."""
+
+    def test_rise_beyond_threshold_is_a_regression(self):
+        result = compare_benchmarks(
+            _detect_doc(1.0, f1_delta=0.009), _detect_doc(1.0, f1_delta=0.006)
+        )
+        paths = [entry["path"] for entry in result["regressions"]]
+        assert paths == ["detect.int8_f1_delta"]
+        assert result["regressions"][0]["relative_change"] == pytest.approx(
+            0.5
+        )
+
+    def test_drop_is_an_improvement_not_a_regression(self):
+        result = compare_benchmarks(
+            _detect_doc(1.0, f1_delta=0.001), _detect_doc(1.0, f1_delta=0.009)
+        )
+        assert result["regressions"] == []
+
+    def test_floor_absorbs_noise_near_perfect_baselines(self):
+        # Baseline delta 0.0001; fresh 0.0002.  Relative to the raw
+        # baseline that is a 2x blow-up, but the rise is tiny against
+        # the 0.005 floor, so it is measurement noise, not a regression.
+        result = compare_benchmarks(
+            _detect_doc(1.0, f1_delta=0.0002), _detect_doc(1.0, f1_delta=0.0001)
+        )
+        assert result["regressions"] == []
+
+    def test_zero_baseline_still_catches_real_rises(self):
+        # From a perfectly-agreeing baseline, a rise past the floor x
+        # threshold must still regress (no divide-by-zero free pass).
+        result = compare_benchmarks(
+            _detect_doc(1.0, f1_delta=0.008), _detect_doc(1.0, f1_delta=0.0)
+        )
+        paths = [entry["path"] for entry in result["regressions"]]
+        assert paths == ["detect.int8_f1_delta"]
