@@ -1,0 +1,96 @@
+"""Async pipelined survey: stage overlap, AIMD windowing, micro-batching.
+
+Races the same latency-bound county survey through three engines —
+strictly serial, the §8 thread pool, and the §15 asyncio pipeline —
+under simulated API round-trips, then proves all three reports are
+byte-identical and prints what the async engine's adaptive machinery
+actually did (peak in-flight window, micro-batch dispatches).
+
+Run:  python examples/async_survey.py
+"""
+
+import asyncio
+import time
+
+from repro import build_survey_dataset
+from repro.core import LLMIndicatorClassifier, NeighborhoodDecoder
+from repro.geo import make_durham_like
+from repro.gsv import StreetViewClient
+from repro.llm import build_clients
+from repro.llm.paper_targets import GEMINI_15_PRO
+from repro.perf import LatencyChatClient
+
+N_LOCATIONS = 16
+MAX_INFLIGHT = 8
+#: Simulated round-trips.  The real GSV/LLM endpoints answer in
+#: hundreds of milliseconds; 10 ms keeps the demo quick while staying
+#: firmly latency-bound — the regime the pipeline is built for.
+LATENCY_S = 0.010
+
+
+def make_decoder(county, clients):
+    return NeighborhoodDecoder(
+        street_view=StreetViewClient(
+            counties=[county], api_key="demo", latency_s=LATENCY_S
+        ),
+        classifier=LLMIndicatorClassifier(
+            LatencyChatClient(clients[GEMINI_15_PRO], latency_s=LATENCY_S)
+        ),
+    )
+
+
+def main():
+    county = make_durham_like(seed=3)
+    calibration = build_survey_dataset(n_images=60, size=256, seed=77)
+    clients = build_clients(
+        [image.scene for image in calibration], model_ids=(GEMINI_15_PRO,)
+    )
+
+    started = time.perf_counter()
+    serial = make_decoder(county, clients).survey(
+        county, N_LOCATIONS, seed=0, workers=1
+    )
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    threaded = make_decoder(county, clients).survey(
+        county, N_LOCATIONS, seed=0, workers=4
+    )
+    thread_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    pipelined = asyncio.run(
+        make_decoder(county, clients).survey_async(
+            county, N_LOCATIONS, seed=0, max_inflight=MAX_INFLIGHT
+        )
+    )
+    async_s = time.perf_counter() - started
+
+    print(f"{N_LOCATIONS}-location survey, {LATENCY_S * 1000:.0f} ms "
+          "simulated fetch/LLM round-trips:")
+    print(f"  serial      {serial_s:6.2f} s")
+    print(f"  thread-4    {thread_s:6.2f} s  ({serial_s / thread_s:.1f}x)")
+    print(f"  async-{MAX_INFLIGHT}     {async_s:6.2f} s  "
+          f"({serial_s / async_s:.1f}x)")
+
+    identical = (
+        pipelined.to_json() == serial.to_json() == threaded.to_json()
+    )
+    print(f"\nreports byte-identical across all three engines: {identical}")
+
+    window = pipelined.pipeline_stats
+    print(
+        f"AIMD window: started {window['initial_limit']}, "
+        f"peaked at {window['peak_inflight']} in flight, "
+        f"{window['throttle_events']} throttle events observed"
+    )
+    batches = pipelined.batch_stats
+    print(
+        f"micro-batching: {batches['batched_requests']} LLM requests in "
+        f"{batches['batches']} dispatches "
+        f"(largest window {batches['max_batch_size']})"
+    )
+
+
+if __name__ == "__main__":
+    main()

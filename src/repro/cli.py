@@ -32,6 +32,7 @@ different commit unless ``--force`` is given.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 import time
@@ -201,7 +202,28 @@ def _run_survey(args: argparse.Namespace, traced: bool = False) -> int:
         **brains,
     )
     workers = 0 if args.workers == "auto" else args.workers
-    if args.stream:
+    use_async = bool(getattr(args, "use_async", False))
+    if use_async and args.stream:
+        report = asyncio.run(
+            decoder.survey_stream_async(
+                county,
+                args.locations,
+                seed=args.seed,
+                checkpoint=args.checkpoint,
+                max_inflight=args.max_inflight,
+            )
+        )
+    elif use_async:
+        report = asyncio.run(
+            decoder.survey_async(
+                county,
+                args.locations,
+                seed=args.seed,
+                checkpoint=args.checkpoint,
+                max_inflight=args.max_inflight,
+            )
+        )
+    elif args.stream:
         report = decoder.survey_stream(
             county,
             args.locations,
@@ -220,9 +242,30 @@ def _run_survey(args: argparse.Namespace, traced: bool = False) -> int:
         )
 
     print(f"\n=== survey of {county.name} ===")
-    print(f"workers        {args.workers if args.workers else 'auto'}")
+    if use_async:
+        print(f"workers        async (max inflight {args.max_inflight})")
+    else:
+        print(f"workers        {args.workers if args.workers else 'auto'}")
     if args.stream:
-        print(f"mode           stream (shard size {args.shard_size})")
+        if use_async:
+            print("mode           stream (async pipeline)")
+        else:
+            print(f"mode           stream (shard size {args.shard_size})")
+    if report.pipeline_stats:
+        ps = report.pipeline_stats
+        print(
+            f"aimd window    {ps['initial_limit']} -> {ps['final_limit']} "
+            f"(peak inflight {ps['peak_inflight']}, "
+            f"{ps['throttle_events']} throttle events, "
+            f"{ps['decreases']} decreases)"
+        )
+    if report.batch_stats:
+        bs = report.batch_stats
+        print(
+            f"micro-batches  {bs['batches']} dispatches / "
+            f"{bs['batched_requests']} requests "
+            f"(largest {bs['max_batch_size']})"
+        )
     print(
         f"coverage       {report.coverage:.1%} "
         f"({report.completed_locations}/{report.requested_locations} "
@@ -862,6 +905,27 @@ def main(argv: list[str] | None = None) -> int:
         "--checkpoint",
         default=None,
         help="JSON checkpoint path; reruns resume completed locations",
+    )
+    survey_group.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help=(
+            "use the asyncio pipelined survey engine: fetches for "
+            "upcoming locations overlap LLM calls for earlier ones, "
+            "with AIMD adaptive concurrency and LLM micro-batching; "
+            "the report stays byte-identical to the serial engine"
+        ),
+    )
+    survey_group.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help=(
+            "async: max locations pipelined at once and ceiling of the "
+            "AIMD classify window (default: 8; 1 = strictly sequential)"
+        ),
     )
     survey_group.add_argument(
         "--stream",

@@ -18,6 +18,8 @@ after the last completed location without re-billing fetched imagery.
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
 import json
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
@@ -43,7 +45,13 @@ from ..geo.sampling import (
 )
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
-from ..parallel.executor import ParallelExecutor
+from ..parallel.aio import (
+    AIMDController,
+    MicroBatcher,
+    ThreadBridge,
+    imap_async,
+)
+from ..parallel.executor import ParallelExecutor, TaskOutcome
 from ..resilience.breaker import CircuitBreaker, CircuitOpenError
 from ..resilience.checkpoint import SurveyCheckpoint
 from ..resilience.clock import Clock, WallClock
@@ -104,6 +112,11 @@ class SurveyReport:
     counters of a cascade-backed survey) are likewise observability,
     not decoded output, and stay out of the payload — a cascade at
     threshold 0 must serialize byte-identically to a plain ensemble.
+    ``batch_stats`` (micro-batch dispatch provenance of an async
+    survey) and ``pipeline_stats`` (its AIMD window summary) follow
+    the same rule: how classify calls were grouped or throttled must
+    never change what the survey decoded, so the async engine's
+    payload stays byte-identical to the serial one.
     """
 
     locations: list[LocationResult] = field(default_factory=list)
@@ -121,6 +134,8 @@ class SurveyReport:
     metrics: dict = field(default_factory=dict)
     skipped_votes: int = 0
     cascade_stats: dict[str, int] = field(default_factory=dict)
+    batch_stats: dict[str, int] = field(default_factory=dict)
+    pipeline_stats: dict[str, int] = field(default_factory=dict)
 
     def indicator_rates(self) -> dict[Indicator, float]:
         """Fraction of locations where each indicator was decoded."""
@@ -373,6 +388,297 @@ class NeighborhoodDecoder:
 
     # ------------------------------------------------------------------
 
+    async def survey_async(
+        self,
+        county: County,
+        n_locations: int,
+        seed: int = 0,
+        checkpoint: str | Path | None = None,
+        max_inflight: int = 1,
+        microbatch: bool | None = None,
+    ) -> SurveyReport:
+        """Pipelined :meth:`survey` on the running event loop.
+
+        Same sampling, same checkpoint key, same report — byte-identical
+        to the serial engine for the same arguments (DESIGN.md §15).
+        Each location flows through fetch → classify stages gated
+        separately, so imagery acquisition for upcoming locations
+        overlaps LLM calls for earlier ones; ``max_inflight`` bounds
+        the pipelined window (1 keeps it strictly sequential).  The
+        classify stage runs under an AIMD window that narrows on
+        observed rate limiting and recovers additively
+        (``report.pipeline_stats``); with ``microbatch`` (default: on
+        whenever the window allows ≥ 2 concurrent locations),
+        compatible classify calls dispatch as single batched windows
+        (``report.batch_stats``).
+        """
+        report = SurveyReport(requested_locations=max(n_locations, 0))
+        if n_locations <= 0:
+            report.coverage = 0.0
+            return report
+        points = self._select_points(county, n_locations, seed)
+        if points is None:
+            report.coverage = 0.0
+            return report
+        store = self._open_checkpoint(checkpoint, county, n_locations, seed)
+        await self._decode_points_async(
+            points,
+            report,
+            store=store,
+            max_inflight=max_inflight,
+            keep_locations=True,
+            microbatch=microbatch,
+        )
+        report.coverage = report.completed_locations / n_locations
+        return report
+
+    async def survey_stream_async(
+        self,
+        county: County | None = None,
+        n_locations: int | None = None,
+        *,
+        locations: Iterable[SamplePoint] | None = None,
+        seed: int = 0,
+        max_inflight: int = DEFAULT_SHARD_SIZE,
+        checkpoint: str | Path | None = None,
+        keep_locations: bool = False,
+        microbatch: bool | None = None,
+    ) -> SurveyReport:
+        """Async :meth:`survey_stream`: bounded-memory pipelined decode.
+
+        Accepts the same ``(county, n_locations)`` / ``locations=``
+        duality; ``max_inflight`` plays the role ``shard_size`` plays
+        in the sync stream — it bounds both the pipelined window and
+        the memory footprint.  Aggregate mode
+        (``keep_locations=False``) carries ``presence_stats`` /
+        ``zone_stats`` exactly like the sync stream.
+        """
+        county_mode = county is not None or n_locations is not None
+        if county_mode == (locations is not None):
+            raise ValueError(
+                "provide either (county, n_locations) or locations=..."
+            )
+        report = SurveyReport()
+        if not keep_locations:
+            report.presence_stats = PresenceAccumulator()
+            report.zone_stats = {}
+
+        store: SurveyCheckpoint | None = None
+        if county_mode:
+            assert county is not None and n_locations is not None
+            report.requested_locations = max(n_locations, 0)
+            if n_locations <= 0:
+                report.coverage = 0.0
+                return report
+            points = self._select_points(county, n_locations, seed)
+            if points is None:
+                report.coverage = 0.0
+                return report
+            store = self._open_checkpoint(
+                checkpoint, county, n_locations, seed
+            )
+            stream: Iterable[SamplePoint] = points
+        else:
+            if checkpoint is not None:
+                raise ValueError(
+                    "checkpointing a location iterable is not supported: "
+                    "an arbitrary stream has no stable identity to key "
+                    "resumption on — use (county, n_locations) mode"
+                )
+            stream = locations  # type: ignore[assignment]
+
+        requested = await self._decode_points_async(
+            stream,
+            report,
+            store=store,
+            max_inflight=max_inflight,
+            keep_locations=keep_locations,
+            microbatch=microbatch,
+        )
+        if not county_mode:
+            report.requested_locations = requested
+        if report.requested_locations:
+            report.coverage = (
+                report.completed_locations / report.requested_locations
+            )
+        else:
+            report.coverage = 0.0
+        return report
+
+    async def _decode_points_async(
+        self,
+        points: Iterable[SamplePoint],
+        report: SurveyReport,
+        *,
+        store: SurveyCheckpoint | None,
+        max_inflight: int,
+        keep_locations: bool,
+        microbatch: bool | None = None,
+        controller: AIMDController | None = None,
+    ) -> int:
+        """The async twin of :meth:`_decode_points`.
+
+        Each location is a coroutine pipelined through two gated
+        stages: fetch(+render) behind a semaphore sized to the window,
+        then classify(+vote) behind the AIMD controller's slot.  Both
+        stages execute the *unchanged* sync helpers on a capped
+        :class:`~repro.parallel.aio.ThreadBridge`, so client APIs and
+        retry/breaker semantics are untouched.  Merging happens on the
+        event loop, strictly in submission order, through the same
+        :meth:`_merge_one` body as the sync engines — the ordering
+        discipline that keeps the report byte-identical.
+
+        The merge loop doubles as the congestion observer: after each
+        merge it reads the deltas of ``retry.rate_limited`` and
+        ``llm.throttle_wait_seconds`` and feeds the controller, which
+        narrows the classify window multiplicatively under throttle
+        storms and re-widens additively when the path is clear.
+        """
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be positive: {max_inflight}"
+            )
+        tracer = get_tracer()
+        registry = get_metrics()
+        metrics_before = registry.snapshot()
+        classifiers = self._classifiers()
+        baselines, coalesce_before, cascade_before, fees_before = (
+            self._survey_baselines(classifiers)
+        )
+        # Per-location retry provenance needs locations one at a time,
+        # exactly as in the sync engine's serial backend.
+        record_provenance = max_inflight == 1
+        if controller is None:
+            controller = AIMDController(
+                initial=max_inflight, max_limit=max_inflight
+            )
+        if microbatch is None:
+            microbatch = max_inflight > 1
+        batcher = (
+            MicroBatcher(max_batch=min(8, max_inflight)) if microbatch else None
+        )
+        fetch_gate = asyncio.Semaphore(max_inflight)
+        # Each in-flight location can park at most one sync call on the
+        # bridge at a time (fetch or classify), so the window itself is
+        # the right thread cap; the floor keeps a serial pipeline from
+        # strangling the batcher's leader waits.
+        bridge = ThreadBridge(max_threads=max(2, max_inflight))
+
+        window: dict[int, SamplePoint] = {}
+        drawn = 0
+
+        def tracked() -> Iterator[tuple[int, SamplePoint]]:
+            nonlocal drawn
+            for index, point in enumerate(points):
+                window[index] = point
+                drawn += 1
+                yield index, point
+
+        def throttle_level() -> float:
+            return registry.counter("retry.rate_limited") + registry.counter(
+                "llm.throttle_wait_seconds"
+            )
+
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(bridge)
+            root_span = stack.enter_context(
+                tracer.span("survey", workers=max_inflight, engine="async")
+            )
+            if batcher is not None:
+                stack.enter_context(batcher.install(classifiers))
+
+            async def decode_one(
+                indexed: tuple[int, SamplePoint]
+            ) -> (
+                tuple[LocationResult, int, int, int, RetryStats, dict | None]
+                | dict
+            ):
+                index, point = indexed
+                with tracer.span(
+                    "survey.location", parent=root_span, index=index
+                ) as loc_span:
+                    if store is not None and store.has(index):
+                        loc_span.set(checkpointed=True)
+                        return store.get(index)
+                    fetch_stats = RetryStats()
+                    clf_before = (
+                        [replace(clf.retry_stats) for clf in classifiers]
+                        if record_provenance
+                        else None
+                    )
+                    try:
+                        async with fetch_gate:
+                            images = await bridge.run(
+                                self._fetch_location,
+                                index,
+                                point,
+                                fetch_stats,
+                            )
+                        async with controller.slot():
+                            with tracer.span(
+                                "survey.classify",
+                                parent=loc_span,
+                                images=len(images),
+                            ):
+                                presences, degraded, skipped = (
+                                    await bridge.run(
+                                        self._predict_location, images
+                                    )
+                                )
+                    except (
+                        StreetViewError,
+                        CircuitOpenError,
+                        ClassificationError,
+                    ) as err:
+                        err.retry_provenance = fetch_stats  # type: ignore[attr-defined]
+                        raise
+                    return self._package_result(
+                        point,
+                        images,
+                        presences,
+                        degraded,
+                        skipped,
+                        fetch_stats,
+                        clf_before,
+                        classifiers,
+                    )
+
+            throttle_base = throttle_level()
+            async for task in imap_async(
+                decode_one, tracked(), max_inflight=max_inflight
+            ):
+                point = window.pop(task.index)
+                self._merge_one(
+                    task,
+                    point,
+                    report,
+                    store=store,
+                    keep_locations=keep_locations,
+                    tracer=tracer,
+                    root_span=root_span,
+                )
+                throttle_now = throttle_level()
+                if throttle_now > throttle_base:
+                    controller.on_throttle()
+                else:
+                    controller.on_success()
+                throttle_base = throttle_now
+
+            self._finalize_report(
+                report,
+                baselines,
+                coalesce_before,
+                cascade_before,
+                fees_before,
+            )
+            if batcher is not None:
+                report.batch_stats = batcher.stats()
+            report.pipeline_stats = controller.stats()
+        report.metrics = registry.delta_since(metrics_before)
+        return drawn
+
+    # ------------------------------------------------------------------
+
     @staticmethod
     def _select_points(
         county: County, n_locations: int, seed: int
@@ -428,14 +734,9 @@ class NeighborhoodDecoder:
         registry = get_metrics()
         metrics_before = registry.snapshot()
         classifiers = self._classifiers()
-        baselines = {
-            id(clf): replace(clf.retry_stats) for clf in classifiers
-        }
-        coalesce_before = self._coalesce_totals()
-        cascade_before = (
-            self.cascade.stats.snapshot() if self.cascade is not None else None
+        baselines, coalesce_before, cascade_before, fees_before = (
+            self._survey_baselines(classifiers)
         )
-        fees_before = self.street_view.usage().fees_usd
         executor = ParallelExecutor(
             workers=workers, max_in_flight=max_in_flight
         )
@@ -511,105 +812,180 @@ class NeighborhoodDecoder:
                     ) as err:
                         err.retry_provenance = fetch_stats  # type: ignore[attr-defined]
                         raise
-                    union = [
-                        ind
-                        for ind in ALL_INDICATORS
-                        if any(presence[ind] for presence in presences)
-                    ]
-                    result = LocationResult(
-                        latitude=point.location.lat,
-                        longitude=point.location.lon,
-                        county=point.county,
-                        zone_kind=point.zone_kind.value,
-                        presence=IndicatorPresence(union),
-                    )
-                    retry_payload = None
-                    if clf_before is not None:
-                        provenance = RetryStats()
-                        provenance.merge(fetch_stats)
-                        for clf, base in zip(classifiers, clf_before):
-                            provenance.merge(
-                                _stats_since(clf.retry_stats, base)
-                            )
-                        retry_payload = provenance.as_dict()
-                    return (
-                        result,
-                        len(images),
+                    return self._package_result(
+                        point,
+                        images,
+                        presences,
                         degraded,
                         skipped,
                         fetch_stats,
-                        retry_payload,
+                        clf_before,
+                        classifiers,
                     )
 
             for task in executor.imap(decode_one, tracked()):
                 point = window.pop(task.index)
-                with tracer.span(
-                    "survey.merge", parent=root_span, index=task.index
-                ):
-                    try:
-                        outcome = task.result()
-                    except (
-                        StreetViewError,
-                        CircuitOpenError,
-                        ClassificationError,
-                    ) as err:
-                        provenance = getattr(
-                            err, "retry_provenance", None
-                        )
-                        if provenance is not None:
-                            report.retry_stats.merge(provenance)
-                        registry.inc("survey.locations.failed")
-                        report.failed_locations.append(
-                            FailedLocation(
-                                index=task.index,
-                                latitude=point.location.lat,
-                                longitude=point.location.lon,
-                                reason=f"{type(err).__name__}: {err}",
-                            )
-                        )
-                        continue
-                    if isinstance(outcome, dict):
-                        self._restore_location(
-                            report, outcome, keep_locations
-                        )
-                        continue
-                    result, n_images, degraded, skipped, fetch_stats, retry = (
-                        outcome
-                    )
-                    report.retry_stats.merge(fetch_stats)
-                    self._record_result(
-                        report,
-                        result,
-                        n_images,
-                        degraded,
-                        keep_locations,
-                        skipped=skipped,
-                    )
-                    if store is not None:
-                        store.record(
-                            task.index,
-                            self._location_payload(
-                                result, n_images, degraded, retry, skipped
-                            ),
-                        )
+                self._merge_one(
+                    task,
+                    point,
+                    report,
+                    store=store,
+                    keep_locations=keep_locations,
+                    tracer=tracer,
+                    root_span=root_span,
+                )
 
-            report.fees_usd = (
-                self.street_view.usage().fees_usd - fees_before
+            self._finalize_report(
+                report,
+                baselines,
+                coalesce_before,
+                cascade_before,
+                fees_before,
             )
-            for clf in self._classifiers():
-                report.retry_stats.merge(
-                    _stats_since(clf.retry_stats, baselines[id(clf)])
-                )
-            report.coalesce_stats = _totals_since(
-                self._coalesce_totals(), coalesce_before
-            )
-            if cascade_before is not None:
-                assert self.cascade is not None
-                report.cascade_stats = _totals_since(
-                    self.cascade.stats.snapshot(), cascade_before
-                )
         report.metrics = registry.delta_since(metrics_before)
         return drawn
+
+    def _survey_baselines(
+        self, classifiers: list[LLMIndicatorClassifier]
+    ) -> tuple[dict[int, RetryStats], dict, dict | None, float]:
+        """Snapshot the shared counters a survey reports deltas of."""
+        baselines = {
+            id(clf): replace(clf.retry_stats) for clf in classifiers
+        }
+        coalesce_before = self._coalesce_totals()
+        cascade_before = (
+            self.cascade.stats.snapshot() if self.cascade is not None else None
+        )
+        fees_before = self.street_view.usage().fees_usd
+        return baselines, coalesce_before, cascade_before, fees_before
+
+    def _package_result(
+        self,
+        point: SamplePoint,
+        images: Sequence[LabeledImage],
+        presences: list[IndicatorPresence],
+        degraded: int,
+        skipped: int,
+        fetch_stats: RetryStats,
+        clf_before: list[RetryStats] | None,
+        classifiers: list[LLMIndicatorClassifier],
+    ) -> tuple[LocationResult, int, int, int, RetryStats, dict | None]:
+        """Fold one decoded location into the tuple the merge loop eats."""
+        union = [
+            ind
+            for ind in ALL_INDICATORS
+            if any(presence[ind] for presence in presences)
+        ]
+        result = LocationResult(
+            latitude=point.location.lat,
+            longitude=point.location.lon,
+            county=point.county,
+            zone_kind=point.zone_kind.value,
+            presence=IndicatorPresence(union),
+        )
+        retry_payload = None
+        if clf_before is not None:
+            provenance = RetryStats()
+            provenance.merge(fetch_stats)
+            for clf, base in zip(classifiers, clf_before):
+                provenance.merge(_stats_since(clf.retry_stats, base))
+            retry_payload = provenance.as_dict()
+        return (
+            result,
+            len(images),
+            degraded,
+            skipped,
+            fetch_stats,
+            retry_payload,
+        )
+
+    def _merge_one(
+        self,
+        task: TaskOutcome,
+        point: SamplePoint,
+        report: SurveyReport,
+        *,
+        store: SurveyCheckpoint | None,
+        keep_locations: bool,
+        tracer,
+        root_span,
+    ) -> None:
+        """Merge one outcome, in submission order, on the calling thread.
+
+        The single merge body shared by the sync and async engines —
+        identical failure recording, checkpoint restoration, stats
+        merging, and checkpoint writes, which is what keeps every
+        engine's report byte-identical for the same survey.
+        """
+        registry = get_metrics()
+        with tracer.span(
+            "survey.merge", parent=root_span, index=task.index
+        ):
+            try:
+                outcome = task.result()
+            except (
+                StreetViewError,
+                CircuitOpenError,
+                ClassificationError,
+            ) as err:
+                provenance = getattr(err, "retry_provenance", None)
+                if provenance is not None:
+                    report.retry_stats.merge(provenance)
+                registry.inc("survey.locations.failed")
+                report.failed_locations.append(
+                    FailedLocation(
+                        index=task.index,
+                        latitude=point.location.lat,
+                        longitude=point.location.lon,
+                        reason=f"{type(err).__name__}: {err}",
+                    )
+                )
+                return
+            if isinstance(outcome, dict):
+                self._restore_location(report, outcome, keep_locations)
+                return
+            result, n_images, degraded, skipped, fetch_stats, retry = (
+                outcome
+            )
+            report.retry_stats.merge(fetch_stats)
+            self._record_result(
+                report,
+                result,
+                n_images,
+                degraded,
+                keep_locations,
+                skipped=skipped,
+            )
+            if store is not None:
+                store.record(
+                    task.index,
+                    self._location_payload(
+                        result, n_images, degraded, retry, skipped
+                    ),
+                )
+
+    def _finalize_report(
+        self,
+        report: SurveyReport,
+        baselines: dict[int, RetryStats],
+        coalesce_before: dict,
+        cascade_before: dict | None,
+        fees_before: float,
+    ) -> None:
+        """Book the end-of-run deltas against the pre-survey baselines."""
+        report.fees_usd = self.street_view.usage().fees_usd - fees_before
+        for clf in self._classifiers():
+            report.retry_stats.merge(
+                _stats_since(clf.retry_stats, baselines[id(clf)])
+            )
+        report.coalesce_stats = _totals_since(
+            self._coalesce_totals(), coalesce_before
+        )
+        if cascade_before is not None:
+            assert self.cascade is not None
+            report.cascade_stats = _totals_since(
+                self.cascade.stats.snapshot(), cascade_before
+            )
 
     # ------------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import abc
 import threading
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -163,6 +164,21 @@ class ChatClient(abc.ABC):
     @abc.abstractmethod
     def complete(self, request: ChatRequest) -> ChatResponse:
         """Execute one chat completion (may raise ``LLMError``)."""
+
+    def complete_batch(
+        self, requests: Sequence[ChatRequest]
+    ) -> list[ChatResponse]:
+        """Execute several completions as one dispatch window.
+
+        The default is a plain serial loop, so every client supports
+        batching without code changes; clients whose transport has a
+        real batched endpoint (or a per-call latency worth amortizing)
+        override this.  Responses come back in request order, and a
+        failure raises just as :meth:`complete` would — callers that
+        need per-request outcomes should use
+        :class:`~repro.llm.batch.BatchRunner` instead.
+        """
+        return [self.complete(request) for request in requests]
 
     def ask(
         self,

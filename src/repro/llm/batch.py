@@ -51,10 +51,24 @@ class TokenBucket:
     One bucket is shared by every worker talking to an endpoint, so
     refill-and-take runs under a lock: without it two threads can both
     observe ``_tokens >= 1`` and double-spend the same token, silently
-    exceeding the provider's rate limit.  The wait itself happens
-    *outside* the lock (a sleeping thread must not block refills), so
-    after waking the taker re-checks under the lock and may wait again
-    if another thread won the refilled token.
+    exceeding the provider's rate limit.
+
+    Waiting is **condition-based**, not poll-based: a thread that finds
+    the bucket empty computes its deficit and parks on a condition that
+    releases the lock while it blocks (so sleepers never hold up
+    refills), waking exactly when its token should have accrued.  Each
+    concurrent waiter's deficit also counts the waiters already parked
+    ahead of it, so N starved threads stagger their wakeups instead of
+    stampeding the lock every refill interval — the old sleep-poll loop
+    woke all N per token and burned CPU re-checking.  With no
+    concurrent waiters the deficit reduces to the classic
+    ``(1 - tokens) / rate``, so serial wait times (and the exact-sleep
+    assertions the virtual-clock tests make) are unchanged.
+
+    Every second spent throttled is recorded in the cumulative
+    ``llm.throttle_wait_seconds`` metric (alongside the existing
+    ``ratelimit.waits`` / ``ratelimit.waited_s`` pair) — the signal the
+    async engine's AIMD controller reads to narrow its window.
     """
 
     rate: float
@@ -70,6 +84,8 @@ class TokenBucket:
         self._tokens = float(self.capacity)
         self._last = self.clock.now()
         self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._waiting = 0
 
     def _refill(self) -> None:
         now = self.clock.now()
@@ -78,22 +94,73 @@ class TokenBucket:
         )
         self._last = now
 
+    def _take_or_deficit(self) -> float | None:
+        """Under the lock: take a token (None) or return the wait needed."""
+        self._refill()
+        if self._tokens >= 1.0 - self._EPSILON:
+            self._tokens = max(0.0, self._tokens - 1.0)
+            return None
+        return (1.0 + self._waiting - self._tokens) / self.rate
+
+    def _record_wait(self, waited: float) -> None:
+        if waited > 0:
+            metrics = get_metrics()
+            metrics.inc("ratelimit.waits")
+            metrics.inc("ratelimit.waited_s", waited)
+            metrics.inc("llm.throttle_wait_seconds", waited)
+
     def acquire(self) -> float:
-        """Take one token, sleeping if necessary; returns wait time."""
+        """Take one token, waiting if necessary; returns wait time."""
+        waited = 0.0
+        while True:
+            deficit: float | None = None
+            with self._cond:
+                deficit = self._take_or_deficit()
+                if deficit is None:
+                    break
+                waiter = getattr(self.clock, "wait_condition", None)
+                if waiter is not None:
+                    self._waiting += 1
+                    try:
+                        waiter(self._cond, deficit)
+                    finally:
+                        self._waiting -= 1
+                    waited += deficit
+                    continue
+            # Clock without a timed condition wait: plain sleep outside
+            # the lock, then re-contend.
+            self.clock.sleep(deficit)
+            waited += deficit
+        self._record_wait(waited)
+        return waited
+
+    async def acquire_async(self) -> float:
+        """Async variant of :meth:`acquire` for event-loop callers.
+
+        Identical token accounting and metrics; the wait happens via
+        the clock's ``sleep_async`` (``asyncio.sleep`` on a wall clock,
+        instant on a virtual one) so the event loop keeps servicing
+        other stages while this caller is throttled.
+        """
         waited = 0.0
         while True:
             with self._lock:
-                self._refill()
-                if self._tokens >= 1.0 - self._EPSILON:
-                    self._tokens = max(0.0, self._tokens - 1.0)
-                    if waited > 0:
-                        metrics = get_metrics()
-                        metrics.inc("ratelimit.waits")
-                        metrics.inc("ratelimit.waited_s", waited)
-                    return waited
-                deficit = (1.0 - self._tokens) / self.rate
-            self.clock.sleep(deficit)
+                deficit = self._take_or_deficit()
+                if deficit is None:
+                    break
+                self._waiting += 1
+            try:
+                sleeper = getattr(self.clock, "sleep_async", None)
+                if sleeper is not None:
+                    await sleeper(deficit)
+                else:  # pragma: no cover - exotic injected clock
+                    self.clock.sleep(deficit)
+            finally:
+                with self._lock:
+                    self._waiting -= 1
             waited += deficit
+        self._record_wait(waited)
+        return waited
 
 
 @dataclass

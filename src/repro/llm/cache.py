@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+from collections.abc import Sequence
 from pathlib import Path
 from typing import IO
 
@@ -68,6 +69,28 @@ def request_fingerprint(request: ChatRequest) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def _cache_record(response: ChatResponse) -> dict:
+    return {
+        "model": response.model,
+        "content": response.content,
+        "prompt_tokens": response.usage.prompt_tokens,
+        "completion_tokens": response.usage.completion_tokens,
+        "finish_reason": response.finish_reason,
+    }
+
+
+def _response_from_record(record: dict) -> ChatResponse:
+    return ChatResponse(
+        model=record["model"],
+        content=record["content"],
+        usage=Usage(
+            prompt_tokens=record["prompt_tokens"],
+            completion_tokens=record["completion_tokens"],
+        ),
+        finish_reason=record.get("finish_reason", "stop"),
+    )
+
+
 class CachingChatClient(ChatClient):
     """Exact-match response cache around an inner client.
 
@@ -100,6 +123,7 @@ class CachingChatClient(ChatClient):
         self._inflight: dict[str, _Flight] = {}
         self._lock = threading.RLock()
         self._journal: IO[str] | None = None
+        self._journal_broken = False
         if self.cache_path and self.cache_path.exists():
             self._cache = _load_cache_file(self.cache_path)
 
@@ -114,15 +138,7 @@ class CachingChatClient(ChatClient):
                 self.hits += 1
                 metrics.inc("llm.cache.hits")
                 self.stats.record(Usage(0, 0))  # logical request, zero tokens
-                return ChatResponse(
-                    model=cached["model"],
-                    content=cached["content"],
-                    usage=Usage(
-                        prompt_tokens=cached["prompt_tokens"],
-                        completion_tokens=cached["completion_tokens"],
-                    ),
-                    finish_reason=cached.get("finish_reason", "stop"),
-                )
+                return _response_from_record(cached)
             flight = self._inflight.get(key)
             if flight is None:
                 flight = _Flight()
@@ -132,18 +148,7 @@ class CachingChatClient(ChatClient):
                 leading = False
 
         if not leading:
-            # Follower: the leader's upstream call is already running;
-            # wait (outside the lock) and share whatever it produced.
-            flight.done.wait()
-            with self._lock:
-                self.coalesced += 1
-                metrics.inc("llm.cache.coalesced")
-                if flight.error is None:
-                    self.stats.record(Usage(0, 0))
-            if flight.error is not None:
-                raise flight.error
-            assert flight.response is not None
-            return flight.response
+            return self._follow(flight)
 
         # Leader: the billable call happens outside the lock so
         # concurrent misses on *different* requests overlap instead of
@@ -152,30 +157,129 @@ class CachingChatClient(ChatClient):
             with get_tracer().span("llm.request", model=request.model):
                 response = self.inner.complete(request)
         except Exception as err:
-            flight.error = err
+            self._resolve_flight(key, flight, error=err)
+            raise
+        self._resolve_flight(key, flight, response=response)
+        return response
+
+    def complete_batch(
+        self, requests: Sequence[ChatRequest]
+    ) -> list[ChatResponse]:
+        """Serve a batch through the cache with one upstream dispatch.
+
+        Hits are answered from the cache; requests already in flight
+        (including duplicates within this batch) become followers of
+        the existing leader; everything left is dispatched to the
+        inner client as a *single* ``complete_batch`` window — the
+        micro-batching entry point, sharing the same single-flight
+        table as :meth:`complete` so a threaded worker and a batched
+        one never double-bill the same fingerprint.
+        """
+        metrics = get_metrics()
+        keys = [request_fingerprint(request) for request in requests]
+        responses: list[ChatResponse | None] = [None] * len(requests)
+        followers: list[tuple[int, _Flight]] = []
+        leaders: list[tuple[int, _Flight]] = []  # positions whose flight we lead
+        with self._lock:
+            for pos, key in enumerate(keys):
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    metrics.inc("llm.cache.hits")
+                    self.stats.record(Usage(0, 0))
+                    responses[pos] = _response_from_record(cached)
+                    continue
+                flight = self._inflight.get(key)
+                if flight is not None:
+                    # In flight elsewhere — or a duplicate earlier in
+                    # this very batch; either way, follow its leader.
+                    followers.append((pos, flight))
+                    continue
+                flight = _Flight()
+                self._inflight[key] = flight
+                leaders.append((pos, flight))
+
+        if leaders:
+            batch = [requests[pos] for pos, _ in leaders]
+            try:
+                with get_tracer().span(
+                    "llm.request.batch",
+                    model=batch[0].model,
+                    requests=len(batch),
+                ):
+                    answered = self.inner.complete_batch(batch)
+                if len(answered) != len(batch):  # pragma: no cover
+                    raise RuntimeError(
+                        f"inner client answered {len(answered)} of "
+                        f"{len(batch)} batched requests"
+                    )
+            except Exception as err:
+                for (pos, flight) in leaders:
+                    self._resolve_flight(keys[pos], flight, error=err)
+                raise
+            for (pos, flight), response in zip(leaders, answered):
+                self._resolve_flight(keys[pos], flight, response=response)
+                responses[pos] = response
+
+        for pos, flight in followers:
+            responses[pos] = self._follow(flight)
+        assert all(response is not None for response in responses)
+        return responses  # type: ignore[return-value]
+
+    def _follow(self, flight: _Flight) -> ChatResponse:
+        """Wait (outside the lock) on a leader's flight and share it."""
+        flight.done.wait()
+        with self._lock:
+            self.coalesced += 1
+            get_metrics().inc("llm.cache.coalesced")
+            if flight.error is None:
+                self.stats.record(Usage(0, 0))
+        if flight.error is not None:
+            raise flight.error
+        assert flight.response is not None
+        return flight.response
+
+    def _resolve_flight(
+        self,
+        key: str,
+        flight: _Flight,
+        *,
+        response: ChatResponse | None = None,
+        error: Exception | None = None,
+    ) -> None:
+        """Publish a leader's outcome and release its flight.
+
+        The ``finally`` is the single-flight liveness guarantee: even
+        if recording the miss (stats, journal append) raises, the
+        in-flight entry is removed and ``done`` is set, so a follower
+        that arrived while the response was being journaled can never
+        deadlock on an abandoned flight — it either reads the outcome
+        published *before* the bookkeeping ran, or re-leads a fresh
+        call.  Usage is recorded exactly once, by the leader, before
+        journaling.
+        """
+        if error is not None:
+            flight.error = error
             with self._lock:
                 self._inflight.pop(key, None)
             flight.done.set()
-            raise
-        record = {
-            "model": response.model,
-            "content": response.content,
-            "prompt_tokens": response.usage.prompt_tokens,
-            "completion_tokens": response.usage.completion_tokens,
-            "finish_reason": response.finish_reason,
-        }
+            return
+        assert response is not None
         flight.response = response
-        with self._lock:
-            self.misses += 1
-            metrics.inc("llm.cache.misses")
-            self._cache[key] = record
-            self.stats.record(response.usage)
-            self._append(key, record)
-            # Pop only after the cache holds the record: a request
-            # arriving now finds it there, never a gap.
-            self._inflight.pop(key, None)
-        flight.done.set()
-        return response
+        record = _cache_record(response)
+        try:
+            with self._lock:
+                self.misses += 1
+                get_metrics().inc("llm.cache.misses")
+                self._cache[key] = record
+                self.stats.record(response.usage)
+                self._append(key, record)
+        finally:
+            with self._lock:
+                # Pop only after the cache holds the record: a request
+                # arriving now finds it there, never a gap.
+                self._inflight.pop(key, None)
+            flight.done.set()
 
     # ------------------------------------------------------------------
 
@@ -193,6 +297,7 @@ class CachingChatClient(ChatClient):
             self.hits = 0
             self.misses = 0
             self.coalesced = 0
+            self._journal_broken = False
             if self._journal is not None:
                 self._journal.close()
                 self._journal = None
@@ -241,14 +346,33 @@ class CachingChatClient(ChatClient):
     # ------------------------------------------------------------------
 
     def _append(self, key: str, record: dict) -> None:
-        """Journal one miss: a single appended-and-flushed JSONL line."""
-        if self.cache_path is None:
+        """Journal one miss: a single appended-and-flushed JSONL line.
+
+        Journal I/O failures (disk full, permissions yanked) must not
+        fail the request that triggered them — the upstream call was
+        already paid for and its response is already in the in-memory
+        cache.  On ``OSError`` the journal is marked broken (counted in
+        ``llm.cache.journal_errors``) and persistence quietly stops;
+        correctness only loses warm restarts.
+        """
+        if self.cache_path is None or self._journal_broken:
             return
-        if self._journal is None:
-            self.cache_path.parent.mkdir(parents=True, exist_ok=True)
-            self._journal = self.cache_path.open("a", encoding="utf-8")
-        self._journal.write(_record_line(key, record))
-        self._journal.flush()
+        try:
+            if self._journal is None:
+                self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+                self._journal = self.cache_path.open("a", encoding="utf-8")
+            self._journal.write(_record_line(key, record))
+            self._journal.flush()
+        except OSError:
+            self._journal_broken = True
+            if self._journal is not None:
+                try:
+                    self._journal.close()
+                except OSError:  # pragma: no cover - double fault
+                    pass
+                self._journal = None
+            get_metrics().inc("llm.cache.journal_errors")
+            return
         get_metrics().inc("llm.cache.journal_writes")
 
 

@@ -13,6 +13,7 @@ DESIGN.md §8 for the thread execution model and §9 for the process
 backend and its pickling constraints.
 """
 
+from .aio import AIMDController, MicroBatcher, ThreadBridge, imap_async
 from .arena import TensorArena
 from .executor import (
     ParallelExecutor,
@@ -32,8 +33,11 @@ from .shm import (
 )
 
 __all__ = [
+    "AIMDController",
     "DEFAULT_MIN_SHARE_BYTES",
+    "MicroBatcher",
     "ParallelExecutor",
+    "ThreadBridge",
     "SharedArrayArena",
     "SharedArrayHandle",
     "ShmTransport",
@@ -42,6 +46,7 @@ __all__ = [
     "TaskOutcome",
     "TensorArena",
     "effective_cpu_count",
+    "imap_async",
     "resolve_workers",
     "shared_memory_support",
     "sweep_result_intents",

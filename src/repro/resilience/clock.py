@@ -13,6 +13,7 @@ which is what keeps the fault-injection suite deterministic.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from dataclasses import dataclass
@@ -54,6 +55,21 @@ class VirtualClock:
             self.sleeps.append(seconds)
             self._now += seconds
 
+    def wait_condition(
+        self, cond: threading.Condition, timeout: float
+    ) -> None:
+        """Virtual timed wait: record the sleep and return instantly.
+
+        Called with ``cond`` held.  Virtual time advances by the full
+        timeout — there is no real blocking to interrupt — so waiters
+        observe exactly the sleeps a wall clock would have taken.
+        """
+        self.sleep(timeout)
+
+    async def sleep_async(self, seconds: float) -> None:
+        """Async virtual sleep: records and advances without yielding."""
+        self.sleep(seconds)
+
 
 @dataclass
 class WallClock:
@@ -65,3 +81,21 @@ class WallClock:
     def sleep(self, seconds: float) -> None:
         if seconds > 0:
             time.sleep(seconds)
+
+    def wait_condition(
+        self, cond: threading.Condition, timeout: float
+    ) -> None:
+        """Timed wait on ``cond`` (held by the caller).
+
+        Unlike :meth:`sleep`, this releases the condition's lock while
+        blocked and wakes early on ``notify`` — the primitive a rate
+        limiter needs so one sleeping waiter neither holds up refills
+        nor burns CPU polling.
+        """
+        if timeout > 0:
+            cond.wait(timeout)
+
+    async def sleep_async(self, seconds: float) -> None:
+        """Async sleep that yields to the event loop instead of blocking."""
+        if seconds > 0:
+            await asyncio.sleep(seconds)

@@ -262,6 +262,14 @@ class RetryPolicy:
                 break
             except retryable as err:
                 outcome.error = err
+                if getattr(err, "retry_after_s", None) is not None:
+                    # Duck-typed rate limit: only 429-style errors
+                    # carry a server Retry-After hint.  Counting them
+                    # here (the one funnel every retried call passes
+                    # through) gives the async engine's AIMD
+                    # controller its backpressure signal without this
+                    # layer importing ``repro.llm``.
+                    get_metrics().inc("retry.rate_limited")
                 if breaker is not None:
                     breaker.record_failure()
                 if attempt < self.max_attempts:

@@ -364,6 +364,62 @@ class TestSingleFlight:
         with pytest.raises(RuntimeError):
             caching.complete(request)
 
+    def test_slow_leader_journal_failure_still_releases_followers(
+        self, clients, attachment, tmp_path
+    ):
+        """Regression: journaling must never strand a waiting follower.
+
+        The leader's miss bookkeeping (stats, journal append) used to
+        run *before* the flight was resolved, so a journal write that
+        raised left the follower parked on the flight event forever.
+        Here the journal path is a directory — the append raises
+        ``IsADirectoryError`` mid-resolution while a follower is
+        already waiting — and everything must still come home: the
+        follower gets the leader's response, the fee is paid once,
+        and the broken journal only costs persistence.
+        """
+        import threading
+
+        from repro.obs.metrics import MetricsRegistry, use_metrics
+
+        journal_path = tmp_path / "cache.jsonl"
+        gated = self._Gated(clients["gpt-4o-mini"])
+        caching = CachingChatClient(gated, cache_path=journal_path)
+        journal_path.mkdir()  # open("a") on a directory raises OSError
+        request = _request(attachment)
+        responses = []
+
+        def call():
+            responses.append(caching.complete(request))
+
+        with use_metrics(MetricsRegistry()) as registry:
+            leader = threading.Thread(target=call)
+            leader.start()
+            assert gated.entered.wait(10.0)
+            follower = threading.Thread(target=call)
+            follower.start()
+            import time
+
+            time.sleep(0.2)  # let the follower reach the flight wait
+            gated.release.set()
+            leader.join(10.0)
+            follower.join(10.0)
+            assert not leader.is_alive() and not follower.is_alive()
+
+            assert gated.calls == 1  # one billable call despite the fault
+            assert caching.misses == 1
+            assert caching.coalesced + caching.hits == 1
+            assert len({response.content for response in responses}) == 1
+            assert not caching._inflight  # flight fully resolved
+            assert caching._journal_broken
+            assert registry.counter("llm.cache.journal_errors") == 1
+            assert registry.counter("llm.cache.journal_writes") == 0
+
+        # Persistence is gone but service continues: a fresh request
+        # (cache miss) neither raises nor retries the dead journal.
+        caching.complete(_request(attachment, text="Any streetlights?"))
+        assert caching.misses == 2
+
     def test_clear_resets_coalesced_counter(self, clients, attachment):
         caching = CachingChatClient(clients["gpt-4o-mini"])
         caching.complete(_request(attachment))

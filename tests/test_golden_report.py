@@ -20,6 +20,7 @@ artifact, so every green build ships an inspectable span tree).
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 from pathlib import Path
@@ -27,15 +28,21 @@ from pathlib import Path
 import pytest
 
 from repro.cascade import CascadeClassifier, fit_cascade_calibration
-from repro.core import LLMIndicatorClassifier, NeighborhoodDecoder
+from repro.core import (
+    ClassifierConfig,
+    LLMIndicatorClassifier,
+    NeighborhoodDecoder,
+)
 from repro.core.voting import VotingEnsemble
 from repro.detect.train import TrainConfig, train_detector
 from repro.geo import make_durham_like
 from repro.gsv import StreetViewClient, build_survey_dataset
+from repro.llm.errors import RateLimitError
 from repro.llm.paper_targets import ALL_MODEL_IDS, GPT_4O_MINI
 from repro.obs.audit import audit_trace
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.trace import Tracer, use_tracer
+from repro.resilience import FaultSchedule, FaultyChatClient, VirtualClock
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_survey_report.json"
 ENSEMBLE_GOLDEN_PATH = (
@@ -54,6 +61,8 @@ PATHS = (
     "thread-4",
     "stream-serial",
     "stream-4",
+    "async-serial",
+    "async-8",
 )
 
 
@@ -89,6 +98,18 @@ def _run_path(decoder, county, path_name: str) -> str:
             seed=SURVEY_SEED,
             workers=4,
             keep_locations=True,
+        )
+    elif path_name == "async-serial":
+        report = asyncio.run(
+            decoder.survey_async(
+                county, N_LOCATIONS, seed=SURVEY_SEED, max_inflight=1
+            )
+        )
+    elif path_name == "async-8":
+        report = asyncio.run(
+            decoder.survey_async(
+                county, N_LOCATIONS, seed=SURVEY_SEED, max_inflight=8
+            )
         )
     else:  # pragma: no cover - parametrize guards the names
         raise ValueError(path_name)
@@ -241,3 +262,78 @@ class TestGoldenEnsembleCascadeIdentity:
         assert stats["tier0_indicators"] == 0
         assert stats["tier1_indicators"] == 0
         assert stats["tier2_indicators"] > 0
+
+
+@pytest.mark.faults
+class TestAIMDStormDrill:
+    """Injected 429 storms shrink the AIMD window without losing coverage.
+
+    Two three-call bursts of rate-limit errors hit the async engine at
+    full width (``max_inflight=8``).  Six scheduled faults against a
+    classifier allowed eight attempts makes full coverage an arithmetic
+    guarantee, not luck: distinct failed dispatches consume distinct
+    scheduled faults, so even with micro-batching fanning one 429 out
+    to every seat in its window, no single image can accumulate eight
+    failed attempts.  What the drill actually checks is the control
+    loop — the 429s must be *observed* (``retry.rate_limited``), the
+    AIMD window must shrink in response, and the survey must still
+    finish complete.
+    """
+
+    def test_storms_shrink_the_window_and_keep_full_coverage(
+        self, county, clients, tmp_path
+    ):
+        storm_429 = lambda: RateLimitError("429 storm", retry_after_s=2.0)  # noqa: E731
+        storm = (
+            FaultSchedule()
+            .burst(storm_429, start=1, length=3)
+            .burst(storm_429, start=18, length=3)
+        )
+        classifier = LLMIndicatorClassifier(
+            FaultyChatClient(clients[MODEL_ID], storm),
+            ClassifierConfig(max_attempts=8, backoff_s=0.001),
+            clock=VirtualClock(),
+        )
+        decoder = NeighborhoodDecoder(
+            street_view=StreetViewClient(
+                counties=[county], api_key="golden-drill"
+            ),
+            classifier=classifier,
+        )
+        with use_metrics(MetricsRegistry()):
+            report = asyncio.run(
+                decoder.survey_async(
+                    county, N_LOCATIONS, seed=SURVEY_SEED, max_inflight=8
+                )
+            )
+
+        assert report.coverage == 1.0
+        assert not report.failed_locations
+
+        stats = report.pipeline_stats
+        assert stats["initial_limit"] == 8
+        assert stats["throttle_events"] >= 1
+        assert stats["decreases"] >= 1
+        assert stats["final_limit"] < stats["initial_limit"]
+        counters = report.metrics["counters"]
+        assert counters.get("retry.rate_limited", 0) >= 1
+
+        # CI uploads this snapshot as a chaos-job artifact; locally it
+        # lands in tmp_path and is simply discarded.
+        export = os.environ.get("REPRO_AIMD_METRICS_EXPORT")
+        snapshot_path = Path(export) if export else tmp_path / "aimd_drill.json"
+        snapshot_path.parent.mkdir(parents=True, exist_ok=True)
+        snapshot_path.write_text(
+            json.dumps(
+                {
+                    "drill": "aimd-429-storm",
+                    "pipeline_stats": stats,
+                    "batch_stats": report.batch_stats,
+                    "metrics": report.metrics,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )

@@ -1,0 +1,337 @@
+"""Unit tests for the asyncio pipeline primitives (``repro.parallel.aio``).
+
+These cover the building blocks in isolation — ordering and windowing
+of :func:`imap_async`, the AIMD congestion window, micro-batch window
+mechanics, the sync/async thread bridge, and the token bucket's async
+acquire — while ``tests/test_golden_report.py`` proves the assembled
+engine is byte-identical to the serial survey.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.llm.batch import TokenBucket
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.parallel import (
+    AIMDController,
+    MicroBatcher,
+    ThreadBridge,
+    imap_async,
+)
+from repro.resilience import VirtualClock
+
+
+class TestImapAsync:
+    def test_rejects_non_positive_window(self):
+        async def main():
+            async for _ in imap_async(asyncio.sleep, [0], max_inflight=0):
+                pass
+
+        with pytest.raises(ValueError, match="max_inflight"):
+            asyncio.run(main())
+
+    def test_results_arrive_in_submission_order(self):
+        """Later-submitted items finish first; yields stay ordered."""
+        n = 6
+
+        async def work(i):
+            await asyncio.sleep((n - i) * 0.002)  # reverse completion order
+            return i * 10
+
+        async def main():
+            return [
+                outcome
+                async for outcome in imap_async(
+                    work, range(n), max_inflight=n
+                )
+            ]
+
+        outcomes = asyncio.run(main())
+        assert [o.index for o in outcomes] == list(range(n))
+        assert [o.value for o in outcomes] == [i * 10 for i in range(n)]
+
+    def test_inflight_never_exceeds_the_window(self):
+        running = 0
+        peak = 0
+
+        async def work(i):
+            nonlocal running, peak
+            running += 1
+            peak = max(peak, running)
+            await asyncio.sleep(0.001)
+            running -= 1
+            return i
+
+        async def main():
+            return [o async for o in imap_async(work, range(12), max_inflight=3)]
+
+        outcomes = asyncio.run(main())
+        assert len(outcomes) == 12
+        assert peak <= 3
+
+    def test_errors_are_captured_not_raised(self):
+        async def work(i):
+            if i == 2:
+                raise RuntimeError("boom")
+            return i
+
+        async def main():
+            return [o async for o in imap_async(work, range(4), max_inflight=2)]
+
+        with use_metrics(MetricsRegistry()) as registry:
+            outcomes = asyncio.run(main())
+            assert registry.counter("parallel.tasks.errors") == 1
+            assert registry.counter("parallel.tasks.completed") == 3
+        assert [o.value for o in outcomes if o.error is None] == [0, 1, 3]
+        failed = outcomes[2]
+        assert isinstance(failed.error, RuntimeError)
+
+    def test_abandoned_iteration_cancels_inflight_work(self):
+        started = []
+        release = asyncio.Event()
+
+        async def work(i):
+            started.append(i)
+            if i == 0:
+                return i
+            await release.wait()  # parks forever unless cancelled
+            return i
+
+        async def main():
+            agen = imap_async(work, range(10), max_inflight=4)
+            first = await agen.__anext__()
+            await agen.aclose()  # must cancel and drain, not hang
+            return first
+
+        first = asyncio.run(main())  # asyncio.run fails on leaked tasks
+        assert first.value == 0
+        assert len(started) <= 5  # the stream was drawn lazily
+
+
+class TestThreadBridge:
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ValueError, match="max_threads"):
+            ThreadBridge(0)
+
+    def test_runs_sync_functions_off_loop(self):
+        def add(a, b):
+            assert threading.current_thread().name.startswith("repro-aio")
+            return a + b
+
+        async def main():
+            with ThreadBridge(2) as bridge:
+                return await bridge.run(add, 2, 3)
+
+        assert asyncio.run(main()) == 5
+
+    def test_cap_bounds_concurrent_sync_calls(self):
+        running = 0
+        peak = 0
+        lock = threading.Lock()
+
+        def blocking():
+            nonlocal running, peak
+            with lock:
+                running += 1
+                peak = max(peak, running)
+            import time
+
+            time.sleep(0.005)
+            with lock:
+                running -= 1
+
+        async def main():
+            with ThreadBridge(2) as bridge:
+                await asyncio.gather(*(bridge.run(blocking) for _ in range(8)))
+
+        asyncio.run(main())
+        assert peak <= 2
+
+
+class TestAIMDController:
+    def test_validates_limits(self):
+        with pytest.raises(ValueError, match="min_limit"):
+            AIMDController(4, min_limit=5)
+        with pytest.raises(ValueError, match="decrease_factor"):
+            AIMDController(4, decrease_factor=1.0)
+        with pytest.raises(ValueError, match="increase_step"):
+            AIMDController(4, increase_step=0)
+
+    def test_slot_blocks_at_the_window_and_wakes_on_release(self):
+        async def main():
+            ctrl = AIMDController(2, max_limit=4)
+            await ctrl.acquire()
+            await ctrl.acquire()
+            third = asyncio.ensure_future(ctrl.acquire())
+            await asyncio.sleep(0)
+            assert not third.done()  # window full: third caller parks
+            ctrl.release()
+            await third  # release hands the freed slot over
+            assert ctrl.inflight == 2
+            assert ctrl.peak_inflight == 2
+            ctrl.release()
+            ctrl.release()
+
+        asyncio.run(main())
+
+    def test_additive_increase_after_a_clean_window(self):
+        ctrl = AIMDController(2, max_limit=4, increase_window=3)
+        for _ in range(2):
+            ctrl.on_success()
+        assert ctrl.limit == 2  # streak not complete yet
+        ctrl.on_success()
+        assert ctrl.limit == 3
+        assert ctrl.increases == 1
+
+    def test_multiplicative_decrease_floors_at_min_limit(self):
+        ctrl = AIMDController(8, min_limit=2, increase_window=3)
+        ctrl.on_success()  # a part-built streak ...
+        ctrl.on_throttle()
+        assert ctrl.limit == 4
+        for _ in range(3):  # ... was reset by the throttle
+            ctrl.on_success()
+        assert ctrl.limit == 5
+        for _ in range(10):
+            ctrl.on_throttle()
+        assert ctrl.limit == 2  # never below the floor
+        assert ctrl.throttle_events == 11
+
+    def test_stats_summarize_the_run(self):
+        ctrl = AIMDController(4, increase_window=1)
+        ctrl.on_success()
+        ctrl.on_throttle()
+        assert ctrl.stats() == {
+            "initial_limit": 4,
+            "final_limit": 2,
+            "peak_inflight": 0,
+            "throttle_events": 1,
+            "increases": 1,
+            "decreases": 1,
+        }
+
+
+class _ScriptedBatchClient:
+    """Counts batched dispatches; answers ``ans:<request>`` per seat."""
+
+    def __init__(self, error: Exception | None = None):
+        self.batch_calls = []
+        self.error = error
+
+    def complete_batch(self, requests):
+        self.batch_calls.append(list(requests))
+        if self.error is not None:
+            raise self.error
+        return [f"ans:{request}" for request in requests]
+
+
+class TestMicroBatcher:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            MicroBatcher(max_wait_s=-0.1)
+
+    def test_concurrent_submits_share_one_dispatch(self):
+        client = _ScriptedBatchClient()
+        batcher = MicroBatcher(max_batch=4, max_wait_s=5.0)
+        results = {}
+
+        def call(i):
+            results[i] = batcher.submit(client, f"q{i}")
+
+        threads = [
+            threading.Thread(target=call, args=(i,)) for i in range(4)
+        ]
+        with use_metrics(MetricsRegistry()) as registry:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(10.0)
+            assert registry.counter("llm.microbatch.batches") == 1
+            assert registry.counter("llm.microbatch.requests") == 4
+
+        # One upstream dispatch served all four seats, each getting
+        # exactly its own answer back.  The window filled to max_batch,
+        # so the leader returned long before the 5 s wait ceiling.
+        assert len(client.batch_calls) == 1
+        assert sorted(client.batch_calls[0]) == [f"q{i}" for i in range(4)]
+        assert results == {i: f"ans:q{i}" for i in range(4)}
+        assert batcher.stats() == {
+            "batches": 1,
+            "batched_requests": 4,
+            "max_batch_size": 4,
+        }
+
+    def test_lone_request_pays_only_the_window_wait(self):
+        client = _ScriptedBatchClient()
+        batcher = MicroBatcher(max_batch=8, max_wait_s=0.001)
+        assert batcher.submit(client, "solo") == "ans:solo"
+        assert client.batch_calls == [["solo"]]
+
+    def test_leader_failure_fans_out_to_every_seat(self):
+        client = _ScriptedBatchClient(error=RuntimeError("window down"))
+        batcher = MicroBatcher(max_batch=2, max_wait_s=5.0)
+        errors = []
+
+        def call(i):
+            try:
+                batcher.submit(client, f"q{i}")
+            except RuntimeError as err:
+                errors.append(err)
+
+        threads = [
+            threading.Thread(target=call, args=(i,)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert len(errors) == 2  # nobody hangs, everybody sees the error
+        assert not batcher._windows  # window cleared for the next round
+
+    def test_different_clients_never_share_a_window(self):
+        first, second = _ScriptedBatchClient(), _ScriptedBatchClient()
+        batcher = MicroBatcher(max_batch=8, max_wait_s=0.001)
+        batcher.submit(first, "a")
+        batcher.submit(second, "b")
+        assert first.batch_calls == [["a"]]
+        assert second.batch_calls == [["b"]]
+
+    def test_install_swaps_and_restores_classifier_clients(self):
+        class _Clf:
+            def __init__(self, client):
+                self.client = client
+
+        client = _ScriptedBatchClient()
+        clf = _Clf(client)
+        batcher = MicroBatcher(max_batch=8, max_wait_s=0.001)
+        with batcher.install([clf]):
+            assert clf.client is not client
+            assert clf.client.complete("q") == "ans:q"
+            assert clf.client.batch_calls is client.batch_calls  # delegation
+        assert clf.client is client  # restored on exit
+
+
+class TestTokenBucketAsyncAcquire:
+    def test_burst_is_free_then_waits_accrue(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=2.0, capacity=1.0, clock=clock)
+
+        async def main():
+            first = await bucket.acquire_async()
+            second = await bucket.acquire_async()
+            return first, second
+
+        with use_metrics(MetricsRegistry()) as registry:
+            first, second = asyncio.run(main())
+            # The burst token is free; the next caller owes exactly one
+            # refill interval — identical accounting to the sync path.
+            assert first == 0.0
+            assert second == pytest.approx(0.5)
+            assert clock.sleeps == [pytest.approx(0.5)]
+            assert registry.counter("ratelimit.waits") == 1
+            assert registry.counter("llm.throttle_wait_seconds") == (
+                pytest.approx(0.5)
+            )

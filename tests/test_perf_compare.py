@@ -37,6 +37,7 @@ class TestCompareBenchmarks:
         assert set(HEADLINE_METRICS) == {
             "cascade",
             "pipeline",
+            "async",
             "detect",
             "stream",
             "obs",
