@@ -1,0 +1,148 @@
+"""Perf benchmark: the survey daemon vs back-to-back standalone runs.
+
+The service promises multiplexing without a tax: N jobs through one
+:class:`~repro.service.SurveyService` (shared clients, one thread
+bridge, durable manifest, per-job checkpoints, middleware, tracing)
+should cost about what the same N surveys cost run back-to-back as
+standalone ``survey_async`` scripts, each paying for its own stack.
+
+Workload: 8 survey jobs across 2 tenants, every job on a distinct
+``(county_seed, seed)`` pair so the shared response cache cannot
+cross-subsidise the service session — the measured ratio is pure
+orchestration overhead (manifest fsyncs, checkpoint writes, spans,
+settlement), not cache luck.
+
+Headline metrics (guarded by ``repro bench --only service --compare``):
+``service.job_throughput`` (jobs/s through the daemon) and
+``service.multiplex_overhead`` (service session wall over standalone
+wall; lower is better, ~1.0 when multiplexing is free).
+
+Excluded from tier-1 (``perf`` marker); run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_service.py -m perf -q
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.gsv.dataset import build_survey_dataset
+from repro.llm.paper_targets import GEMINI_15_PRO
+from repro.llm.registry import build_clients
+from repro.perf import Stopwatch, write_bench
+from repro.service import JobSpec, ServiceStack, SurveyService
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_service.json"
+
+#: 8 jobs, 2 tenants, disjoint (county_seed, seed) pairs — no
+#: cross-job cache hits to flatter the service side.
+SPECS = tuple(
+    JobSpec(
+        tenant="acme" if index % 2 == 0 else "beta",
+        n_locations=3,
+        county_seed=3 + index,
+        seed=100 + index,
+        priority=index % 3,
+    )
+    for index in range(8)
+)
+
+
+@pytest.fixture(scope="module")
+def raw_clients():
+    calibration = build_survey_dataset(n_images=60, size=256, seed=77)
+    return build_clients(
+        [image.scene for image in calibration], model_ids=(GEMINI_15_PRO,)
+    )
+
+
+async def _service_session(raw_clients, state_dir):
+    """One daemon, all jobs; wall time covers submit through idle."""
+    stack = ServiceStack(clients=raw_clients)
+    async with SurveyService(
+        stack, state_dir, max_queue_depth=len(SPECS)
+    ) as service:
+        with Stopwatch() as sw:
+            job_ids = [await service.submit(spec) for spec in SPECS]
+            await service.run_until_idle()
+        reports = {
+            job_id: service.store.read_report(job_id) for job_id in job_ids
+        }
+        counts = service.counts()
+    return sw.elapsed_s, job_ids, reports, counts
+
+
+async def _standalone_once(raw_clients, spec):
+    """One spec as a standalone script: fresh stack, bare engine."""
+    with ServiceStack(clients=raw_clients) as stack:
+        decoder = stack.decoder(spec.kind, spec.county_seed)
+        with Stopwatch() as sw:
+            report = await decoder.survey_async(
+                stack.county(spec.county_seed),
+                spec.n_locations,
+                seed=spec.seed,
+            )
+    return sw.elapsed_s, report
+
+
+def test_service_daemon_perf_trajectory(raw_clients, tmp_path):
+    session_s, job_ids, reports, counts = asyncio.run(
+        _service_session(raw_clients, tmp_path / "state")
+    )
+    assert counts["done"] == len(SPECS)
+
+    standalone_s = 0.0
+    baselines = {}
+    for spec, job_id in zip(SPECS, job_ids):
+        elapsed, report = asyncio.run(_standalone_once(raw_clients, spec))
+        standalone_s += elapsed
+        baselines[job_id] = report
+
+    # The race only counts if multiplexing changed nothing: every
+    # served report must be byte-identical to its standalone twin.
+    deterministic = all(
+        json.dumps(reports[job_id], sort_keys=True)
+        == baselines[job_id].to_json()
+        for job_id in job_ids
+    )
+    assert deterministic
+
+    job_throughput = len(SPECS) / session_s
+    multiplex_overhead = session_s / standalone_s
+
+    document = write_bench(
+        BENCH_PATH,
+        "service",
+        {
+            "config": {
+                "n_jobs": len(SPECS),
+                "n_tenants": 2,
+                "locations_per_job": 3,
+                "captures_per_location": 4,
+            },
+            "service": {
+                "session_s": round(session_s, 4),
+                "standalone_s": round(standalone_s, 4),
+                "job_throughput": round(job_throughput, 3),
+                "multiplex_overhead": round(multiplex_overhead, 3),
+                "deterministic": deterministic,
+            },
+        },
+        repo_root=REPO_ROOT,
+    )
+
+    assert BENCH_PATH.exists()
+    assert document["service"]["deterministic"]
+    assert job_throughput > 0
+    # The acceptance bar: durable scheduling may not triple the cost
+    # of the underlying surveys.
+    assert multiplex_overhead < 3.0, (
+        f"daemon overhead {multiplex_overhead:.2f}× over standalone"
+    )

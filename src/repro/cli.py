@@ -679,6 +679,48 @@ def _run_trace(args: argparse.Namespace) -> int:
     return status
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the multi-tenant survey daemon (DESIGN.md §16).
+
+    Speaks the NDJSON protocol over a unix socket (``--socket``) or a
+    single stdin/stdout session; ``--selftest`` instead runs the
+    deterministic three-job drill and exits — the CI smoke path.
+    """
+    from .service import (
+        ServiceProtocol,
+        ServiceStack,
+        SurveyService,
+        TenantQuota,
+        run_selftest,
+    )
+
+    if args.selftest:
+        return run_selftest()
+    quota = TenantQuota(budget_usd=args.tenant_budget)
+    stack = ServiceStack(rate_limit_per_s=args.rate_limit)
+    service = SurveyService(
+        stack,
+        args.state_dir,
+        default_quota=quota,
+        max_queue_depth=args.queue_depth,
+        max_attempts=args.max_attempts,
+    )
+    for note in service.recovered:
+        print(f"recovered {note}")
+    protocol = ServiceProtocol(service)
+
+    async def serve() -> int:
+        async with service:
+            if args.socket:
+                print(f"survey daemon listening on {args.socket}")
+                await protocol.serve_unix(args.socket)
+            else:
+                await protocol.serve_stdio()
+        return 0
+
+    return asyncio.run(serve())
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     """Run the perf-marked benchmarks and refresh ``BENCH_*.json``.
 
@@ -816,14 +858,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all", "bench", "cascade",
-                                       "coordinate", "list", "survey",
-                                       "trace"],
+                                       "coordinate", "list", "serve",
+                                       "survey", "trace"],
         help=(
             "which experiment to run ('survey' runs the decoder itself, "
             "'trace' runs it under a recording tracer and audits the "
             "books, 'coordinate' runs the crash-safe sharded "
             "coordinator, 'cascade' calibrates/sweeps the cost-aware "
-            "router, 'bench' runs the perf benchmarks)"
+            "router, 'serve' runs the multi-tenant survey daemon, "
+            "'bench' runs the perf benchmarks)"
         ),
     )
     parser.add_argument(
@@ -1064,6 +1107,48 @@ def main(argv: list[str] | None = None) -> int:
             "baseline and the books reconcile)"
         ),
     )
+    serve_group = parser.add_argument_group("serve options")
+    serve_group.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help=(
+            "serve: accept NDJSON sessions on this unix socket "
+            "(default: one session over stdin/stdout)"
+        ),
+    )
+    serve_group.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        metavar="N",
+        help="serve: bounded admission queue depth (default: 16)",
+    )
+    serve_group.add_argument(
+        "--tenant-budget",
+        type=float,
+        default=None,
+        metavar="USD",
+        help=(
+            "serve: default per-tenant imagery-fee budget "
+            "(default: unmetered)"
+        ),
+    )
+    serve_group.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="PER_S",
+        help="serve: shared LLM token-bucket rate (default: unlimited)",
+    )
+    serve_group.add_argument(
+        "--selftest",
+        action="store_true",
+        help=(
+            "serve: run the deterministic three-job service drill "
+            "against a temporary state directory and exit (CI smoke)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -1078,6 +1163,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_coordinate(args)
     if args.experiment == "cascade":
         return _run_cascade(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
     if args.experiment == "bench":
         return _run_bench(args)
 

@@ -396,6 +396,8 @@ class NeighborhoodDecoder:
         checkpoint: str | Path | None = None,
         max_inflight: int = 1,
         microbatch: bool | None = None,
+        checkpoint_store: SurveyCheckpoint | None = None,
+        bridge: ThreadBridge | None = None,
     ) -> SurveyReport:
         """Pipelined :meth:`survey` on the running event loop.
 
@@ -411,7 +413,20 @@ class NeighborhoodDecoder:
         whenever the window allows ≥ 2 concurrent locations),
         compatible classify calls dispatch as single batched windows
         (``report.batch_stats``).
+
+        A caller that owns the survey's identity may pass an opened
+        ``checkpoint_store`` instead of a ``checkpoint`` path (mutually
+        exclusive, mirroring :meth:`survey_stream`); the service daemon
+        uses this to observe per-location progress through the store's
+        ``record`` calls.  ``bridge`` lends a caller-owned
+        :class:`~repro.parallel.aio.ThreadBridge` (left open on return)
+        so a long-lived host multiplexing many surveys does not pay a
+        thread-pool spin-up per run.
         """
+        if checkpoint is not None and checkpoint_store is not None:
+            raise ValueError(
+                "provide at most one of checkpoint / checkpoint_store"
+            )
         report = SurveyReport(requested_locations=max(n_locations, 0))
         if n_locations <= 0:
             report.coverage = 0.0
@@ -420,7 +435,11 @@ class NeighborhoodDecoder:
         if points is None:
             report.coverage = 0.0
             return report
-        store = self._open_checkpoint(checkpoint, county, n_locations, seed)
+        store = checkpoint_store
+        if store is None:
+            store = self._open_checkpoint(
+                checkpoint, county, n_locations, seed
+            )
         await self._decode_points_async(
             points,
             report,
@@ -428,6 +447,7 @@ class NeighborhoodDecoder:
             max_inflight=max_inflight,
             keep_locations=True,
             microbatch=microbatch,
+            bridge=bridge,
         )
         report.coverage = report.completed_locations / n_locations
         return report
@@ -441,8 +461,10 @@ class NeighborhoodDecoder:
         seed: int = 0,
         max_inflight: int = DEFAULT_SHARD_SIZE,
         checkpoint: str | Path | None = None,
+        checkpoint_store: SurveyCheckpoint | None = None,
         keep_locations: bool = False,
         microbatch: bool | None = None,
+        bridge: ThreadBridge | None = None,
     ) -> SurveyReport:
         """Async :meth:`survey_stream`: bounded-memory pipelined decode.
 
@@ -452,18 +474,27 @@ class NeighborhoodDecoder:
         the memory footprint.  Aggregate mode
         (``keep_locations=False``) carries ``presence_stats`` /
         ``zone_stats`` exactly like the sync stream.
+
+        ``checkpoint_store`` / ``bridge`` follow :meth:`survey_async`:
+        an already-opened checkpoint (for callers that own the stream's
+        identity, like the shard coordinator and the service daemon)
+        and a caller-owned thread bridge that is left open on return.
         """
         county_mode = county is not None or n_locations is not None
         if county_mode == (locations is not None):
             raise ValueError(
                 "provide either (county, n_locations) or locations=..."
             )
+        if checkpoint is not None and checkpoint_store is not None:
+            raise ValueError(
+                "provide at most one of checkpoint / checkpoint_store"
+            )
         report = SurveyReport()
         if not keep_locations:
             report.presence_stats = PresenceAccumulator()
             report.zone_stats = {}
 
-        store: SurveyCheckpoint | None = None
+        store: SurveyCheckpoint | None = checkpoint_store
         if county_mode:
             assert county is not None and n_locations is not None
             report.requested_locations = max(n_locations, 0)
@@ -474,16 +505,19 @@ class NeighborhoodDecoder:
             if points is None:
                 report.coverage = 0.0
                 return report
-            store = self._open_checkpoint(
-                checkpoint, county, n_locations, seed
-            )
+            if store is None:
+                store = self._open_checkpoint(
+                    checkpoint, county, n_locations, seed
+                )
             stream: Iterable[SamplePoint] = points
         else:
             if checkpoint is not None:
                 raise ValueError(
                     "checkpointing a location iterable is not supported: "
                     "an arbitrary stream has no stable identity to key "
-                    "resumption on — use (county, n_locations) mode"
+                    "resumption on — use (county, n_locations) mode, or "
+                    "pass checkpoint_store= if the caller owns a stable "
+                    "identity for the stream"
                 )
             stream = locations  # type: ignore[assignment]
 
@@ -494,6 +528,7 @@ class NeighborhoodDecoder:
             max_inflight=max_inflight,
             keep_locations=keep_locations,
             microbatch=microbatch,
+            bridge=bridge,
         )
         if not county_mode:
             report.requested_locations = requested
@@ -515,6 +550,7 @@ class NeighborhoodDecoder:
         keep_locations: bool,
         microbatch: bool | None = None,
         controller: AIMDController | None = None,
+        bridge: ThreadBridge | None = None,
     ) -> int:
         """The async twin of :meth:`_decode_points`.
 
@@ -561,8 +597,12 @@ class NeighborhoodDecoder:
         # Each in-flight location can park at most one sync call on the
         # bridge at a time (fetch or classify), so the window itself is
         # the right thread cap; the floor keeps a serial pipeline from
-        # strangling the batcher's leader waits.
-        bridge = ThreadBridge(max_threads=max(2, max_inflight))
+        # strangling the batcher's leader waits.  A caller-owned bridge
+        # (the service daemon reusing one pool across jobs) is used as
+        # handed over and must be sized to its own widest window.
+        owned_bridge = bridge is None
+        if bridge is None:
+            bridge = ThreadBridge(max_threads=max(2, max_inflight))
 
         window: dict[int, SamplePoint] = {}
         drawn = 0
@@ -580,7 +620,8 @@ class NeighborhoodDecoder:
             )
 
         with contextlib.ExitStack() as stack:
-            stack.enter_context(bridge)
+            if owned_bridge:
+                stack.enter_context(bridge)
             root_span = stack.enter_context(
                 tracer.span("survey", workers=max_inflight, engine="async")
             )

@@ -304,8 +304,26 @@ class CachingChatClient(ChatClient):
             if self.cache_path and self.cache_path.exists():
                 self.cache_path.unlink()
 
+    @property
+    def journaling(self) -> bool:
+        """Whether a journal file handle is currently open.
+
+        Long-lived hosts (the service daemon's shared stack) assert
+        this is False after their explicit close — relying on
+        ``__del__`` to release the handle ties resource lifetime to GC
+        timing and surfaces as a ``ResourceWarning`` under pytest's
+        ``filterwarnings = ["error"]``.
+        """
+        return self._journal is not None
+
     def close(self) -> None:
         """Stop journaling and compact the cache file atomically.
+
+        This is the *only* deliberate release path for the journal
+        handle — ``__del__`` is a GC-timed backstop, not a close
+        policy.  Hosts that own a client for the life of a process
+        (the service daemon's stack) must call this (or use the
+        context manager) on shutdown.
 
         Compaction rewrites the journal as one deduplicated JSONL
         document via temp file + rename, so a crash mid-compaction

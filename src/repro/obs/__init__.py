@@ -19,6 +19,7 @@ metric increments are single locked dict updates.
 
 from .audit import (
     COORDINATOR_STAGES,
+    SERVICE_STAGES,
     SURVEY_STAGES,
     audit_trace,
     reconcile_survey,
@@ -42,6 +43,7 @@ from .trace import (
 
 __all__ = [
     "COORDINATOR_STAGES",
+    "SERVICE_STAGES",
     "DEFAULT_BUCKET_EDGES",
     "MetricsRegistry",
     "SURVEY_STAGES",

@@ -128,6 +128,15 @@ SURVEY_STAGES = ("survey", "survey.location", "survey.classify",
 #: lifecycle instead.
 COORDINATOR_STAGES = ("coordinate", "coordinate.shard", "coordinate.merge")
 
+#: Stage names a service-daemon job's span tree must exhibit: the
+#: daemon's own ``service.job`` root wrapping the survey tree (each
+#: job runs under its own tracer, so the engine's stages nest inside
+#: the job span instead of standing alone).  ``survey.vote`` is
+#: excluded — vote spans come from the ensemble, and service jobs run
+#: the single-classifier or cascade profiles.
+SERVICE_STAGES = ("service.job", "survey", "survey.location",
+                  "survey.classify", "survey.merge")
+
 
 def audit_trace(
     tracer: Tracer,

@@ -124,9 +124,20 @@ class ThreadBridge:
         if max_threads < 1:
             raise ValueError(f"max_threads must be positive: {max_threads}")
         self.max_threads = max_threads
+        self._closed = False
         self._pool = ThreadPoolExecutor(
             max_workers=max_threads, thread_name_prefix="repro-aio"
         )
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (a closed bridge rejects work).
+
+        Long-lived hosts that lend one bridge to many pipelines (the
+        service daemon) use this to assert the pool is still open
+        before dispatching a job onto it.
+        """
+        return self._closed
 
     async def run(self, fn: Callable[..., Any], *args: Any) -> Any:
         loop = asyncio.get_running_loop()
@@ -135,6 +146,7 @@ class ThreadBridge:
         return await loop.run_in_executor(self._pool, fn)
 
     def close(self) -> None:
+        self._closed = True
         self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "ThreadBridge":

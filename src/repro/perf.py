@@ -189,6 +189,14 @@ HEADLINE_METRICS: dict[str, list[dict]] = {
             "waived_by": "coordinator.core_capped",
         },
     ],
+    "service": [
+        {"path": "service.job_throughput"},
+        {
+            "path": "service.multiplex_overhead",
+            "lower_is_better": True,
+            "floor": 0.25,
+        },
+    ],
 }
 
 

@@ -1,0 +1,694 @@
+"""The survey service daemon: multi-tenant jobs over one shared stack.
+
+:class:`SurveyService` is the tentpole of DESIGN.md §16 — a long-lived
+asyncio daemon that accepts survey/classify/cascade jobs from many
+tenants and multiplexes them onto the existing async engines
+(:meth:`~repro.core.pipeline.NeighborhoodDecoder.survey_async` /
+``survey_stream_async``) behind one :class:`~repro.service.stack.ServiceStack`:
+one LLM cache, one rate limiter, one circuit breaker, one usage meter,
+one warm thread bridge.
+
+**Execution model — concurrent admission, serial execution.**  The
+admission APIs (``submit`` / ``status`` / ``cancel`` / ``watch`` /
+``grant_budget``) are coroutines and may interleave freely, but jobs
+*execute* strictly one at a time: the scheduler drains a priority
+queue (priority desc, submission order asc) and awaits each job to
+completion before dispatching the next.  Inside one job the engine
+still pipelines up to ``spec.max_inflight`` locations — the daemon
+multiplexes *tenants over time*, not engine runs over each other.
+Serial execution is what makes three guarantees cheap:
+
+* per-job observability — each job runs under its own
+  :class:`~repro.obs.trace.Tracer` and
+  :class:`~repro.obs.metrics.MetricsRegistry` (installed with the
+  ``use_tracer`` / ``use_metrics`` swaps), so every job gets a clean
+  span tree rooted at ``service.job`` and a windowed metrics delta
+  that :func:`~repro.obs.audit.reconcile_survey` can check;
+* byte-identical reports — a job's report equals a standalone
+  ``survey_async`` run with the same parameters, because nothing else
+  touches the registry or meter mid-run;
+* exact fee attribution — the meter delta a job observes is its own.
+
+**Billing — reserve, run, settle, exactly once.**  At dispatch the
+scheduler reserves the spec's worst-case imagery estimate against the
+tenant's ledger; at the terminal transition it settles the *canonical*
+fee — rebuilt from the job's durable per-location checkpoint by
+:func:`~repro.service.store.canonical_fees_usd` — in the **same**
+fsynced manifest write as the terminal state.  A SIGKILL therefore
+leaves either a terminal job with its fee settled, or a non-terminal
+job with nothing settled; recovery re-queues (or fails-clean and
+salvage-settles) the latter, and terminal records are frozen, so no
+tenant is ever billed twice for a location.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import asyncio
+
+from ..coordinator.manifest import atomic_write_json
+from ..obs.audit import SERVICE_STAGES, audit_trace, reconcile_survey
+from ..obs.metrics import MetricsRegistry, use_metrics
+from ..obs.trace import Tracer, use_tracer
+from ..resilience.checkpoint import SurveyCheckpoint
+from .jobs import (
+    JobRecord,
+    JobSpec,
+    JobState,
+    ServiceError,
+    UnknownJobError,
+    estimated_fee_usd,
+)
+from .middleware import DEFAULT_MIDDLEWARE, JobContext, run_middleware_chain
+from .quota import (
+    BudgetExhaustedError,
+    QueueFullError,
+    TenantLedger,
+    TenantQuota,
+    TenantQuotaError,
+)
+from .sinks import ResultSink
+from .stack import ServiceStack
+from .store import JobStore, canonical_fees_usd, checkpoint_key
+
+__all__ = ["JobCancelled", "SurveyService"]
+
+
+class JobCancelled(ServiceError):
+    """Raised inside a running job when its cancellation was requested."""
+
+
+class _TappedCheckpoint(SurveyCheckpoint):
+    """The engine's checkpoint with a progress tap on every record.
+
+    The daemon owns each job's checkpoint (it passes it to the engine
+    via ``checkpoint_store=``) precisely so it can observe per-location
+    completions *as they durably land* — the tap fires after the
+    location is persisted, which is also the instant it becomes
+    billable.  The tap is where mid-stream cancellation takes effect:
+    raising :class:`JobCancelled` aborts the engine between locations,
+    leaving every already-recorded location checkpointed and billed
+    and nothing else.
+    """
+
+    def __init__(self, path, key, on_record) -> None:
+        super().__init__(path, key)
+        self._on_record = on_record
+
+    def record(self, index: int, payload: dict) -> None:
+        super().record(index, payload)
+        self._on_record(index, payload)
+
+
+class SurveyService:
+    """Multi-tenant survey daemon over one shared :class:`ServiceStack`."""
+
+    def __init__(
+        self,
+        stack: ServiceStack,
+        state_dir: str | Path,
+        *,
+        default_quota: TenantQuota | None = None,
+        quotas: dict[str, TenantQuota] | None = None,
+        max_queue_depth: int = 16,
+        max_attempts: int = 2,
+        sinks: Iterable[ResultSink] = (),
+        middleware: Sequence = DEFAULT_MIDDLEWARE,
+        close_stack: bool = True,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be positive: {max_queue_depth}"
+            )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be positive: {max_attempts}")
+        self.stack = stack
+        self.clock = stack.clock
+        self.store = JobStore(state_dir)
+        self.default_quota = default_quota or TenantQuota()
+        self.quotas = dict(quotas or {})
+        self.max_queue_depth = max_queue_depth
+        self.max_attempts = max_attempts
+        self.sinks: list[ResultSink] = list(sinks)
+        self.middleware = tuple(middleware)
+        self._close_stack = close_stack
+        self._ledgers: dict[str, TenantLedger] = {}
+        for tenant, books in self.store.ledger.items():
+            self._ledgers[tenant] = TenantLedger(
+                tenant,
+                self.quota_for(tenant),
+                settled_usd=float(books.get("settled_usd", 0.0)),
+                grants_usd=float(books.get("grants_usd", 0.0)),
+            )
+        #: Per-job runtime observability: tracer, registry, reconcile
+        #: findings, audit-trace findings.  Not durable — a restarted
+        #: daemon has fresh books here, like any metrics process.
+        self.observability: dict[str, dict] = {}
+        self._watchers: dict[str, list[asyncio.Queue]] = {}
+        self._wake = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._runner: asyncio.Task | None = None
+        self._running = False
+        self._closed = False
+        self.recovered: list[str] = self._recover()
+
+    # -- recovery -------------------------------------------------------
+
+    def _recover(self) -> list[str]:
+        """Reconcile manifest state left by a previous daemon.
+
+        RUNNING records are the crash signature: the old process died
+        mid-job.  Each is either re-queued for resumption (attempts
+        remaining — its checkpoint already holds the completed
+        locations) or failed clean with a salvage settlement of
+        exactly the checkpointed work.  Either way the decision is
+        flushed before the daemon accepts new work.
+        """
+        notes: list[str] = []
+        dirty = False
+        for record in sorted(self.store.records.values(), key=lambda r: r.seq):
+            if record.state is not JobState.RUNNING:
+                continue
+            dirty = True
+            path = self.store.checkpoint_path(record.job_id)
+            key = checkpoint_key(
+                record.spec, self.stack.county(record.spec.county_seed).name
+            )
+            record.progress = (
+                len(SurveyCheckpoint(path, key)) if path.exists() else 0
+            )
+            if record.attempts < self.max_attempts:
+                record.transition(JobState.QUEUED)
+                record.resumed = True
+                note = (
+                    f"recovered: re-queued after daemon restart "
+                    f"(attempt {record.attempts}/{self.max_attempts}, "
+                    f"{record.progress} locations checkpointed)"
+                )
+            else:
+                fees = canonical_fees_usd(path, key)
+                ledger = self._ledger(record.spec.tenant)
+                ledger.settle(fees, fees)
+                self.store.ledger[record.spec.tenant] = ledger.to_dict()
+                record.transition(JobState.FAILED)
+                record.error = (
+                    "daemon restart exhausted attempts "
+                    f"({record.attempts}/{self.max_attempts})"
+                )
+                record.finished_at = self.clock.now()
+                record.fees_settled_usd = fees
+                note = (
+                    f"recovered: failed clean after daemon restart, "
+                    f"salvage-settled ${fees:.6f}"
+                )
+            record.audit.append(note)
+            notes.append(f"{record.job_id}: {note}")
+        if dirty:
+            self.store.flush()
+        return notes
+
+    # -- tenants --------------------------------------------------------
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _ledger(self, tenant: str) -> TenantLedger:
+        if tenant not in self._ledgers:
+            self._ledgers[tenant] = TenantLedger(tenant, self.quota_for(tenant))
+        return self._ledgers[tenant]
+
+    def ledger_snapshot(self, tenant: str) -> dict:
+        ledger = self._ledger(tenant)
+        return {
+            "tenant": tenant,
+            "budget_usd": ledger.budget_usd,
+            "settled_usd": ledger.settled_usd,
+            "reserved_usd": ledger.reserved_usd,
+            "grants_usd": ledger.grants_usd,
+            "remaining_usd": ledger.remaining_usd(),
+        }
+
+    # -- admission API --------------------------------------------------
+
+    async def submit(self, spec: JobSpec) -> str:
+        """Admit a job; returns its id or raises an admission error.
+
+        Backpressure is explicit: a full admission queue rejects with
+        :class:`QueueFullError` rather than buffering unboundedly, and
+        quota/budget violations reject before anything durable is
+        written — a rejected submit leaves no trace in the manifest.
+        """
+        self._require_open()
+        spec.validate()
+        quota = self.quota_for(spec.tenant)
+        if spec.n_locations > quota.max_locations_per_job:
+            raise TenantQuotaError(
+                f"tenant {spec.tenant!r}: {spec.n_locations} locations "
+                f"exceeds per-job cap {quota.max_locations_per_job}"
+            )
+        active = sum(
+            1
+            for r in self.store.records.values()
+            if r.spec.tenant == spec.tenant and not r.terminal
+        )
+        if active >= quota.max_active_jobs:
+            raise TenantQuotaError(
+                f"tenant {spec.tenant!r}: {active} active jobs at the "
+                f"quota cap {quota.max_active_jobs}"
+            )
+        queued = sum(
+            1
+            for r in self.store.records.values()
+            if r.state is JobState.QUEUED
+        )
+        if queued >= self.max_queue_depth:
+            raise QueueFullError(
+                f"admission queue full ({queued}/{self.max_queue_depth}); "
+                "retry after a job finishes"
+            )
+        estimate = estimated_fee_usd(spec)
+        ledger = self._ledger(spec.tenant)
+        if not ledger.can_afford(estimate):
+            if quota.on_budget_exhausted == "reject":
+                raise BudgetExhaustedError(
+                    f"tenant {spec.tenant!r}: estimate ${estimate:.3f} "
+                    f"exceeds remaining budget "
+                    f"${ledger.remaining_usd():.3f}"
+                )
+            record = self.store.allocate(spec, self.clock.now())
+            record.audit.append(
+                f"paused: estimate ${estimate:.3f} awaits a budget grant"
+            )
+            self.store.flush()
+            return record.job_id
+        record = self.store.allocate(spec, self.clock.now())
+        self.store.flush()
+        self._kick()
+        return record.job_id
+
+    async def status(self, job_id: str) -> JobRecord:
+        return self._record(job_id).snapshot()
+
+    async def result(self, job_id: str) -> dict | None:
+        """The DONE job's report payload, or ``None`` before/without one."""
+        self._record(job_id)
+        return self.store.read_report(job_id)
+
+    async def cancel(self, job_id: str) -> bool:
+        """Request cancellation; returns whether it could still matter.
+
+        A QUEUED job cancels immediately (terminal, zero fees); a
+        RUNNING job gets its flag set and aborts at the next completed
+        location, keeping (and paying for) everything checkpointed so
+        far.  Terminal jobs are left untouched.
+        """
+        record = self._record(job_id)
+        if record.terminal:
+            return False
+        if record.state is JobState.QUEUED:
+            record.transition(JobState.CANCELLED)
+            record.finished_at = self.clock.now()
+            record.fees_settled_usd = 0.0
+            record.audit.append("cancelled while queued")
+            self.store.flush()
+            self._finish_side_effects(record)
+            return True
+        record.cancel_requested = True
+        return True
+
+    async def grant_budget(self, tenant: str, usd: float) -> dict:
+        """Durably extend a tenant's budget; wakes paused jobs."""
+        self._require_open()
+        ledger = self._ledger(tenant)
+        ledger.grant(usd)
+        self.store.ledger[tenant] = ledger.to_dict()
+        self.store.flush()
+        self._kick()
+        return self.ledger_snapshot(tenant)
+
+    async def watch(self, job_id: str):
+        """Async-iterate a job's progress events until it is terminal."""
+        record = self._record(job_id)
+        if record.terminal:
+            yield self._event(record, "terminal")
+            return
+        queue: asyncio.Queue = asyncio.Queue()
+        self._watchers.setdefault(job_id, []).append(queue)
+        try:
+            while True:
+                event = await queue.get()
+                yield event
+                if event["terminal"]:
+                    return
+        finally:
+            self._watchers.get(job_id, []) and self._watchers[
+                job_id
+            ].remove(queue)
+
+    def jobs(self) -> list[JobRecord]:
+        return [
+            record.snapshot()
+            for record in sorted(
+                self.store.records.values(), key=lambda r: r.seq
+            )
+        ]
+
+    # -- scheduling -----------------------------------------------------
+
+    def _record(self, job_id: str) -> JobRecord:
+        try:
+            return self.store.records[job_id]
+        except KeyError:
+            raise UnknownJobError(job_id) from None
+
+    def _kick(self) -> None:
+        self._idle.clear()
+        self._wake.set()
+
+    def _next_dispatch(self) -> JobRecord | None:
+        """Highest-priority affordable QUEUED job; FIFO within a tier.
+
+        Jobs whose tenant can no longer afford their reservation are
+        skipped when the tenant's policy is ``pause`` (they wait for a
+        grant) and failed clean when it is ``reject`` — the budget may
+        have shrunk since admission while earlier jobs settled.
+        """
+        candidates = sorted(
+            (
+                r
+                for r in self.store.records.values()
+                if r.state is JobState.QUEUED
+            ),
+            key=lambda r: (-r.spec.priority, r.seq),
+        )
+        for record in candidates:
+            ledger = self._ledger(record.spec.tenant)
+            estimate = estimated_fee_usd(record.spec)
+            if ledger.can_afford(estimate):
+                return record
+            if self.quota_for(record.spec.tenant).on_budget_exhausted == (
+                "reject"
+            ):
+                record.transition(JobState.FAILED)
+                record.error = (
+                    f"budget exhausted before dispatch: estimate "
+                    f"${estimate:.3f} > remaining "
+                    f"${ledger.remaining_usd():.3f}"
+                )
+                record.finished_at = self.clock.now()
+                record.fees_settled_usd = 0.0
+                self.store.flush()
+                self._finish_side_effects(record)
+        return None
+
+    async def run_until_idle(self) -> int:
+        """Drain every runnable job serially; returns how many ran.
+
+        The deterministic entry point tests and the ``--selftest``
+        drill use instead of the background scheduler: same dispatch
+        order, same billing, no task scheduling nondeterminism.
+        """
+        self._require_open()
+        ran = 0
+        while True:
+            record = self._next_dispatch()
+            if record is None:
+                self._idle.set()
+                return ran
+            await self._run_one(record)
+            ran += 1
+
+    async def start(self) -> None:
+        """Launch the background scheduler loop."""
+        self._require_open()
+        if self._runner is not None:
+            return
+        self._running = True
+        self._runner = asyncio.get_running_loop().create_task(
+            self._scheduler_loop()
+        )
+
+    async def stop(self) -> None:
+        """Stop the scheduler after the in-flight job (if any) finishes."""
+        self._running = False
+        self._wake.set()
+        if self._runner is not None:
+            await self._runner
+            self._runner = None
+
+    async def drain(self) -> None:
+        """Wait until nothing is dispatchable (all terminal or paused)."""
+        await self._idle.wait()
+
+    async def _scheduler_loop(self) -> None:
+        while self._running:
+            record = self._next_dispatch()
+            if record is None:
+                self._idle.set()
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            await self._run_one(record)
+        self._idle.set()
+
+    # -- execution ------------------------------------------------------
+
+    async def _run_one(self, record: JobRecord) -> None:
+        spec = record.spec
+        ledger = self._ledger(spec.tenant)
+        estimate = estimated_fee_usd(spec)
+        ledger.reserve(estimate)
+        record.transition(JobState.RUNNING)
+        record.attempts += 1
+        record.started_at = self.clock.now()
+        record.cancel_requested = False
+        self.store.flush()
+        self._notify(record, "running")
+
+        county = self.stack.county(spec.county_seed)
+        key = checkpoint_key(spec, county.name)
+        path = self.store.checkpoint_path(record.job_id)
+
+        def on_record(index: int, payload: dict) -> None:
+            record.progress += 1
+            self._notify(record, "progress")
+            if record.cancel_requested:
+                raise JobCancelled(record.job_id)
+
+        checkpoint = _TappedCheckpoint(path, key, on_record)
+        record.progress = len(checkpoint)
+        if record.progress:
+            record.resumed = True
+
+        tracer = Tracer(trace_id=record.job_id)
+        registry = MetricsRegistry()
+        ctx = JobContext(
+            record=record,
+            estimate_usd=estimate,
+            tracer=tracer,
+            registry=registry,
+        )
+        decoder = self.stack.decoder(spec.kind, spec.county_seed)
+
+        async def engine_run():
+            if spec.kind == "classify":
+                return await decoder.survey_stream_async(
+                    county,
+                    spec.n_locations,
+                    seed=spec.seed,
+                    max_inflight=spec.max_inflight,
+                    microbatch=spec.microbatch,
+                    checkpoint_store=checkpoint,
+                    bridge=self.stack.bridge,
+                )
+            return await decoder.survey_async(
+                county,
+                spec.n_locations,
+                seed=spec.seed,
+                max_inflight=spec.max_inflight,
+                microbatch=spec.microbatch,
+                checkpoint_store=checkpoint,
+                bridge=self.stack.bridge,
+            )
+
+        try:
+            with use_metrics(registry), use_tracer(tracer):
+                with tracer.span(
+                    "service.job",
+                    job_id=record.job_id,
+                    tenant=spec.tenant,
+                    kind=spec.kind,
+                ):
+                    report = await run_middleware_chain(
+                        self.middleware, ctx, engine_run
+                    )
+        except JobCancelled:
+            self._settle_terminal(
+                record, ledger, estimate, JobState.CANCELLED, key, path
+            )
+            record.audit.append(
+                f"cancelled mid-stream after {record.progress} locations"
+            )
+            self.store.flush()
+            self._finish_side_effects(record, tracer, registry)
+            return
+        except Exception as err:  # noqa: BLE001 - job isolation boundary
+            if record.cancel_requested:
+                self._settle_terminal(
+                    record, ledger, estimate, JobState.CANCELLED, key, path
+                )
+                record.audit.append(f"cancelled; engine aborted with: {err}")
+                self.store.flush()
+                self._finish_side_effects(record, tracer, registry)
+                return
+            if record.attempts < self.max_attempts:
+                ledger.release(estimate)
+                record.transition(JobState.QUEUED)
+                record.audit.append(
+                    f"attempt {record.attempts} failed "
+                    f"({type(err).__name__}: {err}); re-queued"
+                )
+                self.store.flush()
+                self._notify(record, "requeued")
+                return
+            self._settle_terminal(
+                record, ledger, estimate, JobState.FAILED, key, path
+            )
+            record.error = f"{type(err).__name__}: {err}"
+            self.store.flush()
+            self._finish_side_effects(record, tracer, registry)
+            return
+
+        payload = json.loads(report.to_json())
+        report_path = self.store.write_report(record.job_id, payload)
+        record.report_path = str(report_path)
+        for name, value in sorted(ctx.annotations.items()):
+            record.audit.append(f"{name}={value}")
+        self._settle_terminal(
+            record, ledger, estimate, JobState.DONE, key, path
+        )
+        self.store.flush()
+        self._finish_side_effects(record, tracer, registry, report)
+
+    def _settle_terminal(
+        self,
+        record: JobRecord,
+        ledger: TenantLedger,
+        estimate: float,
+        state: JobState,
+        key: dict,
+        path: Path,
+    ) -> None:
+        """Bind settlement to the terminal transition (one flush later).
+
+        The canonical fee comes from the durable checkpoint, never the
+        in-memory report — so however many attempts the job burned and
+        whatever the daemon's meter says, each completed location is
+        settled exactly once.
+        """
+        fees = canonical_fees_usd(path, key)
+        ledger.settle(estimate, fees)
+        self.store.ledger[record.spec.tenant] = ledger.to_dict()
+        record.transition(state)
+        record.finished_at = self.clock.now()
+        record.fees_settled_usd = fees
+
+    def _finish_side_effects(
+        self,
+        record: JobRecord,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+        report=None,
+    ) -> None:
+        """Post-flush delivery: obs books, sinks, watcher notification."""
+        if tracer is not None and registry is not None:
+            books: dict = {
+                "tracer": tracer,
+                "registry": registry,
+                "metrics_delta": registry.delta_since(
+                    {"counters": {}, "gauges": {}, "histograms": {}}
+                ),
+            }
+            if report is not None:
+                books["reconcile"] = reconcile_survey(report)
+                books["audit_trace"] = audit_trace(tracer, SERVICE_STAGES)
+            self.observability[record.job_id] = books
+        payload = (
+            self.store.read_report(record.job_id)
+            if record.state is JobState.DONE
+            else None
+        )
+        for sink in self.sinks:
+            try:
+                sink.deliver(record.snapshot(), payload)
+            except Exception as err:  # noqa: BLE001 - sink isolation
+                record.audit.append(
+                    f"sink {type(sink).__name__} failed: "
+                    f"{type(err).__name__}: {err}"
+                )
+        self._notify(record, "terminal")
+
+    # -- events ---------------------------------------------------------
+
+    def _event(self, record: JobRecord, kind: str) -> dict:
+        return {
+            "job_id": record.job_id,
+            "event": kind,
+            "state": record.state.value,
+            "progress": record.progress,
+            "terminal": record.terminal,
+        }
+
+    def _notify(self, record: JobRecord, kind: str) -> None:
+        for queue in self._watchers.get(record.job_id, []):
+            queue.put_nowait(self._event(record, kind))
+
+    # -- accounting views ----------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Job-state census; the conservation-law invariant's left side."""
+        census = {state.value: 0 for state in JobState}
+        for record in self.store.records.values():
+            census[record.state.value] += 1
+        census["submitted"] = len(self.store.records)
+        return census
+
+    def export_state(self, path: str | Path) -> None:
+        """Write a human-auditable daemon snapshot (not the manifest)."""
+        atomic_write_json(
+            Path(path),
+            {
+                "counts": self.counts(),
+                "ledgers": {
+                    tenant: self.ledger_snapshot(tenant)
+                    for tenant in sorted(self._ledgers)
+                },
+                "recovered": self.recovered,
+            },
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
+
+    async def close(self) -> None:
+        """Stop scheduling, flush, and release the shared stack."""
+        if self._closed:
+            return
+        await self.stop()
+        self._closed = True
+        self.store.flush()
+        if self._close_stack:
+            self.stack.close()
+
+    async def __aenter__(self) -> "SurveyService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

@@ -1,0 +1,126 @@
+"""Per-job middleware: a composable chain around every engine run.
+
+Each job the daemon dispatches flows through a middleware chain — the
+familiar onion: every middleware sees the :class:`JobContext`, may act
+before and after awaiting ``call_next()``, and whatever it returns is
+what the layer above sees.  The daemon folds ``ctx.annotations`` into
+the job's durable audit trail after the chain unwinds, so middleware
+observations survive restarts alongside the record they describe.
+
+The shipped chain (:data:`DEFAULT_MIDDLEWARE`):
+
+* :func:`trace_annotation` — stamps tenant/kind onto the job's span
+  tree and records how many spans the run produced;
+* :func:`metrics_tagging` — tags the per-job metrics registry with
+  ``service.*`` counters so the job's windowed delta carries its own
+  service-level accounting next to the engine's ``survey.*`` counters;
+* :func:`budget_guard` — the last line of the never-overspend
+  invariant: fails the job if the engine somehow billed more than the
+  reservation the scheduler took for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Sequence
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
+from .jobs import JobRecord, ServiceError, estimated_fee_usd
+
+__all__ = [
+    "DEFAULT_MIDDLEWARE",
+    "JobContext",
+    "Middleware",
+    "budget_guard",
+    "metrics_tagging",
+    "run_middleware_chain",
+    "trace_annotation",
+]
+
+#: ``async def middleware(ctx, call_next) -> report``.
+Middleware = Callable[["JobContext", Callable[[], Awaitable[Any]]], Any]
+
+
+@dataclass
+class JobContext:
+    """Everything a middleware may observe about the run in flight."""
+
+    record: JobRecord
+    estimate_usd: float
+    tracer: Tracer
+    registry: MetricsRegistry
+    annotations: dict[str, str] = field(default_factory=dict)
+
+
+async def run_middleware_chain(
+    middlewares: Sequence[Middleware],
+    ctx: JobContext,
+    terminal: Callable[[], Awaitable[Any]],
+) -> Any:
+    """Thread ``terminal`` (the engine run) through the chain, inside-out."""
+
+    def wrap(index: int) -> Callable[[], Awaitable[Any]]:
+        if index == len(middlewares):
+            return terminal
+
+        async def call() -> Any:
+            return await middlewares[index](ctx, wrap(index + 1))
+
+        return call
+
+    return await wrap(0)()
+
+
+async def trace_annotation(
+    ctx: JobContext, call_next: Callable[[], Awaitable[Any]]
+) -> Any:
+    """Record span-tree shape into the job's audit trail."""
+    report = await call_next()
+    ctx.annotations["trace.root"] = "service.job"
+    ctx.annotations["trace.spans"] = str(len(ctx.tracer.spans))
+    return report
+
+
+async def metrics_tagging(
+    ctx: JobContext, call_next: Callable[[], Awaitable[Any]]
+) -> Any:
+    """Count the job in its own windowed registry, tagged by tenant."""
+    spec = ctx.record.spec
+    ctx.registry.inc("service.jobs.dispatched")
+    ctx.registry.inc(f"service.jobs.by_kind.{spec.kind}")
+    report = await call_next()
+    ctx.registry.inc("service.jobs.finished")
+    ctx.annotations["metrics.tenant"] = spec.tenant
+    return report
+
+
+async def budget_guard(
+    ctx: JobContext, call_next: Callable[[], Awaitable[Any]]
+) -> Any:
+    """Refuse to return a report that outspent its reservation.
+
+    The reservation is the worst case (every location, every heading,
+    no cache hits on billing), so a breach means fee accounting is
+    broken somewhere — failing the job loudly beats silently
+    overdrawing a tenant.
+    """
+    estimate = ctx.estimate_usd
+    report = await call_next()
+    billed = float(getattr(report, "fees_usd", 0.0) or 0.0)
+    if billed > estimate + 1e-9:
+        raise ServiceError(
+            f"job {ctx.record.job_id}: engine billed ${billed:.6f}, over "
+            f"the ${estimate:.6f} reservation "
+            f"(worst case {estimated_fee_usd(ctx.record.spec):.6f})"
+        )
+    ctx.annotations["budget.reserved_usd"] = f"{estimate:.9f}"
+    ctx.annotations["budget.report_usd"] = f"{billed:.9f}"
+    return report
+
+
+DEFAULT_MIDDLEWARE: tuple[Middleware, ...] = (
+    trace_annotation,
+    metrics_tagging,
+    budget_guard,
+)

@@ -42,6 +42,7 @@ class TestCompareBenchmarks:
             "stream",
             "obs",
             "coord",
+            "service",
         }
 
     def test_no_regression_when_fresh_is_equal_or_better(self):
